@@ -1,0 +1,79 @@
+// Command pmexp runs the paper-reproduction experiments and prints
+// paper-vs-measured tables (see EXPERIMENTS.md for the archived full-scale
+// results).
+//
+// Usage:
+//
+//	pmexp                      # E1–E14 at quick scale
+//	pmexp -full -md            # full statistical scale, Markdown tables
+//	pmexp -ext                 # also the X1–X3 extension experiments
+//	pmexp -only E5,E9          # a subset
+//	pmexp -list                # list all experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pipemem"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at full scale (slow, the EXPERIMENTS.md numbers)")
+	md := flag.Bool("md", false, "emit Markdown instead of text tables")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	ext := flag.Bool("ext", false, "also run the X1–X3 extension experiments (beyond the paper)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	scale := pipemem.Quick
+	if *full {
+		scale = pipemem.Full
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	exps := pipemem.Experiments()
+	if *ext || len(want) > 0 || *list {
+		exps = append(exps, pipemem.ExtensionExperiments()...)
+	}
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %-14s %s\n", e.ID, e.Ref, e.Title)
+		}
+		return
+	}
+	failed := 0
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *md {
+			fmt.Print(res.Markdown())
+		} else {
+			fmt.Print(res)
+			fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+		}
+		if !res.Pass() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) with mismatches\n", failed)
+		os.Exit(1)
+	}
+}

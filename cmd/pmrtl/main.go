@@ -1,0 +1,179 @@
+// Command pmrtl runs the cycle-accurate pipelined-memory switch and
+// reports utilization, loss and latency; with -trace it dumps the per-cycle
+// fig. 5-style control/datapath trace.
+//
+// Usage:
+//
+//	pmrtl -n 8 -cells 256 -load 1.0 -perm -cycles 100000
+//	pmrtl -n 2 -cells 8 -load 0.6 -cycles 40 -trace    # fig. 5 view
+//	pmrtl -dual -n 8 -perm                             # §3.5 half quantum
+//	pmrtl -model t3                                    # Telegraphos III
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipemem"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 8, "ports (n×n)")
+		cells  = flag.Int("cells", 256, "buffer capacity in cells")
+		words  = flag.Int("w", 16, "word width in bits")
+		load   = flag.Float64("load", 0.8, "offered load in (0,1]")
+		perm   = flag.Bool("perm", false, "admissible rotating-permutation traffic")
+		sat    = flag.Bool("saturate", false, "uniform saturation traffic")
+		nocut  = flag.Bool("store-and-forward", false, "disable automatic cut-through")
+		dual   = flag.Bool("dual", false, "half-quantum two-memory organization (§3.5)")
+		org    = flag.String("org", "pipelined", "buffer organization: pipelined|wide|prizma")
+		cycles = flag.Int64("cycles", 200_000, "cycles to simulate")
+		seed   = flag.Uint64("seed", 1, "PRNG seed")
+		trace  = flag.Bool("trace", false, "dump the per-cycle control trace (fig. 5)")
+		vcd    = flag.String("vcd", "", "write the trace as a VCD waveform to this file (GTKWave etc.)")
+		vcs    = flag.Int("vcs", 1, "virtual channels per output link ([KVES95])")
+		model  = flag.String("model", "", "Telegraphos prototype instead of -n/-w/-cells: t1|t2|t3")
+	)
+	flag.Parse()
+
+	cfg := pipemem.Config{Ports: *n, WordBits: *words, Cells: *cells, CutThrough: !*nocut, VCs: *vcs}
+	var clockNs float64
+	switch *model {
+	case "":
+	case "t1":
+		m := pipemem.TelegraphosI()
+		cfg, clockNs = m.SwitchConfig(), m.ClockNs
+	case "t2":
+		m := pipemem.TelegraphosII()
+		cfg, clockNs = m.SwitchConfig(), m.ClockNs
+	case "t3":
+		m := pipemem.TelegraphosIII()
+		cfg, clockNs = m.SwitchConfig(), m.ClockNs
+	default:
+		fmt.Fprintf(os.Stderr, "pmrtl: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	cfg.CutThrough = !*nocut
+	cfg.VCs = *vcs
+
+	tcfg := pipemem.TrafficConfig{Kind: pipemem.Bernoulli, N: cfg.Ports, Load: *load, Seed: *seed}
+	if *perm {
+		tcfg.Kind, tcfg.Load = pipemem.Permutation, 1
+	} else if *sat {
+		tcfg.Kind = pipemem.Saturation
+	}
+
+	if *dual {
+		d, err := pipemem.NewDual(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		cs, err := pipemem.NewCellStream(tcfg, d.Config().Stages)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := pipemem.RunDualTraffic(d, cs, *cycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("dual (half-quantum):", res)
+		return
+	}
+
+	switch *org {
+	case "pipelined":
+	case "wide":
+		ws, err := pipemem.NewWide(pipemem.WideConfig{
+			Ports: cfg.Ports, WordBits: cfg.WordBits, Cells: cfg.Cells,
+			CutThroughCrossbar: cfg.CutThrough,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cs, err := pipemem.NewCellStream(tcfg, ws.Config().CellWords)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := pipemem.RunWideTraffic(ws, cs, *cycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wide memory: cycles=%d offered=%d delivered=%d dropped=%d util=%.4f cutlat=%.2f (bypass departures: %d)\n",
+			res.Cycles, res.Offered, res.Delivered, res.Dropped, res.Utilization, res.MeanCutLatency, res.CutThroughs)
+		return
+	case "prizma":
+		ps, err := pipemem.NewPrizma(pipemem.PrizmaConfig{
+			Ports: cfg.Ports, Banks: cfg.Cells, WordBits: cfg.WordBits,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cs, err := pipemem.NewCellStream(tcfg, ps.Config().CellWords)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := pipemem.RunPrizmaTraffic(ps, cs, *cycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("prizma: cycles=%d offered=%d delivered=%d dropped=%d util=%.4f lat=%.2f\n",
+			res.Cycles, res.Offered, res.Delivered, res.Dropped, res.Utilization, res.MeanLatency)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "pmrtl: unknown organization %q\n", *org)
+		os.Exit(2)
+	}
+
+	sw, err := pipemem.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var vcdDone func() error
+	switch {
+	case *vcd != "":
+		f, err := os.Create(*vcd)
+		if err != nil {
+			fatal(err)
+		}
+		clock := clockNs
+		if clock == 0 {
+			clock = 1
+		}
+		vw := pipemem.NewVCDWriter(f, sw, clock)
+		sw.SetTracer(vw.Trace)
+		vcdDone = func() error {
+			if err := vw.Err(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	case *trace:
+		sw.SetTracer(func(e pipemem.TraceEvent) { fmt.Println(e) })
+	}
+	cs, err := pipemem.NewCellStream(tcfg, sw.Config().Stages)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := pipemem.RunTraffic(sw, cs, *cycles)
+	if err != nil {
+		fatal(err)
+	}
+	if vcdDone != nil {
+		if err := vcdDone(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("VCD waveform written to %s\n", *vcd)
+	}
+	fmt.Println(res)
+	if clockNs > 0 {
+		fmt.Printf("at %.1f ns/cycle: %.0f Mb/s per link sustained (util %.3f × %d b / %.1f ns)\n",
+			clockNs, res.Utilization*float64(cfg.WordBits)/clockNs*1000, res.Utilization, cfg.WordBits, clockNs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmrtl:", err)
+	os.Exit(1)
+}

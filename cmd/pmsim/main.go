@@ -1,0 +1,101 @@
+// Command pmsim runs slot-level simulations of the §2 switch-buffering
+// architectures and prints throughput / loss / latency summaries.
+//
+// Usage:
+//
+//	pmsim -arch shared -n 16 -load 0.8 -buf 86 -slots 1000000
+//	pmsim -arch input-fifo -n 16 -saturate
+//	pmsim -arch voq -sched islip -n 16 -load 0.9
+//	pmsim -sweep -arch output -n 16 -buf 12        # load sweep 0.1..0.95
+//
+// Architectures: input-fifo, voq, output, shared, crosspoint,
+// block-crosspoint, smoothing, speedup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipemem"
+)
+
+func main() {
+	var (
+		arch     = flag.String("arch", "shared", "architecture: input-fifo|voq|output|shared|shared-capped|crosspoint|block-crosspoint|smoothing|speedup")
+		n        = flag.Int("n", 16, "switch size (n×n)")
+		load     = flag.Float64("load", 0.8, "offered load per input in (0,1]")
+		saturate = flag.Bool("saturate", false, "saturation mode (backlogged inputs)")
+		bursty   = flag.Float64("bursty", 0, "mean burst length in cells (0 = Bernoulli)")
+		hotFrac  = flag.Float64("hot", 0, "hotspot fraction toward port 0 (0 = uniform)")
+		buf      = flag.Int("buf", 64, "buffer parameter (total cells for shared; per-port otherwise)")
+		outCap   = flag.Int("outcap", 16, "per-output occupancy cap for shared-capped")
+		group    = flag.Int("group", 4, "block size for block-crosspoint")
+		speedup  = flag.Int("speedup", 2, "internal speedup for the speedup fabric")
+		sched    = flag.String("sched", "islip", "VOQ scheduler: islip|pim|2drr")
+		slots    = flag.Int64("slots", 500_000, "measured slots")
+		warmup   = flag.Int64("warmup", 0, "warm-up slots (default slots/10)")
+		seed     = flag.Uint64("seed", 1, "PRNG seed")
+		sweep    = flag.Bool("sweep", false, "sweep load 0.1..0.95 instead of a single point")
+	)
+	flag.Parse()
+	if *warmup == 0 {
+		*warmup = *slots / 10
+	}
+
+	build := func() pipemem.Arch {
+		switch *arch {
+		case "input-fifo":
+			return pipemem.NewInputFIFO(*n, *buf)
+		case "voq":
+			return pipemem.NewVOQ(*n, *buf, *sched)
+		case "output":
+			return pipemem.NewOutputQueue(*n, *buf)
+		case "shared":
+			return pipemem.NewSharedBufferArch(*n, *buf)
+		case "shared-capped":
+			return pipemem.NewCappedSharedBufferArch(*n, *buf, *outCap)
+		case "crosspoint":
+			return pipemem.NewCrosspoint(*n, *buf)
+		case "block-crosspoint":
+			return pipemem.NewBlockCrosspoint(*n, *group, *buf)
+		case "smoothing":
+			return pipemem.NewInputSmoothing(*n, *buf)
+		case "speedup":
+			return pipemem.NewSpeedupFabric(*n, *buf, *buf, *speedup)
+		default:
+			fmt.Fprintf(os.Stderr, "pmsim: unknown architecture %q\n", *arch)
+			os.Exit(2)
+			return nil
+		}
+	}
+
+	run := func(p float64) {
+		cfg := pipemem.TrafficConfig{Kind: pipemem.Bernoulli, N: *n, Load: p, Seed: *seed}
+		switch {
+		case *saturate:
+			cfg.Kind = pipemem.Saturation
+		case *bursty > 0:
+			cfg.Kind = pipemem.Bursty
+			cfg.BurstLen = *bursty
+		case *hotFrac > 0:
+			cfg.Kind = pipemem.Hotspot
+			cfg.HotFrac = *hotFrac
+		}
+		g, err := pipemem.NewGenerator(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmsim:", err)
+			os.Exit(1)
+		}
+		res := pipemem.RunArch(build(), g, *warmup, *slots)
+		fmt.Printf("load=%.2f  %s\n", p, res)
+	}
+
+	if *sweep {
+		for _, p := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
+			run(p)
+		}
+		return
+	}
+	run(*load)
+}

@@ -1,0 +1,181 @@
+package pipemem_test
+
+import (
+	"fmt"
+	"log"
+
+	"pipemem"
+)
+
+// Example builds the Telegraphos III-sized switch, pushes admissible
+// full-rate traffic through it, and prints the invariants the paper
+// promises: full utilization, zero loss, 2-cycle cut-through.
+func Example() {
+	sw, err := pipemem.New(pipemem.Config{
+		Ports: 8, WordBits: 16, Cells: 256, CutThrough: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := pipemem.NewCellStream(pipemem.TrafficConfig{
+		Kind: pipemem.Permutation, N: 8, Load: 1, Seed: 1,
+	}, sw.Config().Stages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pipemem.RunTraffic(sw, stream, 50_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("utilization: %.2f\n", res.Utilization)
+	fmt.Printf("dropped: %d, corrupt: %d\n", res.Dropped, res.Corrupt)
+	fmt.Printf("min cut-through latency: %d cycles\n", res.MinCutLatency)
+	// Output:
+	// utilization: 1.00
+	// dropped: 0, corrupt: 0
+	// min cut-through latency: 2 cycles
+}
+
+// ExampleStaggeredInitiationDelay reproduces §3.4's worked example: at
+// 40% load the one-wave-per-cycle restriction costs about a tenth of a
+// clock cycle.
+func ExampleStaggeredInitiationDelay() {
+	for _, p := range []float64{0.2, 0.4, 0.8} {
+		fmt.Printf("p=%.1f: %.4f cycles\n", p, pipemem.StaggeredInitiationDelay(p, 1_000_000))
+	}
+	// Output:
+	// p=0.2: 0.0500 cycles
+	// p=0.4: 0.1000 cycles
+	// p=0.8: 0.2000 cycles
+}
+
+// ExampleQuantum shows the §3.5 packet-size-quantum arithmetic for the
+// Telegraphos III geometry.
+func ExampleQuantum() {
+	q := pipemem.Quantum{Links: 8, WordBits: 16}
+	fmt.Printf("%d words = %d bits = %d bytes\n", q.Words(), q.Bits(), q.Bytes())
+	fmt.Printf("aggregate at 16 ns: %.0f Gb/s\n", pipemem.AggregateGbps(q.Bits(), 16))
+	// Output:
+	// 16 words = 256 bits = 32 bytes
+	// aggregate at 16 ns: 16 Gb/s
+}
+
+// ExampleHOLSaturation prints the [KaHM87] head-of-line limits quoted in
+// §2.1.
+func ExampleHOLSaturation() {
+	for _, n := range []int{2, 8, 1024} {
+		fmt.Printf("n=%d: %.4f\n", n, pipemem.HOLSaturation(n))
+	}
+	// Output:
+	// n=2: 0.7500
+	// n=8: 0.6184
+	// n=1024: 0.5858
+}
+
+// ExampleTelegraphosIII prints the §4.4 prototype's derived
+// specifications.
+func ExampleTelegraphosIII() {
+	m := pipemem.TelegraphosIII()
+	fmt.Printf("%.0f Mb/s per link worst case\n", m.LinkMbps())
+	fmt.Printf("%.0f Kbit buffer, %d-byte packets\n", m.BufferKbit(), m.PacketBytes())
+	// Output:
+	// 1000 Mb/s per link worst case
+	// 64 Kbit buffer, 32-byte packets
+}
+
+// ExampleNewSegmenter pushes a 3-quantum packet through the switch via
+// the §3.5 segmentation layer.
+func ExampleNewSegmenter() {
+	sw, err := pipemem.New(pipemem.Config{Ports: 2, WordBits: 16, Cells: 16, CutThrough: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := sw.Config().Stages
+	seg := pipemem.NewSegmenter(2, k, 16)
+	rea := pipemem.NewReassembler(k)
+
+	pkt := &pipemem.Packet{ID: 1, Src: 0, Dst: 1, Words: make([]pipemem.Word, 3*k)}
+	for i := range pkt.Words {
+		pkt.Words[i] = pipemem.Word(i)
+	}
+	cells, err := seg.Offer(pkt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rea.Expect(pkt, 1)
+
+	busy := 0
+	for cyc := 0; cyc < 20*k; cyc++ {
+		var heads []*pipemem.Cell
+		if busy > 0 {
+			busy--
+		} else if c := seg.Next(0); c != nil {
+			heads = []*pipemem.Cell{c, nil}
+			busy = k - 1
+		}
+		sw.Tick(heads)
+		for _, d := range sw.Drain() {
+			if err := rea.Accept(d); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for _, done := range rea.Drain() {
+		fmt.Printf("packet %d: %d cells, reassembled on output %d\n",
+			done.Packet.ID, cells, done.Output)
+	}
+	// Output:
+	// packet 1: 3 cells, reassembled on output 1
+}
+
+// ExampleNewFabric composes pipelined-memory switches into a 16-terminal
+// butterfly with credit flow control and sends one cell across it.
+func ExampleNewFabric() {
+	f, err := pipemem.NewFabric(pipemem.FabricConfig{
+		Terminals: 16, Radix: 2, WordBits: 16,
+		SwitchCells: 16, Credits: 2, CutThrough: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f.Inject(3, 12, 1) // terminal 3 → terminal 12
+	for i := 0; i < 200; i++ {
+		if err := f.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("delivered %d cell(s) across %d hops, head latency %d cycles\n",
+		f.Delivered(), 4, f.Latency().Quantile(0))
+	// Output:
+	// delivered 1 cell(s) across 4 hops, head latency 11 cycles
+}
+
+// ExampleSwitch_SetVCGate shows VC-level flow control: VC 0 is stalled,
+// VC 1 keeps flowing on the same output link.
+func ExampleSwitch_SetVCGate() {
+	sw, err := pipemem.New(pipemem.Config{
+		Ports: 2, WordBits: 16, Cells: 16, CutThrough: true, VCs: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw.SetVCGate(func(out, vc int) bool { return vc != 0 }) // VC 0 has no credit
+	k := sw.Config().Stages
+
+	mk := func(seq uint64, src, vc int) *pipemem.Cell {
+		c := pipemem.NewCell(seq, src, 0, k, 16)
+		c.VC = vc
+		return c
+	}
+	sw.Tick([]*pipemem.Cell{mk(1, 0, 0), mk(2, 1, 1)})
+	for i := 0; i < 8*k; i++ {
+		sw.Tick(nil)
+	}
+	for _, d := range sw.Drain() {
+		fmt.Printf("departed: cell %d on VC %d\n", d.Cell.Seq, d.VC)
+	}
+	fmt.Printf("parked for output 0: %d cell(s)\n", sw.QueuedFor(0))
+	// Output:
+	// departed: cell 2 on VC 1
+	// parked for output 0: 1 cell(s)
+}

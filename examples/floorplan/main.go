@@ -1,0 +1,54 @@
+// Floorplan comparison: the §5 silicon-cost arguments, computed for a
+// switch geometry of your choosing. Shows why the paper concludes that
+// shared buffering — implemented as a pipelined memory — is the
+// architecture of choice.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pipemem"
+)
+
+func main() {
+	n := flag.Int("n", 8, "switch ports (n×n)")
+	w := flag.Int("w", 16, "link width in bits")
+	banks := flag.Int("banks", 256, "PRIZMA bank count M for the §5.3 comparison")
+	flag.Parse()
+
+	fmt.Printf("== %d×%d switch, %d-bit links ==\n\n", *n, *n, *w)
+
+	// §3.5: the packet-size quantum this geometry implies.
+	q := pipemem.Quantum{Links: *n, WordBits: *w}
+	h := pipemem.Quantum{Links: *n, WordBits: *w, Halved: true}
+	fmt.Printf("packet-size quantum: %d words = %d bytes (half-quantum: %d bytes)\n",
+		q.Words(), q.Bytes(), h.Bytes())
+	fmt.Printf("aggregate buffer throughput at 5 ns/cycle: %.1f Gb/s\n\n",
+		pipemem.AggregateGbps(q.Bits(), 5))
+
+	// §5.2: peripheral circuitry, pipelined vs wide.
+	m := pipemem.DefaultAreaModel()
+	cmp := m.ComparePeriphery(*n, pipemem.TechES2u10)
+	fmt.Printf("peripheral circuitry (1.0 µm full custom):\n")
+	fmt.Printf("  pipelined memory: %5.2f mm²\n", cmp.PipelinedMm2)
+	fmt.Printf("  wide memory:      %5.2f mm²  (double input buffering + per-output\n", cmp.WideMm2)
+	fmt.Printf("                              rows + cut-through crossbar)\n")
+	fmt.Printf("  pipelined saving: %.0f%%\n\n", cmp.Saving*100)
+
+	// §5.1 / fig. 9: shared vs input buffering at equal loss ([HlKa88]
+	// capacities, scaled linearly from the 16×16 operating point).
+	perInput, sharedTotal := 80, 86
+	c := pipemem.CompareInputVsShared(*n, *w, perInput, sharedTotal)
+	fmt.Printf("shared vs (non-FIFO) input buffering at equal loss (≤1e-3 @ load 0.8):\n")
+	fmt.Printf("  equal width 2nw = %d bit-cells\n", c.WidthShared)
+	fmt.Printf("  array heights: input %d rows vs shared %d rows (H_s ≪ H_i)\n", c.HInputRows, c.HSharedRows)
+	fmt.Printf("  crossbar-class blocks: %d vs %d\n", c.CrossbarBlocksInput, c.CrossbarBlocksShared)
+	fmt.Printf("  total area advantage for shared buffering: %.2f×\n\n", c.Advantage())
+
+	// §5.3: PRIZMA.
+	fmt.Printf("PRIZMA-style interleaved buffer with M = %d one-cell banks:\n", *banks)
+	fmt.Printf("  router/selector crossbars cost %.0f× the pipelined memory's\n",
+		pipemem.PrizmaCrossbarRatio(*n, *banks))
+	fmt.Printf("  (n×M versus n×2n crosspoints)\n")
+}

@@ -1,0 +1,240 @@
+package pipemem
+
+import (
+	"fmt"
+
+	"pipemem/internal/area"
+	"pipemem/internal/clos"
+	"pipemem/internal/core"
+	"pipemem/internal/fabric"
+	"pipemem/internal/traffic"
+	"pipemem/internal/wormhole"
+)
+
+// ExtensionExperiments returns experiments beyond the paper's published
+// evaluation: the §4.3 optimizations the authors describe for "future
+// very-high-speed IC technologies" but did not measure, and the §2 claim
+// that the switch composes into multistage fabrics. They are reported
+// separately from E1–E14 because the paper gives no numbers to compare
+// against — the checks are the paper's qualitative predictions.
+func ExtensionExperiments() []Experiment {
+	return []Experiment{
+		{"X1", "Link pipelining (§4.3): +2R latency, logic unaffected", "§4.3", X1LinkPipelining},
+		{"X2", "Critical-path timing: fig. 7a/7b, wide memory, bit-line split", "§4.2–§4.4", X2Timing},
+		{"X3", "Multistage fabric of pipelined-memory switches", "§1/§2", X3Fabric},
+		{"X4", "Clos network of pipelined-memory switches: middle-stage sizing", "§1/§2", X4Clos},
+	}
+}
+
+// X1LinkPipelining verifies the first §4.3 optimization on the RTL model:
+// splitting the link wires into R pipeline stages each delays all data by
+// equal amounts ("the logic of the switch operation remains unaffected")
+// — exactly +2R cycles of latency, identical throughput, zero loss.
+func X1LinkPipelining(s Scale) (ExpResult, error) {
+	res := ExpResult{ID: "X1", Title: "Link pipelining", Ref: "§4.3"}
+	cycles := s.slots(30_000, 200_000)
+	base := int64(-1)
+	for _, r := range []int{0, 1, 2, 4} {
+		sw, err := core.New(core.Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true, LinkPipeline: r})
+		if err != nil {
+			return res, err
+		}
+		cs, err := traffic.NewCellStream(traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 9009}, sw.Config().Stages)
+		if err != nil {
+			return res, err
+		}
+		rr, err := core.RunTraffic(sw, cs, cycles)
+		if err != nil {
+			return res, err
+		}
+		if r == 0 {
+			base = rr.MinCutLatency
+		}
+		res.Rows = append(res.Rows, ExpRow{
+			Label:    fmt.Sprintf("R=%d: min latency / util / drops", r),
+			Paper:    fmt.Sprintf("base+%d cycles / unchanged / 0", 2*r),
+			Measured: fmt.Sprintf("%d / %.3f / %d", rr.MinCutLatency, rr.Utilization, rr.Dropped),
+			OK:       rr.MinCutLatency == base+int64(2*r) && rr.Utilization > 0.98 && rr.Dropped == 0,
+		})
+	}
+	res.Notes = "the paper predicts the delays only re-time the waves; the RTL confirms +2R with full-rate operation preserved"
+	return res, nil
+}
+
+// X2Timing exercises the critical-path model: the fig. 7b register beats
+// the fig. 7a decoder, short pipelined word lines beat the wide memory's,
+// and bit-line splitting trades one latency cycle for a faster clock —
+// with the §4.2/§4.4 published clock periods as anchors.
+func X2Timing(Scale) (ExpResult, error) {
+	res := ExpResult{ID: "X2", Title: "Critical-path timing", Ref: "§4.2–§4.4"}
+	t3 := area.TelegraphosIIITiming()
+	t2 := area.TelegraphosIITiming()
+	fig7a := area.StageTiming{WordlineBits: 16, Addr: area.Decoder}
+	wide := area.WideMemoryTiming(8, 16)
+	split := t3
+	split.SplitBitlines = true
+	res.Rows = []ExpRow{
+		{
+			Label:    "T3 stage (fig. 7b, full custom) worst/typical",
+			Paper:    "16 / 10 ns (§4.4)",
+			Measured: fmt.Sprintf("%.1f / %.1f ns", t3.CycleNsWorst(), t3.CycleNsTypical()),
+			OK:       within(t3.CycleNsWorst(), 16, 0.01) && within(t3.CycleNsTypical(), 10, 0.01),
+		},
+		{
+			Label:    "T2 stage (std-cell)",
+			Paper:    "40 ns (§4.2)",
+			Measured: fmt.Sprintf("%.1f ns", t2.CycleNsWorst()),
+			OK:       within(t2.CycleNsWorst(), 40, 0.01),
+		},
+		{
+			Label:    "fig. 7b vs fig. 7a",
+			Paper:    "register faster than decoder",
+			Measured: fmt.Sprintf("%.2f vs %.2f ns", t3.CycleNsWorst(), fig7a.CycleNsWorst()),
+			OK:       t3.CycleNsWorst() < fig7a.CycleNsWorst(),
+		},
+		{
+			Label:    "pipelined vs wide word lines (n=8)",
+			Paper:    "pipelined faster (§3.2ii, §4.3)",
+			Measured: fmt.Sprintf("%.2f vs %.2f ns", fig7a.CycleNsWorst(), wide.CycleNsWorst()),
+			OK:       fig7a.CycleNsWorst() < wide.CycleNsWorst(),
+		},
+		{
+			Label:    "bit-line splitting",
+			Paper:    "faster clock, +1 latency cycle",
+			Measured: fmt.Sprintf("%.1f ns, +%d cycle", split.CycleNsWorst(), split.ExtraLatencyCycles()),
+			OK:       split.CycleNsWorst() < t3.CycleNsWorst() && split.ExtraLatencyCycles() == 1,
+		},
+	}
+	return res, nil
+}
+
+// X3Fabric composes the switch into a 64-terminal butterfly and contrasts
+// it with the input-FIFO wormhole fabric of E2 on the same topology:
+// lossless (credits), chained cut-through latency, and roughly double the
+// saturation throughput.
+func X3Fabric(s Scale) (ExpResult, error) {
+	res := ExpResult{ID: "X3", Title: "Multistage fabric", Ref: "§1/§2"}
+	warm, meas := s.slots(5_000, 20_000), s.slots(30_000, 150_000)
+	f, err := fabric.New(fabric.Config{Terminals: 64, Radix: 2, WordBits: 16, SwitchCells: 32, Credits: 4, CutThrough: true})
+	if err != nil {
+		return res, err
+	}
+	fres, err := fabric.Run(f, traffic.Config{Kind: traffic.Saturation, Seed: 2121}, warm, meas)
+	if err != nil {
+		return res, err
+	}
+	w, err := wormhole.New(wormhole.Config{Terminals: 64, BufferFlits: 16, MsgFlits: 20, Saturate: true, Seed: 2121})
+	if err != nil {
+		return res, err
+	}
+	wres, err := wormhole.Run(w, warm, meas)
+	if err != nil {
+		return res, err
+	}
+	// Light-load latency for chained cut-through.
+	fl, err := fabric.New(fabric.Config{Terminals: 64, Radix: 2, WordBits: 16, SwitchCells: 32, Credits: 4, CutThrough: true})
+	if err != nil {
+		return res, err
+	}
+	lres, err := fabric.Run(fl, traffic.Config{Kind: traffic.Bernoulli, Load: 0.05, Seed: 2122}, warm, meas)
+	if err != nil {
+		return res, err
+	}
+	// Sub-saturation losslessness end to end.
+	f05, err := fabric.New(fabric.Config{Terminals: 64, Radix: 2, WordBits: 16, SwitchCells: 32, Credits: 4, CutThrough: true})
+	if err != nil {
+		return res, err
+	}
+	lres05, err := fabric.Run(f05, traffic.Config{Kind: traffic.Bernoulli, Load: 0.5, Seed: 2123}, warm, meas)
+	if err != nil {
+		return res, err
+	}
+	stages := 6
+	res.Rows = []ExpRow{
+		{
+			Label:    "saturation throughput: shared-buffer vs wormhole nodes",
+			Paper:    "shared buffering performs best (§2)",
+			Measured: fmt.Sprintf("%.3f vs %.3f", fres.Throughput, wres.Throughput),
+			OK:       fres.Throughput > wres.Throughput+0.15,
+		},
+		{
+			Label:    "credit-protected interior links: drops / corrupt",
+			Paper:    "0 / 0 even at saturation ([KVES95] flow control)",
+			Measured: fmt.Sprintf("%d / %d (terminal-side backpressure drops: %d)", fres.InteriorDrops, fres.Corrupt, fres.Drops),
+			OK:       fres.InteriorDrops == 0 && fres.Corrupt == 0,
+		},
+		{
+			Label:    "end-to-end loss at offered load 0.5",
+			Paper:    "0 (fabric below saturation)",
+			Measured: fmt.Sprintf("%d drops", lres05.Drops),
+			OK:       lres05.Drops == 0,
+		},
+		{
+			Label:    "light-load head latency across 6 stages",
+			Paper:    "≈3 cycles/hop (chained cut-through)",
+			Measured: fmt.Sprintf("min %d, mean %.1f cycles", lres.MinLatency, lres.MeanLatency),
+			OK:       lres.MinLatency <= int64(stages*3) && lres.MeanLatency < float64(stages*(2+2*2)),
+		},
+	}
+	res.Notes = "same butterfly topology as E2's wormhole substitute; only the node architecture changes"
+	return res, nil
+}
+
+// X4Clos composes the switch into a three-stage Clos network and sweeps
+// the populated middle-stage count — the classic sizing curve: throughput
+// grows with middles until the stage stops being the bottleneck, while
+// credit-protected interior links stay lossless and round-robin middle
+// selection balances the load.
+func X4Clos(s Scale) (ExpResult, error) {
+	res := ExpResult{ID: "X4", Title: "Clos middle-stage sizing", Ref: "§1/§2"}
+	warm, meas := s.slots(5_000, 20_000), s.slots(40_000, 200_000)
+	const radix = 4
+	var prev float64
+	for _, m := range []int{1, 2, 3, 4} {
+		f, err := clos.New(clos.Config{Radix: radix, Middles: m, WordBits: 16, SwitchCells: 32, Credits: 4, CutThrough: true})
+		if err != nil {
+			return res, err
+		}
+		r, err := clos.Run(f, traffic.Config{Kind: traffic.Saturation, Seed: 3131}, warm, meas)
+		if err != nil {
+			return res, err
+		}
+		ok := r.InteriorDrops == 0 && r.Corrupt == 0 && (m == 1 || r.Throughput > prev)
+		if m == 1 {
+			ok = ok && r.Throughput < 0.35 // bottlenecked near 1/4
+		}
+		res.Rows = append(res.Rows, ExpRow{
+			Label:    fmt.Sprintf("m=%d of %d middles: saturation throughput", m, radix),
+			Paper:    "grows toward full capacity with m",
+			Measured: fmt.Sprintf("%.3f (interior drops %d)", r.Throughput, r.InteriorDrops),
+			OK:       ok,
+		})
+		prev = r.Throughput
+	}
+	// Load balance at full middle stage.
+	f, err := clos.New(clos.Config{Radix: radix, WordBits: 16, SwitchCells: 32, Credits: 4, CutThrough: true})
+	if err != nil {
+		return res, err
+	}
+	if _, err := clos.Run(f, traffic.Config{Kind: traffic.Bernoulli, Load: 0.5, Seed: 3132}, warm, meas); err != nil {
+		return res, err
+	}
+	loads := f.MiddleLoad()
+	var lo, hi int64 = 1 << 62, 0
+	for _, l := range loads {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	res.Rows = append(res.Rows, ExpRow{
+		Label:    "round-robin middle selection balance (min/max cells)",
+		Paper:    "even split across middles",
+		Measured: fmt.Sprintf("%d / %d", lo, hi),
+		OK:       hi > 0 && float64(hi-lo)/float64(hi) < 0.05,
+	})
+	res.Notes = "16-terminal C(4,4,4); saturation at m=4 is limited by uniform-traffic contention, not the middle stage"
+	return res, nil
+}

@@ -1,0 +1,3 @@
+module pipemem
+
+go 1.22

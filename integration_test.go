@@ -1,0 +1,172 @@
+package pipemem
+
+// Cross-organization integration tests: the three shared-buffer RTL
+// models (pipelined, wide, PRIZMA-interleaved) are driven with the SAME
+// offered cell sequence and must agree on what they deliver, while their
+// latencies order exactly as §3–§5 argue.
+
+import (
+	"testing"
+)
+
+// offeredSchedule builds a deterministic head schedule all three models
+// can consume (they share cell size K = 2n).
+type arrivalEvent struct {
+	cellTime int
+	input    int
+	dst      int
+}
+
+func buildSchedule(n, cellTimes int) []arrivalEvent {
+	var ev []arrivalEvent
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(mod int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(mod))
+	}
+	for ct := 0; ct < cellTimes; ct++ {
+		for i := 0; i < n; i++ {
+			if next(10) < 5 { // ~50% load
+				ev = append(ev, arrivalEvent{cellTime: ct, input: i, dst: next(n)})
+			}
+		}
+	}
+	return ev
+}
+
+// deliverySet runs one organization over the schedule and returns
+// seq → headOut-headIn latency for every delivered cell.
+func deliverySet(t *testing.T, org string, n int, events []arrivalEvent, cellTimes int) map[uint64]int64 {
+	t.Helper()
+	k := 2 * n
+	var tick func(heads []*Cell)
+	var drain func() []Departure
+
+	switch org {
+	case "pipelined":
+		sw, err := New(Config{Ports: n, WordBits: 16, Cells: 4 * n * 4, CutThrough: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tick = sw.Tick
+		drain = sw.Drain
+	case "wide":
+		sw, err := NewWide(WideConfig{Ports: n, WordBits: 16, Cells: 4 * n * 4, CutThroughCrossbar: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tick = sw.Tick
+		drain = func() []Departure {
+			var out []Departure
+			for _, d := range sw.Drain() {
+				out = append(out, Departure{Cell: d.Cell, Expected: d.Expected, Output: d.Output,
+					HeadIn: d.HeadIn, HeadOut: d.HeadOut, TailOut: d.TailOut})
+			}
+			return out
+		}
+	case "prizma":
+		sw, err := NewPrizma(PrizmaConfig{Ports: n, Banks: 4 * n * 4, WordBits: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tick = sw.Tick
+		drain = func() []Departure {
+			var out []Departure
+			for _, d := range sw.Drain() {
+				out = append(out, Departure{Cell: d.Cell, Expected: d.Expected, Output: d.Output,
+					HeadIn: d.HeadIn, HeadOut: d.HeadOut, TailOut: d.TailOut})
+			}
+			return out
+		}
+	default:
+		t.Fatalf("unknown organization %q", org)
+	}
+
+	idx := 0
+	got := map[uint64]int64{}
+	var seq uint64
+	seqOf := map[[3]int]uint64{} // (cellTime,input,dst) → seq for cross-model identity
+	totalCycles := (cellTimes + 8*n*4) * k
+	for cyc := 0; cyc < totalCycles; cyc++ {
+		var heads []*Cell
+		if cyc%k == 0 {
+			ct := cyc / k
+			for idx < len(events) && events[idx].cellTime == ct {
+				e := events[idx]
+				key := [3]int{e.cellTime, e.input, e.dst}
+				s, ok := seqOf[key]
+				if !ok {
+					seq++
+					s = seq
+					seqOf[key] = s
+				}
+				if heads == nil {
+					heads = make([]*Cell, n)
+				}
+				heads[e.input] = NewCell(s, e.input, e.dst, k, 16)
+				idx++
+			}
+		}
+		tick(heads)
+		for _, d := range drain() {
+			if !d.Cell.Equal(d.Expected) {
+				t.Fatalf("%s: corruption", org)
+			}
+			got[d.Cell.Seq] = d.HeadOut - d.HeadIn
+		}
+	}
+	return got
+}
+
+// TestOrganizationsAgreeOnDelivery: identical offered cells, identical
+// delivered sets — the three organizations are functionally equivalent
+// switches (§3.2's starting point), differing only in cost and timing.
+func TestOrganizationsAgreeOnDelivery(t *testing.T) {
+	const n, cellTimes = 4, 400
+	events := buildSchedule(n, cellTimes)
+	pip := deliverySet(t, "pipelined", n, events, cellTimes)
+	wide := deliverySet(t, "wide", n, events, cellTimes)
+	prz := deliverySet(t, "prizma", n, events, cellTimes)
+	if len(pip) == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if len(pip) != len(wide) || len(pip) != len(prz) {
+		t.Fatalf("delivery counts disagree: pipelined %d, wide %d, prizma %d",
+			len(pip), len(wide), len(prz))
+	}
+	for seqn := range pip {
+		if _, ok := wide[seqn]; !ok {
+			t.Fatalf("wide lost cell %d", seqn)
+		}
+		if _, ok := prz[seqn]; !ok {
+			t.Fatalf("prizma lost cell %d", seqn)
+		}
+	}
+}
+
+// TestOrganizationsLatencyOrdering: with cut-through the pipelined memory
+// beats both store-and-forward organizations on mean head latency —
+// §3.3's free cut-through made quantitative.
+func TestOrganizationsLatencyOrdering(t *testing.T) {
+	const n, cellTimes = 4, 400
+	events := buildSchedule(n, cellTimes)
+	mean := func(m map[uint64]int64) float64 {
+		var s float64
+		for _, v := range m {
+			s += float64(v)
+		}
+		return s / float64(len(m))
+	}
+	pip := mean(deliverySet(t, "pipelined", n, events, cellTimes))
+	wide := mean(deliverySet(t, "wide", n, events, cellTimes))
+	prz := mean(deliverySet(t, "prizma", n, events, cellTimes))
+	k := float64(2 * n)
+	if pip >= wide-k/2 {
+		t.Fatalf("pipelined CT (%.1f) not clearly below wide SF (%.1f)", pip, wide)
+	}
+	if pip >= prz-k/2 {
+		t.Fatalf("pipelined CT (%.1f) not clearly below prizma SF (%.1f)", pip, prz)
+	}
+}

@@ -1,0 +1,144 @@
+// Package analytic collects the closed-form results the paper quotes or
+// derives, so simulations can be validated against theory:
+//
+//   - the head-of-line saturation throughput of input queueing ([KaHM87],
+//     quoted in §2.1 as "about 60%");
+//   - the output-queueing / shared-buffering mean delay (M/D/1-like form
+//     from [KaHM87]), used as the reference curve in the latency
+//     comparison of §2.2;
+//   - the staggered-initiation cut-through latency increase of §3.4,
+//     E[delay] = (p/4)·(n-1)/n clock cycles;
+//   - the packet-size-quantum and aggregate-throughput arithmetic of §3.5.
+package analytic
+
+import "math"
+
+// HOLSaturationAsymptotic is the saturation throughput of FIFO input
+// queueing as the switch size grows without bound: 2-√2 ≈ 0.586 [KaHM87].
+var HOLSaturationAsymptotic = 2 - math.Sqrt2
+
+// holTable lists the exact saturation throughputs of FIFO input queueing
+// for small switches, from Table I of [KaHM87] (fixed-size cells,
+// independent uniform destinations, random selection among HOL
+// contenders).
+var holTable = map[int]float64{
+	1: 1.0000,
+	2: 0.7500,
+	3: 0.6825,
+	4: 0.6553,
+	5: 0.6399,
+	6: 0.6302,
+	7: 0.6234,
+	8: 0.6184,
+}
+
+// HOLSaturation returns the saturation throughput of an n×n FIFO
+// input-queued switch: exact for n ≤ 8, the 2-√2 asymptote otherwise.
+func HOLSaturation(n int) float64 {
+	if v, ok := holTable[n]; ok {
+		return v
+	}
+	return HOLSaturationAsymptotic
+}
+
+// MD1Wait returns the mean waiting time (in service times) in an M/D/1
+// queue at utilization rho: rho / (2(1-rho)). It diverges as rho → 1.
+func MD1Wait(rho float64) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (2 * (1 - rho))
+}
+
+// OutputQueueWait returns the mean waiting time, in cell slots, of a cell
+// in an n×n output-queued (equivalently shared-buffer) switch with
+// Bernoulli arrivals at load p and uniform destinations — eq. (14) of
+// [KaHM87]: W = ((n-1)/n) · p / (2(1-p)). Shared buffering reaches the
+// same optimal delay with fewer total buffer bits (§2.2).
+func OutputQueueWait(n int, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return float64(n-1) / float64(n) * p / (2 * (1 - p))
+}
+
+// StaggeredInitiationDelay returns the expected cut-through latency
+// increase, in clock cycles, caused by the pipelined memory's one-wave-
+// per-cycle restriction (§3.4): (p/4)·(n-1)/n, where p is the link load
+// and n the switch fan-in. The derivation: a tagged head arriving in cycle
+// c collides with each of the other n-1 links' heads with probability
+// p/(2n) each (cells are 2n words), and each collision costs half a cycle
+// on average, so E = ½·(n-1)·p/(2n).
+func StaggeredInitiationDelay(p float64, n int) float64 {
+	return p / 4 * float64(n-1) / float64(n)
+}
+
+// SharedBufferOccupancy returns the mean steady-state occupancy, in
+// cells, of an n×n shared buffer under Bernoulli load p with uniform
+// destinations: n outputs, each an M/D/1-like queue with mean waiting
+// cells (n-1)/n · p²/(2(1-p)) plus the cell in service p. This is the
+// quantity the [HlKa88] sizing curves integrate; the shared buffer's
+// advantage is that only the SUM of the outputs' occupancies must fit.
+func SharedBufferOccupancy(n int, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	perOutput := OutputQueueWait(n, p)*p + p
+	return float64(n) * perOutput
+}
+
+// Quantum describes the §3.5 packet-size quantum of a pipelined memory
+// shared buffer.
+type Quantum struct {
+	// Links is n, the number of incoming (= outgoing) links.
+	Links int
+	// WordBits is w, the link width in bits per cycle.
+	WordBits int
+	// Halved reports whether the two-memory half-quantum organization is
+	// used (cells of n instead of 2n words).
+	Halved bool
+}
+
+// Words returns the quantum in words: 2n, or n when halved.
+func (q Quantum) Words() int {
+	if q.Halved {
+		return q.Links
+	}
+	return 2 * q.Links
+}
+
+// Bits returns the quantum (total buffer width) in bits.
+func (q Quantum) Bits() int { return q.Words() * q.WordBits }
+
+// Bytes returns the quantum in bytes, rounding up.
+func (q Quantum) Bytes() int { return (q.Bits() + 7) / 8 }
+
+// AggregateGbps returns the aggregate buffer throughput, in Gbit/s, of a
+// shared buffer of the given total width cycled every cycleNs nanoseconds:
+// one full-width access per cycle. §3.5's example: 256 to 1024 bits at
+// 5 ns give 51.2 to 204.8 Gb/s.
+func AggregateGbps(widthBits int, cycleNs float64) float64 {
+	return float64(widthBits) / cycleNs
+}
+
+// LinkGbps returns the per-link throughput, in Gbit/s, of a w-bit-per-cycle
+// link clocked every cycleNs nanoseconds. Telegraphos III: 16 bits every
+// 16 ns (worst case) → 1 Gb/s.
+func LinkGbps(wordBits int, cycleNs float64) float64 {
+	return float64(wordBits) / cycleNs
+}
+
+// LinkMbps is LinkGbps scaled to Mbit/s (Telegraphos I: 8 bits at
+// 13.3 MHz ≈ 107 Mb/s).
+func LinkMbps(wordBits int, cycleNs float64) float64 {
+	return LinkGbps(wordBits, cycleNs) * 1000
+}

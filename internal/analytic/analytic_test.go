@@ -1,0 +1,183 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHOLSaturation(t *testing.T) {
+	if got := HOLSaturation(2); got != 0.75 {
+		t.Fatalf("n=2: %v, want 0.75", got)
+	}
+	if got := HOLSaturation(8); got != 0.6184 {
+		t.Fatalf("n=8: %v", got)
+	}
+	want := 2 - math.Sqrt2
+	if got := HOLSaturation(1000); got != want {
+		t.Fatalf("asymptote: %v, want %v", got, want)
+	}
+	if math.Abs(HOLSaturationAsymptotic-0.5858) > 1e-4 {
+		t.Fatalf("asymptote constant = %v", HOLSaturationAsymptotic)
+	}
+	// Monotone decreasing toward the asymptote.
+	prev := HOLSaturation(1)
+	for n := 2; n <= 8; n++ {
+		cur := HOLSaturation(n)
+		if cur >= prev {
+			t.Fatalf("saturation not decreasing at n=%d", n)
+		}
+		prev = cur
+	}
+	if prev < HOLSaturationAsymptotic {
+		t.Fatal("n=8 value below the asymptote")
+	}
+}
+
+func TestMD1Wait(t *testing.T) {
+	if got := MD1Wait(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("rho=0.5: %v, want 0.5", got)
+	}
+	if got := MD1Wait(0); got != 0 {
+		t.Fatalf("rho=0: %v", got)
+	}
+	if !math.IsInf(MD1Wait(1), 1) {
+		t.Fatal("rho=1 must diverge")
+	}
+	// Strictly increasing in rho.
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return MD1Wait(a) < MD1Wait(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputQueueWait(t *testing.T) {
+	// Large n approaches the plain M/D/1 wait.
+	if got, want := OutputQueueWait(1_000_000, 0.8), MD1Wait(0.8); math.Abs(got-want) > 1e-5 {
+		t.Fatalf("large-n wait %v, want ≈%v", got, want)
+	}
+	// The paper's §2.2 latency-comparison regime, loads 0.6–0.9, must be
+	// finite and increasing.
+	prev := 0.0
+	for _, p := range []float64{0.6, 0.7, 0.8, 0.9} {
+		w := OutputQueueWait(16, p)
+		if math.IsInf(w, 1) || w <= prev {
+			t.Fatalf("wait at p=%v is %v", p, w)
+		}
+		prev = w
+	}
+}
+
+func TestStaggeredInitiationDelay(t *testing.T) {
+	// §3.4's worked example: "for 40% load, this amounts to one tenth of
+	// a clock cycle" (with (n-1)/n ≈ 1).
+	got := StaggeredInitiationDelay(0.4, 1_000_000)
+	if math.Abs(got-0.1) > 1e-6 {
+		t.Fatalf("p=0.4 large n: %v, want 0.1", got)
+	}
+	// Exact form for a finite switch.
+	if got := StaggeredInitiationDelay(0.8, 8); math.Abs(got-0.8/4*7/8) > 1e-12 {
+		t.Fatalf("p=0.8 n=8: %v", got)
+	}
+	// Zero load → zero delay; delay < 0.25 cycles always (p ≤ 1).
+	if StaggeredInitiationDelay(0, 8) != 0 {
+		t.Fatal("zero load should cost nothing")
+	}
+	f := func(pRaw float64, nRaw uint8) bool {
+		p := math.Abs(math.Mod(pRaw, 1))
+		n := 2 + int(nRaw%62)
+		d := StaggeredInitiationDelay(p, n)
+		return d >= 0 && d < 0.25
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantum(t *testing.T) {
+	// Telegraphos III: 8 links, 16-bit words → 16 stages, 256-bit cells.
+	q := Quantum{Links: 8, WordBits: 16}
+	if q.Words() != 16 || q.Bits() != 256 || q.Bytes() != 32 {
+		t.Fatalf("T3 quantum: words=%d bits=%d bytes=%d", q.Words(), q.Bits(), q.Bytes())
+	}
+	// Half-quantum organization: cells of n words (§3.5).
+	h := Quantum{Links: 8, WordBits: 16, Halved: true}
+	if h.Words() != 8 || h.Bits() != 128 {
+		t.Fatalf("halved quantum: words=%d bits=%d", h.Words(), h.Bits())
+	}
+	// §3.5's scaling example: quantum 32–64 bytes ↔ widths 256–1024 bits
+	// for 16 links. 16 links × 2 × 16-bit words = 512 bits = 64 bytes;
+	// halved gives 32 bytes.
+	q16 := Quantum{Links: 16, WordBits: 16}
+	if q16.Bytes() != 64 {
+		t.Fatalf("16-link quantum = %d bytes, want 64", q16.Bytes())
+	}
+	if (Quantum{Links: 16, WordBits: 16, Halved: true}).Bytes() != 32 {
+		t.Fatal("halved 16-link quantum should be 32 bytes")
+	}
+}
+
+func TestThroughputArithmetic(t *testing.T) {
+	// §3.5: buffer widths of 256 to 1024 bits at 5 ns → 50 to 200 Gb/s.
+	if got := AggregateGbps(256, 5); math.Abs(got-51.2) > 1e-9 {
+		t.Fatalf("256b/5ns: %v Gb/s", got)
+	}
+	if got := AggregateGbps(1024, 5); math.Abs(got-204.8) > 1e-9 {
+		t.Fatalf("1024b/5ns: %v Gb/s", got)
+	}
+	// Telegraphos III link: 16 bits / 16 ns = 1 Gb/s worst case; typical
+	// 10 ns → 1.6 Gb/s.
+	if got := LinkGbps(16, 16); got != 1.0 {
+		t.Fatalf("T3 worst-case link: %v Gb/s", got)
+	}
+	if got := LinkGbps(16, 10); got != 1.6 {
+		t.Fatalf("T3 typical link: %v Gb/s", got)
+	}
+	// Telegraphos I link: 8 bits at 13.3 MHz (75.19 ns) ≈ 107 Mb/s.
+	cycleNs := 1000.0 / 13.3
+	if got := LinkMbps(8, cycleNs); math.Abs(got-106.4) > 0.5 {
+		t.Fatalf("T1 link: %v Mb/s, want ≈106.4", got)
+	}
+	// Telegraphos II link: 16 bits / 40 ns = 400 Mb/s.
+	if got := LinkMbps(16, 40); got != 400 {
+		t.Fatalf("T2 link: %v Mb/s", got)
+	}
+}
+
+func TestSharedBufferOccupancy(t *testing.T) {
+	if SharedBufferOccupancy(16, 0) != 0 {
+		t.Fatal("zero load should be empty")
+	}
+	if !math.IsInf(SharedBufferOccupancy(16, 1), 1) {
+		t.Fatal("critical load must diverge")
+	}
+	// The [HlKa88] operating point: 16×16 at p = 0.8 → mean occupancy
+	// 16·(0.8 + 0.8·1.875) = 36.8 cells — comfortably under the 86-cell
+	// buffer that achieves 1e-3 loss, as it must be.
+	got := SharedBufferOccupancy(16, 0.8)
+	want := 16 * (0.8 + 0.8*OutputQueueWait(16, 0.8))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("occupancy %v, want %v", got, want)
+	}
+	if got < 30 || got > 45 {
+		t.Fatalf("occupancy %v implausible for the HlKa88 point", got)
+	}
+	// Monotone in p.
+	prev := 0.0
+	for _, p := range []float64{0.2, 0.4, 0.6, 0.8, 0.9} {
+		v := SharedBufferOccupancy(16, p)
+		if v <= prev {
+			t.Fatalf("not monotone at p=%v", p)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,53 @@
+package arb
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchRequests(n int, p float64) [][]bool {
+	rng := rand.New(rand.NewPCG(1, 1))
+	return randomRequests(rng, n, p)
+}
+
+func BenchmarkRoundRobinPick(b *testing.B) {
+	var rr RoundRobin
+	req := make([]bool, 16)
+	for i := range req {
+		req[i] = i%3 == 0
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rr.Pick(req)
+	}
+}
+
+func BenchmarkISLIP16(b *testing.B) {
+	s := NewISLIP(16, 4)
+	req := benchRequests(16, 0.5)
+	match := make([]int, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Match(req, match)
+	}
+}
+
+func BenchmarkPIM16(b *testing.B) {
+	p := NewPIM(4, 2)
+	req := benchRequests(16, 0.5)
+	match := make([]int, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Match(req, match)
+	}
+}
+
+func BenchmarkTwoDRR16(b *testing.B) {
+	m := NewTwoDRR()
+	req := benchRequests(16, 0.5)
+	match := make([]int, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Match(req, match)
+	}
+}

@@ -1,0 +1,70 @@
+package area
+
+import "fmt"
+
+// FPGAPartition models the §4.1 Telegraphos I implementation breakdown:
+// how the pipelined-memory shared buffer of a 4×4 switch was split across
+// discrete parts — one SRAM chip per pipeline stage, the arbitration and
+// stage-0 control in a small FPGA, and the peripheral datapath bit-sliced
+// across four larger FPGAs.
+type FPGAPartition struct {
+	// SRAMChips is one per memory stage (8 for Telegraphos I).
+	SRAMChips int
+	// ControlDevice and ControlGates: the access arbitration among
+	// incoming/outgoing links plus control-signal generation for the
+	// first pipeline stage ("approximately equivalent to 500 gates" in
+	// one Xilinx 3130).
+	ControlDevice string
+	ControlGates  int
+	// SliceDevice, Slices, SliceBits, SliceGates: the peripheral
+	// circuitry (input/output registers/drivers, control pipeline
+	// registers) as a w-bit datapath cut into Slices slices of SliceBits
+	// bits, one FPGA each ("四 Xilinx 3164PC84 FPGA's, each of them
+	// containing the equivalent of 1500 gates").
+	SliceDevice string
+	Slices      int
+	SliceBits   int
+	SliceGates  int
+	// PCBSignalLayers and TraceWidthMm: the §4.1 wiring density remark
+	// (4 signal layers, 0.2 mm traces around the shared buffer).
+	PCBSignalLayers int
+	TraceWidthMm    float64
+}
+
+// TelegraphosIPartition returns the published §4.1 breakdown.
+func TelegraphosIPartition() FPGAPartition {
+	return FPGAPartition{
+		SRAMChips:       8,
+		ControlDevice:   "Xilinx 3130PC84",
+		ControlGates:    500,
+		SliceDevice:     "Xilinx 3164PC84",
+		Slices:          4,
+		SliceBits:       2,
+		SliceGates:      1500,
+		PCBSignalLayers: 4,
+		TraceWidthMm:    0.2,
+	}
+}
+
+// DatapathBits returns the peripheral datapath width the slices
+// implement (Slices × SliceBits; 8 bits, matching the 8-bit links).
+func (p FPGAPartition) DatapathBits() int { return p.Slices * p.SliceBits }
+
+// TotalGates returns the FPGA logic budget (control + slices).
+func (p FPGAPartition) TotalGates() int {
+	return p.ControlGates + p.Slices*p.SliceGates
+}
+
+// GatesPerLinkBit returns peripheral gates per bit of link width — the
+// quantity that stays roughly constant when the datapath is re-sliced.
+func (p FPGAPartition) GatesPerLinkBit() float64 {
+	return float64(p.Slices*p.SliceGates) / float64(p.DatapathBits())
+}
+
+// String implements fmt.Stringer.
+func (p FPGAPartition) String() string {
+	return fmt.Sprintf("%d SRAM chips; control %s (%d gates); datapath %d×%d-bit slices in %s (%d gates each); PCB %d layers @ %.1f mm",
+		p.SRAMChips, p.ControlDevice, p.ControlGates,
+		p.Slices, p.SliceBits, p.SliceDevice, p.SliceGates,
+		p.PCBSignalLayers, p.TraceWidthMm)
+}

@@ -1,0 +1,151 @@
+package area
+
+import "fmt"
+
+// This file models the clock-cycle arithmetic of §4.2–§4.4: a first-order
+// critical-path model of one pipelined-memory (or wide-memory) stage,
+// built from the delay effects the paper names:
+//
+//   - the address source: a full address decoder (fig. 7a) or the decoded
+//     -address pipeline register of fig. 7b, which is smaller *and*
+//     faster ("oftentimes, these flip-flops are smaller and/or faster
+//     than the decoder that they replace");
+//   - the word line, whose RC delay grows superlinearly with its length —
+//     the reason "the pipelined memory has more address decoders, but
+//     shorter word lines … an advantage, since it reduces the 'RC' delay
+//     of activating the addressed word" (§4.3), and why wide memories
+//     end up split into narrower blocks anyway;
+//   - the bit line + sense path, which §4.3's last optimization halves by
+//     splitting the bit lines into pipeline stages (at the cost of one
+//     extra latency cycle, matching core.Config.LinkPipeline);
+//   - clocking margin.
+//
+// Constants are calibrated to the paper's published anchors: the fig. 7b
+// full-custom stage cycles at 16 ns worst case / 10 ns typical
+// (Telegraphos III, §4.4), and the standard-cell version at 40 ns
+// (Telegraphos II, §4.2). Orderings, not absolute extrapolations, are the
+// reproduced claims.
+
+// AddrSource selects the address path of fig. 7.
+type AddrSource int
+
+const (
+	// Decoder is the traditional per-stage address decoder (fig. 7a).
+	Decoder AddrSource = iota
+	// PipelineReg is the decoded-address pipeline register (fig. 7b).
+	PipelineReg
+)
+
+// String implements fmt.Stringer.
+func (a AddrSource) String() string {
+	if a == Decoder {
+		return "decoder (fig.7a)"
+	}
+	return "pipeline-reg (fig.7b)"
+}
+
+// StageTiming parameterizes the critical path of one memory stage.
+type StageTiming struct {
+	// WordlineBits is the stage word-line length in bit cells: w for the
+	// pipelined memory, K·w for an (unsplit) wide memory.
+	WordlineBits int
+	// Addr selects fig. 7a or fig. 7b addressing.
+	Addr AddrSource
+	// SplitBitlines applies §4.3's last optimization: bit lines split
+	// into two pipeline stages, halving the bit-line component at the
+	// cost of one extra pipeline cycle.
+	SplitBitlines bool
+	// StdCell scales all delays to the standard-cell/0.7 µm Telegraphos
+	// II style instead of 1.0 µm full custom.
+	StdCell bool
+}
+
+// Delay constants in ns, 1.0 µm full custom, worst case (4.5 V, 125 °C,
+// slow transistors, high parasitics — the §4.4 corner).
+const (
+	tPipeReg = 1.5                             // decoded-address pipeline register
+	tDecoder = tPipeReg * DecoderVsPipelineReg // the fig. 7 decoder it replaces
+	// tBitSense makes the fig. 7b full-custom stage close at exactly the
+	// §4.4 anchor: 1.5 (reg) + 0.125 (16-bit word line) + 12.375 + 2
+	// (margin) = 16 ns.
+	tBitSense = 12.375 // 256-row bit line + sense amplifier
+	tMargin   = 2.0    // clock skew/margin
+	// Word-line Elmore delay: linear + quadratic in length, normalized
+	// to the 16-bit pipelined stage.
+	tWordLin  = 0.1   // ns per 16 bits
+	tWordQuad = 0.025 // ns per (16 bits)²
+	// stdCellFactor scales full-custom worst-case delays to the 0.7 µm
+	// standard-cell flow, calibrated so the fig. 7a pipelined stage
+	// cycles at Telegraphos II's 40 ns.
+	stdCellFactor = 40.0 / (tDecoder + tWordLin + tWordQuad + tBitSense + tMargin)
+	// typicalFactor converts the worst-case corner to typical silicon
+	// (§4.4: 16 ns worst, 10 ns typical).
+	typicalFactor = 10.0 / 16.0
+)
+
+// wordline returns the word-line delay for a line of n bit cells.
+func wordline(bits int) float64 {
+	u := float64(bits) / 16
+	return tWordLin*u + tWordQuad*u*u
+}
+
+// CycleNsWorst returns the worst-case clock period of the stage.
+func (t StageTiming) CycleNsWorst() float64 {
+	addr := tPipeReg
+	if t.Addr == Decoder {
+		addr = tDecoder
+	}
+	bit := tBitSense
+	if t.SplitBitlines {
+		// Half the bit line, plus the inserted pipeline register.
+		bit = tBitSense/2 + tPipeReg
+	}
+	cycle := addr + wordline(t.WordlineBits) + bit + tMargin
+	if t.StdCell {
+		cycle *= stdCellFactor
+	}
+	return cycle
+}
+
+// CycleNsTypical returns the typical-silicon clock period.
+func (t StageTiming) CycleNsTypical() float64 {
+	return t.CycleNsWorst() * typicalFactor
+}
+
+// ExtraLatencyCycles returns the pipeline cycles the configuration adds
+// per traversal (bit-line splitting inserts one stage, §4.3).
+func (t StageTiming) ExtraLatencyCycles() int {
+	if t.SplitBitlines {
+		return 1
+	}
+	return 0
+}
+
+// String implements fmt.Stringer.
+func (t StageTiming) String() string {
+	style := "full-custom"
+	if t.StdCell {
+		style = "std-cell"
+	}
+	return fmt.Sprintf("%d-bit wordline, %v, split=%v, %s: %.1f ns worst / %.1f ns typical",
+		t.WordlineBits, t.Addr, t.SplitBitlines, style, t.CycleNsWorst(), t.CycleNsTypical())
+}
+
+// TelegraphosIIITiming returns the §4.4 configuration: fig. 7b pipelined
+// stage, 16-bit word lines, full custom — 16 ns worst / 10 ns typical.
+func TelegraphosIIITiming() StageTiming {
+	return StageTiming{WordlineBits: 16, Addr: PipelineReg}
+}
+
+// TelegraphosIITiming returns the §4.2 configuration: standard-cell
+// compiled SRAM with conventional decoders — 40 ns.
+func TelegraphosIITiming() StageTiming {
+	return StageTiming{WordlineBits: 16, Addr: Decoder, StdCell: true}
+}
+
+// WideMemoryTiming returns the timing of an unsplit wide-memory stage for
+// an n-port, w-bit switch (word line K·w = 2n·w bits): the organization
+// §4.3 says is slower than the pipelined memory.
+func WideMemoryTiming(ports, wordBits int) StageTiming {
+	return StageTiming{WordlineBits: 2 * ports * wordBits, Addr: Decoder}
+}

@@ -1,0 +1,99 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTimingAnchors: the model hits the paper's published clock periods.
+func TestTimingAnchors(t *testing.T) {
+	t3 := TelegraphosIIITiming()
+	if got := t3.CycleNsWorst(); math.Abs(got-16) > 0.01 {
+		t.Fatalf("T3 worst-case cycle %v ns, want 16 (§4.4)", got)
+	}
+	if got := t3.CycleNsTypical(); math.Abs(got-10) > 0.01 {
+		t.Fatalf("T3 typical cycle %v ns, want 10 (§4.4)", got)
+	}
+	t2 := TelegraphosIITiming()
+	if got := t2.CycleNsWorst(); math.Abs(got-40) > 0.01 {
+		t.Fatalf("T2 cycle %v ns, want 40 (§4.2)", got)
+	}
+	if t3.String() == "" || t2.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+// TestFig7bFasterThanFig7a: replacing the per-stage decoder with a
+// decoded-address pipeline register shortens the critical path (§4.3:
+// "oftentimes, these flip-flops are smaller and/or faster than the
+// decoder that they replace").
+func TestFig7bFasterThanFig7a(t *testing.T) {
+	b := StageTiming{WordlineBits: 16, Addr: PipelineReg}
+	a := StageTiming{WordlineBits: 16, Addr: Decoder}
+	if b.CycleNsWorst() >= a.CycleNsWorst() {
+		t.Fatalf("fig.7b (%v ns) not faster than fig.7a (%v ns)", b.CycleNsWorst(), a.CycleNsWorst())
+	}
+	// The gap is the decoder-vs-register delta.
+	want := tDecoder - tPipeReg
+	if got := a.CycleNsWorst() - b.CycleNsWorst(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("gap %v, want %v", got, want)
+	}
+}
+
+// TestPipelinedFasterThanWide: §3.2(ii)/§4.3 — the pipelined memory's
+// short word lines make it faster than the wide memory, and the gap grows
+// with switch size (word line ∝ 2n·w).
+func TestPipelinedFasterThanWide(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{4, 8, 16, 32} {
+		p := StageTiming{WordlineBits: 16, Addr: Decoder}
+		w := WideMemoryTiming(n, 16)
+		gap := w.CycleNsWorst() - p.CycleNsWorst()
+		if gap <= 0 {
+			t.Fatalf("n=%d: wide (%v) not slower than pipelined (%v)", n, w.CycleNsWorst(), p.CycleNsWorst())
+		}
+		if gap <= prev {
+			t.Fatalf("n=%d: gap %v did not grow (prev %v)", n, gap, prev)
+		}
+		prev = gap
+	}
+}
+
+// TestBitlineSplitting: §4.3's last optimization shortens the cycle but
+// costs one pipeline stage of latency.
+func TestBitlineSplitting(t *testing.T) {
+	base := TelegraphosIIITiming()
+	split := base
+	split.SplitBitlines = true
+	if split.CycleNsWorst() >= base.CycleNsWorst() {
+		t.Fatalf("split (%v) not faster than unsplit (%v)", split.CycleNsWorst(), base.CycleNsWorst())
+	}
+	if base.ExtraLatencyCycles() != 0 || split.ExtraLatencyCycles() != 1 {
+		t.Fatal("latency accounting wrong")
+	}
+	// The split must pay for itself in link rate: 16 bits per (shorter)
+	// cycle beats 16 bits per 16 ns.
+	if rate := 16 / split.CycleNsWorst(); rate <= 1.0 {
+		t.Fatalf("split link rate %v Gb/s, expected > 1", rate)
+	}
+}
+
+// TestStdCellSlower: the standard-cell flow is uniformly slower (the
+// ×2.5 clock component of the §4.4 "factor of 22").
+func TestStdCellSlower(t *testing.T) {
+	fc := StageTiming{WordlineBits: 16, Addr: Decoder}
+	sc := fc
+	sc.StdCell = true
+	ratio := sc.CycleNsWorst() / fc.CycleNsWorst()
+	if ratio < 2.0 || ratio > 3.0 {
+		t.Fatalf("std-cell/full-custom clock ratio %v, want ≈2.3–2.5", ratio)
+	}
+}
+
+// TestTimingConsistentWithAreaRatio: the timing and area models must
+// agree on the decoder-vs-register tradeoff constant.
+func TestTimingConsistentWithAreaRatio(t *testing.T) {
+	if math.Abs(tDecoder/tPipeReg-DecoderVsPipelineReg) > 1e-12 {
+		t.Fatal("timing model diverged from the §4.4 2.3× constant")
+	}
+}

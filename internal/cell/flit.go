@@ -1,0 +1,62 @@
+package cell
+
+// FlitKind distinguishes the positions a flit can occupy within a wormhole
+// message. Single-flit messages are Head|Tail simultaneously.
+type FlitKind uint8
+
+const (
+	// Head is the first flit of a message; it carries the route.
+	Head FlitKind = 1 << iota
+	// Body is an interior flit.
+	Body
+	// Tail is the last flit of a message; it releases channel state.
+	Tail
+)
+
+// IsHead reports whether the flit opens a message.
+func (k FlitKind) IsHead() bool { return k&Head != 0 }
+
+// IsTail reports whether the flit closes a message.
+func (k FlitKind) IsTail() bool { return k&Tail != 0 }
+
+// Flit is the flow-control unit of the wormhole models (internal/wormhole).
+// A message of L flits occupies L consecutive slots on each channel it
+// traverses; only the head flit carries routing information, and all
+// subsequent flits follow the path the head reserved — exactly the regime of
+// [Dally90] that §2.1 of the paper quotes (20-flit messages, 16-flit
+// buffers).
+type Flit struct {
+	Kind FlitKind
+	// Msg identifies the message the flit belongs to.
+	Msg uint64
+	// Dst is the terminal destination (head flits only; copied onto body
+	// and tail flits for checking convenience).
+	Dst int
+	// Index is the flit's position within its message, 0-based.
+	Index int
+	// Inject is the cycle the head flit was injected at the source queue,
+	// used for latency accounting.
+	Inject int64
+}
+
+// Message builds the flit sequence for one L-flit message.
+func Message(msg uint64, dst, l int, inject int64) []Flit {
+	if l < 1 {
+		panic("cell: message length must be ≥ 1")
+	}
+	fs := make([]Flit, l)
+	for i := range fs {
+		k := Body
+		if i == 0 {
+			k |= Head
+		}
+		if i == l-1 {
+			k |= Tail
+		}
+		if l == 1 {
+			k = Head | Tail
+		}
+		fs[i] = Flit{Kind: k, Msg: msg, Dst: dst, Index: i, Inject: inject}
+	}
+	return fs
+}

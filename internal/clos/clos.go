@@ -1,0 +1,401 @@
+// Package clos composes pipelined-memory switches into a three-stage
+// Clos network — alongside internal/fabric's butterfly, the other classic
+// way §2's "building blocks for larger, multi-stage switches" are
+// assembled.
+//
+// The symmetric C(n, n, n) instance is built here: n² terminals, n
+// ingress switches (n×n), up to n middle switches (n×n), n egress
+// switches (n×n). The ingress stage's choice of middle switch is the
+// Clos routing freedom; Config.Middles restricts how many middles are
+// populated, exposing the classic sizing trade — the network is
+// rearrangeably non-blocking with all n middles and degrades gracefully
+// below that.
+//
+// As in internal/fabric, each node is a full cycle-accurate core.Switch,
+// cut-through chains across stages via the transmit hook, and inter-stage
+// links run credit-based flow control.
+package clos
+
+import (
+	"fmt"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/core"
+	"pipemem/internal/stats"
+	"pipemem/internal/traffic"
+)
+
+// Config parameterizes the Clos network.
+type Config struct {
+	// Radix is n: switch port count, ingress/egress switch count, and
+	// the maximum middle count. Terminals = n².
+	Radix int
+	// Middles is m ≤ n, the populated middle switches (0 means n).
+	Middles int
+	// WordBits is the link width.
+	WordBits int
+	// SwitchCells is each node's buffer capacity in cells.
+	SwitchCells int
+	// Credits is the per-inter-stage-link credit allowance (0 disables).
+	Credits int
+	// CutThrough enables automatic cut-through in every node.
+	CutThrough bool
+}
+
+// Validate reports whether the configuration is buildable.
+func (c Config) Validate() error {
+	if c.Radix < 2 {
+		return fmt.Errorf("clos: radix %d", c.Radix)
+	}
+	if c.Middles < 0 || c.Middles > c.Radix {
+		return fmt.Errorf("clos: %d middles for radix %d", c.Middles, c.Radix)
+	}
+	if c.SwitchCells < 1 {
+		return fmt.Errorf("clos: %d cells per switch", c.SwitchCells)
+	}
+	if c.Credits < 0 {
+		return fmt.Errorf("clos: negative credits")
+	}
+	return nil
+}
+
+// flight tracks one cell crossing the network.
+type flight struct {
+	orig    *cell.Cell
+	dst     int // terminal
+	inject  int64
+	stage   int
+	inbound int // port index on the current stage's switch (for credits)
+	sw      int // current switch index within its stage
+}
+
+type injection struct {
+	stage, sw, port int
+	c               *cell.Cell
+}
+
+// Net is the three-stage Clos network.
+type Net struct {
+	cfg   Config
+	n     int // radix
+	m     int // populated middles
+	terms int
+	cellK int
+
+	cycle int64
+
+	// sw[0][i]: ingress i; sw[1][j]: middle j; sw[2][e]: egress e.
+	sw [3][]*core.Switch
+
+	pending map[int64][]injection
+	// credits[stage][sw][port]: allowance on the link INTO (stage, sw,
+	// port) for stage ∈ {1, 2}.
+	credits [3][][]int
+
+	// midRR per ingress switch: round-robin middle selection pointer.
+	midRR []int
+
+	flights map[uint64]*flight
+
+	injected, delivered, badEject int64
+	midLoad                       []int64 // cells routed via each middle
+	latency                       *stats.Hist
+}
+
+// New builds the network.
+func New(cfg Config) (*Net, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Radix
+	m := cfg.Middles
+	if m == 0 {
+		m = n
+	}
+	net := &Net{
+		cfg: cfg, n: n, m: m, terms: n * n, cellK: 2 * n,
+		pending: make(map[int64][]injection),
+		midRR:   make([]int, n),
+		flights: make(map[uint64]*flight),
+		midLoad: make([]int64, m),
+		latency: stats.NewHist(1 << 14),
+	}
+	for st := 0; st < 3; st++ {
+		count := n
+		if st == 1 {
+			count = m
+		}
+		net.sw[st] = make([]*core.Switch, count)
+		net.credits[st] = make([][]int, count)
+		for i := range net.sw[st] {
+			swc, err := core.New(core.Config{
+				Ports: n, WordBits: cfg.WordBits, Cells: cfg.SwitchCells,
+				CutThrough: cfg.CutThrough,
+			})
+			if err != nil {
+				return nil, err
+			}
+			net.credits[st][i] = make([]int, n)
+			for p := range net.credits[st][i] {
+				net.credits[st][i][p] = cfg.Credits
+			}
+			st, i := st, i
+			if cfg.Credits > 0 && st < 2 {
+				swc.SetOutputGate(func(out int) bool {
+					dsw, dport := net.downstream(st, i, out)
+					if dsw < 0 {
+						return false // unpopulated middle
+					}
+					return net.credits[st+1][dsw][dport] > 0
+				})
+			}
+			if st == 0 && cfg.Credits == 0 {
+				// Even without credits, never route into an
+				// unpopulated middle.
+				swc.SetOutputGate(func(out int) bool { return out < net.m })
+			}
+			swc.SetTransmitCellHook(func(out int, c *cell.Cell, start int64) {
+				net.onTransmit(st, i, out, c, start)
+			})
+			net.sw[st][i] = swc
+		}
+	}
+	return net, nil
+}
+
+// downstream maps (stage, switch, output port) to the next stage's
+// (switch, input port). Stage 0 output j goes to middle j's port
+// (ingress index); middle j's output e goes to egress e's port j.
+func (f *Net) downstream(stage, sw, out int) (dsw, dport int) {
+	switch stage {
+	case 0:
+		if out >= f.m {
+			return -1, -1
+		}
+		return out, sw
+	case 1:
+		return out, sw
+	default:
+		return -1, -1
+	}
+}
+
+// onTransmit chains a departing cell to the next stage.
+func (f *Net) onTransmit(stage, sw, out int, c *cell.Cell, start int64) {
+	fl := f.flights[c.Seq]
+	if fl == nil {
+		panic(fmt.Sprintf("clos: transmit of unknown cell %d", c.Seq))
+	}
+	if stage > 0 && f.cfg.Credits > 0 {
+		f.credits[stage][sw][fl.inbound]++
+	}
+	if stage == 2 {
+		return // ejection
+	}
+	dsw, dport := f.downstream(stage, sw, out)
+	if dsw < 0 {
+		panic(fmt.Sprintf("clos: transmit into unpopulated middle %d", out))
+	}
+	if f.cfg.Credits > 0 {
+		if f.credits[stage+1][dsw][dport] <= 0 {
+			panic("clos: credit underflow")
+		}
+		f.credits[stage+1][dsw][dport]--
+	}
+	if stage == 0 {
+		f.midLoad[dsw]++
+	}
+	next := c.Clone()
+	switch stage {
+	case 0: // at the middle, route to the egress switch
+		next.Dst = fl.dst / f.n
+	case 1: // at the egress, route to the terminal's port
+		next.Dst = fl.dst % f.n
+	}
+	fl.stage = stage + 1
+	fl.sw = dsw
+	fl.inbound = dport
+	at := start + 2
+	f.pending[at] = append(f.pending[at], injection{stage: stage + 1, sw: dsw, port: dport, c: next})
+}
+
+// Inject offers a cell at terminal term (= ingressSwitch·n + port) for
+// terminal dst in the current cycle. Middle selection is round-robin per
+// ingress switch — the Clos routing freedom, exercised fairly.
+func (f *Net) Inject(term, dst int, seq uint64) {
+	isw, iport := term/f.n, term%f.n
+	c := cell.New(seq, term, dst, f.cellK, f.cfg.WordBits)
+	fl := &flight{orig: c.Clone(), dst: dst, inject: f.cycle, sw: isw, inbound: iport}
+	f.flights[seq] = fl
+	hop := c.Clone()
+	hop.Dst = f.midRR[isw] % f.m // chosen middle (uplink port index)
+	f.midRR[isw]++
+	f.pending[f.cycle] = append(f.pending[f.cycle], injection{stage: 0, sw: isw, port: iport, c: hop})
+	f.injected++
+}
+
+// Step advances the whole network one clock cycle.
+func (f *Net) Step() error {
+	byNode := map[[2]int][]*cell.Cell{}
+	for _, inj := range f.pending[f.cycle] {
+		key := [2]int{inj.stage, inj.sw}
+		hs := byNode[key]
+		if hs == nil {
+			hs = make([]*cell.Cell, f.n)
+		}
+		if hs[inj.port] != nil {
+			return fmt.Errorf("clos: two heads on stage %d switch %d port %d", inj.stage, inj.sw, inj.port)
+		}
+		hs[inj.port] = inj.c
+		byNode[key] = hs
+	}
+	delete(f.pending, f.cycle)
+
+	for st := 0; st < 3; st++ {
+		for i, s := range f.sw[st] {
+			s.Tick(byNode[[2]int{st, i}])
+			deps := s.Drain()
+			if st < 2 {
+				continue
+			}
+			for _, d := range deps {
+				if err := f.eject(i, d); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	f.cycle++
+	return nil
+}
+
+// eject verifies a cell leaving an egress switch.
+func (f *Net) eject(esw int, d core.Departure) error {
+	fl := f.flights[d.Expected.Seq]
+	if fl == nil {
+		return fmt.Errorf("clos: ejection of unknown cell %d", d.Expected.Seq)
+	}
+	term := esw*f.n + d.Output
+	if term != fl.dst {
+		f.badEject++
+		return fmt.Errorf("clos: cell %d for terminal %d ejected at %d", d.Expected.Seq, fl.dst, term)
+	}
+	for i := range d.Cell.Words {
+		if d.Cell.Words[i] != fl.orig.Words[i] {
+			f.badEject++
+			return fmt.Errorf("clos: cell %d corrupted", d.Expected.Seq)
+		}
+	}
+	f.delivered++
+	f.latency.Add(d.HeadOut - fl.inject)
+	delete(f.flights, d.Expected.Seq)
+	return nil
+}
+
+// Terminals returns n².
+func (f *Net) Terminals() int { return f.terms }
+
+// CellWords returns the cell size (2n).
+func (f *Net) CellWords() int { return f.cellK }
+
+// Delivered returns end-to-end delivered cells.
+func (f *Net) Delivered() int64 { return f.delivered }
+
+// Latency returns the inject→head-ejection histogram.
+func (f *Net) Latency() *stats.Hist { return f.latency }
+
+// MiddleLoad returns cells routed through each populated middle switch.
+func (f *Net) MiddleLoad() []int64 {
+	return append([]int64(nil), f.midLoad...)
+}
+
+// Drops sums overrun drops across all nodes.
+func (f *Net) Drops() int64 {
+	var d int64
+	for st := range f.sw {
+		for _, s := range f.sw[st] {
+			d += s.Counters().Get("drop-overrun")
+		}
+	}
+	return d
+}
+
+// InteriorDrops sums drops at credit-protected stages (middle, egress).
+func (f *Net) InteriorDrops() int64 {
+	var d int64
+	for st := 1; st < 3; st++ {
+		for _, s := range f.sw[st] {
+			d += s.Counters().Get("drop-overrun")
+		}
+	}
+	return d
+}
+
+// Corrupt sums integrity violations.
+func (f *Net) Corrupt() int64 {
+	var c int64
+	for st := range f.sw {
+		for _, s := range f.sw[st] {
+			c += s.Counters().Get("corrupt")
+		}
+	}
+	return c + f.badEject
+}
+
+// Result summarizes a run.
+type Result struct {
+	Cycles        int64
+	Injected      int64
+	Delivered     int64
+	Drops         int64
+	InteriorDrops int64
+	Corrupt       int64
+	Throughput    float64 // delivered cell-words per cycle per terminal
+	MeanLatency   float64
+	MinLatency    int64
+}
+
+// Run drives the network with terminal traffic for warmup+measure cycles.
+func Run(f *Net, tcfg traffic.Config, warmup, measure int64) (Result, error) {
+	tcfg.N = f.terms
+	cs, err := traffic.NewCellStream(tcfg, f.cellK)
+	if err != nil {
+		return Result{}, err
+	}
+	heads := make([]int, f.terms)
+	var seq uint64
+	drive := func(cycles int64) (int64, error) {
+		start := f.delivered
+		for i := int64(0); i < cycles; i++ {
+			cs.Heads(heads)
+			for term, dst := range heads {
+				if dst != traffic.NoArrival {
+					seq++
+					f.Inject(term, dst, seq)
+				}
+			}
+			if err := f.Step(); err != nil {
+				return 0, err
+			}
+		}
+		return f.delivered - start, nil
+	}
+	if _, err := drive(warmup); err != nil {
+		return Result{}, err
+	}
+	delivered, err := drive(measure)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Cycles:        measure,
+		Injected:      f.injected,
+		Delivered:     f.delivered,
+		Drops:         f.Drops(),
+		InteriorDrops: f.InteriorDrops(),
+		Corrupt:       f.Corrupt(),
+		Throughput:    float64(delivered*int64(f.cellK)) / float64(measure*int64(f.terms)),
+		MeanLatency:   f.latency.Mean(),
+		MinLatency:    f.latency.Quantile(0),
+	}, nil
+}

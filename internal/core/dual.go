@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/fifo"
+	"pipemem/internal/stats"
+	"pipemem/internal/traffic"
+)
+
+// DualSwitch is the half-quantum organization of §3.5: an n×n switch whose
+// cells are n words (half the canonical quantum), buffered in two pipelined
+// memories of n stages each. In each and every cycle one read wave may be
+// initiated from one of the two memories — whichever holds the desired
+// cell — while one write wave is initiated into the other, so the full
+// aggregate throughput (one cell in, one cell out per cell time per port)
+// is sustained with cells of half the §3.5 quantum.
+type DualSwitch struct {
+	cfg  Config
+	n, k int // k = n stages per bank; cells are k words
+
+	cycle int64
+
+	banks [2]*bank
+
+	inReg    [][]cell.Word // [input][k]
+	inflight []*arrival
+
+	free   [2]*fifo.FreeList
+	queues *fifo.MultiQueue // per output; node = bank*cells + addr
+	descs  [][]desc         // [bank][addr]
+
+	linkFree []int64
+	readRR   int
+	writeRR  int
+	// writeBank alternates the default bank for writes when no read
+	// constrains the choice, balancing occupancy.
+	writeBank int
+
+	egress    []*fifo.Ring[*reasm]
+	done      []Departure
+	counter   stats.Counter
+	initDelay stats.Mean
+	cutLat    *stats.Hist
+}
+
+// bank is one of the two pipelined memories.
+type bank struct {
+	mem    [][]cell.Word // [stage][addr]
+	ctrl   []Op
+	outReg []outWord
+}
+
+// NewDual builds the two-memory half-quantum switch. cfg.Stages, if set,
+// must equal Ports (the per-bank stage count); Cells is the capacity per
+// bank.
+func NewDual(cfg Config) (*DualSwitch, error) {
+	cfg = cfg.Canonical()
+	if cfg.Stages == 2*cfg.Ports {
+		cfg.Stages = cfg.Ports // canonical half-quantum
+	}
+	if cfg.Stages != cfg.Ports {
+		return nil, fmt.Errorf("core: dual switch needs Stages = Ports (half quantum), got %d stages for %d ports", cfg.Stages, cfg.Ports)
+	}
+	if cfg.Ports < 2 {
+		return nil, fmt.Errorf("core: dual switch needs ≥ 2 ports")
+	}
+	if cfg.WordBits < 1 || cfg.WordBits > 64 {
+		return nil, fmt.Errorf("core: word width %d out of 1…64", cfg.WordBits)
+	}
+	if cfg.Cells < 1 {
+		return nil, fmt.Errorf("core: capacity %d cells per bank, need ≥ 1", cfg.Cells)
+	}
+	n, k := cfg.Ports, cfg.Ports
+	d := &DualSwitch{
+		cfg: cfg, n: n, k: k,
+		inReg:    make([][]cell.Word, n),
+		inflight: make([]*arrival, n),
+		queues:   fifo.NewMultiQueue(n, 2*cfg.Cells),
+		linkFree: make([]int64, n),
+		egress:   make([]*fifo.Ring[*reasm], n),
+		cutLat:   stats.NewHist(4096),
+	}
+	for b := 0; b < 2; b++ {
+		bk := &bank{
+			mem:    make([][]cell.Word, k),
+			ctrl:   make([]Op, k),
+			outReg: make([]outWord, k),
+		}
+		for st := range bk.mem {
+			bk.mem[st] = make([]cell.Word, cfg.Cells)
+		}
+		d.banks[b] = bk
+		d.free[b] = fifo.NewFreeList(cfg.Cells)
+	}
+	d.descs = [][]desc{make([]desc, cfg.Cells), make([]desc, cfg.Cells)}
+	for i := range d.inReg {
+		d.inReg[i] = make([]cell.Word, k)
+	}
+	for o := range d.egress {
+		d.egress[o] = fifo.NewRing[*reasm](0)
+	}
+	return d, nil
+}
+
+// Config returns the effective configuration (Stages = Ports).
+func (d *DualSwitch) Config() Config { return d.cfg }
+
+// Counters exposes event counters (see Switch.Counters).
+func (d *DualSwitch) Counters() *stats.Counter { return &d.counter }
+
+// CutLatency returns the head-in→head-out latency histogram.
+func (d *DualSwitch) CutLatency() *stats.Hist { return d.cutLat }
+
+// Buffered returns cells resident in either bank's queues.
+func (d *DualSwitch) Buffered() int { return d.queues.Total() }
+
+// Drain returns the departures completed since the last call.
+func (d *DualSwitch) Drain() []Departure {
+	out := d.done
+	d.done = nil
+	return out
+}
+
+// node packs (bank, addr) into a MultiQueue node index.
+func (d *DualSwitch) node(b, addr int) int    { return b*d.cfg.Cells + addr }
+func (d *DualSwitch) unpack(n int) (b, a int) { return n / d.cfg.Cells, n % d.cfg.Cells }
+
+// Tick advances one clock cycle; heads as in Switch.Tick, with cells of
+// exactly n words.
+func (d *DualSwitch) Tick(heads []*cell.Cell) {
+	c := d.cycle
+
+	// Egress from both banks' output register rows.
+	for b := 0; b < 2; b++ {
+		for st := range d.banks[b].outReg {
+			r := &d.banks[b].outReg[st]
+			if r.valid && r.loadedAt == c-1 {
+				d.deliver(r.out, r.word, c)
+				r.valid = false
+			}
+		}
+	}
+
+	// Arbitration: one read from one bank, one write into the other.
+	readBank := -1
+	var readOp Op
+	if rb, op, ok := d.pickRead(c); ok {
+		readBank = rb
+		readOp = op
+	}
+	writeBank := -1
+	var writeOp Op
+	{
+		// The write must avoid the bank being read this cycle.
+		forbidden := readBank
+		if wb, op, ok := d.pickWrite(c, forbidden); ok {
+			writeBank = wb
+			writeOp = op
+		}
+	}
+	for b := 0; b < 2; b++ {
+		d.banks[b].ctrl[0] = Op{}
+	}
+	if readBank >= 0 {
+		d.banks[readBank].ctrl[0] = readOp
+	}
+	if writeBank >= 0 {
+		d.banks[writeBank].ctrl[0] = writeOp
+	}
+
+	// Execute and shift each bank's control pipeline.
+	for b := 0; b < 2; b++ {
+		bk := d.banks[b]
+		for st := 0; st < d.k; st++ {
+			op := bk.ctrl[st]
+			switch op.Kind {
+			case OpWrite:
+				bk.mem[st][op.Addr] = d.inReg[op.In][st]
+			case OpRead:
+				bk.outReg[st] = outWord{word: bk.mem[st][op.Addr], out: op.Out, loadedAt: c, valid: true}
+			case OpWriteThrough:
+				w := d.inReg[op.In][st]
+				bk.mem[st][op.Addr] = w
+				bk.outReg[st] = outWord{word: w, out: op.Out, loadedAt: c, valid: true}
+			}
+		}
+		for st := d.k - 1; st >= 1; st-- {
+			bk.ctrl[st] = bk.ctrl[st-1]
+		}
+		bk.ctrl[0] = Op{}
+	}
+
+	// Ingress.
+	for i := 0; i < d.n; i++ {
+		if a := d.inflight[i]; a != nil {
+			if j := c - a.head; j > 0 && j < int64(d.k) {
+				d.inReg[i][j] = a.c.Words[j].Mask(d.cfg.WordBits)
+			}
+		}
+		if heads == nil || heads[i] == nil {
+			continue
+		}
+		nc := heads[i]
+		if len(nc.Words) != d.k {
+			panic(fmt.Sprintf("core: cell of %d words injected into half-quantum switch of %d-word cells", len(nc.Words), d.k))
+		}
+		if old := d.inflight[i]; old != nil {
+			if c-old.head < int64(d.k) {
+				panic(fmt.Sprintf("core: head injected mid-cell on input %d", i))
+			}
+			if !old.written {
+				d.counter.Inc("drop-overrun", 1)
+			}
+		}
+		d.counter.Inc("offered", 1)
+		nc.Enqueue = c
+		d.inflight[i] = &arrival{c: nc, head: c}
+		d.inReg[i][0] = nc.Words[0].Mask(d.cfg.WordBits)
+	}
+
+	d.cycle++
+}
+
+// pickRead selects an idle output whose head-of-queue cell is eligible;
+// the bank is dictated by where that cell lives (§3.5: "whichever the
+// desired packet happens to be in").
+func (d *DualSwitch) pickRead(c int64) (bankIdx int, op Op, ok bool) {
+	for j := 0; j < d.n; j++ {
+		o := (d.readRR + j) % d.n
+		if d.linkFree[o] > c {
+			continue
+		}
+		node, found := d.queues.Front(o)
+		if !found {
+			continue
+		}
+		b, addr := d.unpack(node)
+		dsc := &d.descs[b][addr]
+		if !d.cfg.CutThrough && c < dsc.writeStart+int64(d.k) {
+			continue
+		}
+		d.queues.Pop(o)
+		d.readRR = (o + 1) % d.n
+		d.startTransmit(o, dsc, c)
+		d.free[b].Put(addr)
+		return b, Op{Kind: OpRead, Out: o, Addr: addr}, true
+	}
+	return -1, Op{}, false
+}
+
+// pickWrite selects the most urgent pending arrival and a bank other than
+// forbidden (§3.5: the write goes "into the other one of the two
+// memories").
+func (d *DualSwitch) pickWrite(c int64, forbidden int) (bankIdx int, op Op, ok bool) {
+	best := -1
+	var bestHead int64
+	for j := 0; j < d.n; j++ {
+		i := (d.writeRR + j) % d.n
+		a := d.inflight[i]
+		if a == nil || a.written || c <= a.head {
+			continue
+		}
+		if best == -1 || a.head < bestHead {
+			best, bestHead = i, a.head
+		}
+	}
+	if best == -1 {
+		return -1, Op{}, false
+	}
+	// Choose the bank: not the one being read; otherwise alternate,
+	// preferring one with free space.
+	b := d.writeBank
+	if forbidden >= 0 {
+		b = 1 - forbidden
+	}
+	if d.free[b].Free() == 0 {
+		b = 1 - b
+		if b == forbidden || d.free[b].Free() == 0 {
+			return -1, Op{}, false // both unavailable; retry next cycle
+		}
+	}
+	addr, got := d.free[b].Get()
+	if !got {
+		return -1, Op{}, false
+	}
+	a := d.inflight[best]
+	a.written = true
+	d.counter.Inc("accepted", 1)
+	d.initDelay.Add(float64(c - a.head - 1))
+	d.writeRR = (best + 1) % d.n
+	d.writeBank = 1 - b
+	dsc := desc{c: a.c, head: a.head, writeStart: c}
+	dst := a.c.Dst
+
+	if d.cfg.CutThrough && d.linkFree[dst] <= c && d.queues.Len(dst) == 0 {
+		d.descs[b][addr] = dsc
+		d.startTransmit(dst, &d.descs[b][addr], c)
+		d.free[b].Put(addr)
+		return b, Op{Kind: OpWriteThrough, In: best, Out: dst, Addr: addr}, true
+	}
+	d.descs[b][addr] = dsc
+	d.queues.Push(dst, d.node(b, addr))
+	return b, Op{Kind: OpWrite, In: best, Addr: addr}, true
+}
+
+func (d *DualSwitch) startTransmit(o int, dsc *desc, c int64) {
+	d.linkFree[o] = c + int64(d.k)
+	dd := *dsc
+	d.egress[o].Push(&reasm{d: &dd, words: make([]cell.Word, 0, d.k)})
+}
+
+func (d *DualSwitch) deliver(o int, w cell.Word, c int64) {
+	r, ok := d.egress[o].Front()
+	if !ok {
+		panic(fmt.Sprintf("core: word on output %d with no departure in flight", o))
+	}
+	if len(r.words) == 0 {
+		r.start = c
+	}
+	r.words = append(r.words, w)
+	if len(r.words) < d.k {
+		return
+	}
+	d.egress[o].Pop()
+	got := &cell.Cell{Seq: r.d.c.Seq, Src: r.d.c.Src, Dst: r.d.c.Dst, Enqueue: r.d.head, Words: r.words}
+	d.counter.Inc("delivered", 1)
+	if !got.Equal(r.d.c) {
+		d.counter.Inc("corrupt", 1)
+	}
+	d.cutLat.Add(r.start - r.d.head)
+	d.done = append(d.done, Departure{
+		Cell: got, Expected: r.d.c, Output: o,
+		HeadIn: r.d.head, HeadOut: r.start, TailOut: c,
+		InitDelay: r.d.writeStart - r.d.head - 1,
+	})
+}
+
+// RunDualTraffic drives a DualSwitch as RunTraffic drives a Switch.
+func RunDualTraffic(d *DualSwitch, cs *traffic.CellStream, cycles int64) (RunResult, error) {
+	n, k := d.n, d.k
+	heads := make([]int, n)
+	hcells := make([]*cell.Cell, n)
+	var seq uint64
+	var res RunResult
+	busyWords := int64(0)
+	minLat := int64(-1)
+
+	collect := func() {
+		for _, dep := range d.Drain() {
+			res.Delivered++
+			busyWords += int64(k)
+			if !dep.Cell.Equal(dep.Expected) {
+				res.Corrupt++
+			}
+			lat := dep.HeadOut - dep.HeadIn
+			if minLat < 0 || lat < minLat {
+				minLat = lat
+			}
+		}
+		if b := d.Buffered(); b > res.MaxBuffered {
+			res.MaxBuffered = b
+		}
+	}
+
+	for c := int64(0); c < cycles; c++ {
+		cs.Heads(heads)
+		for i := range hcells {
+			hcells[i] = nil
+			if heads[i] != traffic.NoArrival {
+				seq++
+				hcells[i] = cell.New(seq, i, heads[i], k, d.cfg.WordBits)
+				res.Offered++
+			}
+		}
+		d.Tick(hcells)
+		collect()
+	}
+	drainBound := int64((2*d.cfg.Cells + 2) * k * 2)
+	for c := int64(0); c < drainBound && d.busy(); c++ {
+		d.Tick(nil)
+		collect()
+	}
+	res.Cycles = d.cycle
+	res.Dropped = d.counter.Get("drop-overrun")
+	res.MeanCutLatency = d.cutLat.Mean()
+	res.MinCutLatency = minLat
+	res.MeanInitDelay = d.initDelay.Mean()
+	res.Utilization = float64(busyWords) / float64(cycles*int64(n))
+	pending := int64(d.Buffered())
+	for _, a := range d.inflight {
+		if a != nil && !a.written {
+			pending++
+		}
+	}
+	for _, e := range d.egress {
+		pending += int64(e.Len())
+	}
+	if res.Delivered+res.Dropped+pending != res.Offered {
+		return res, fmt.Errorf("core: dual conservation violated: offered %d delivered %d dropped %d pending %d",
+			res.Offered, res.Delivered, res.Dropped, pending)
+	}
+	if res.Corrupt > 0 {
+		return res, fmt.Errorf("core: dual switch corrupted %d cells", res.Corrupt)
+	}
+	return res, nil
+}
+
+func (d *DualSwitch) busy() bool {
+	if d.Buffered() > 0 {
+		return true
+	}
+	for _, a := range d.inflight {
+		if a != nil && !a.written {
+			return true
+		}
+	}
+	for _, e := range d.egress {
+		if e.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pipemem/internal/cell"
+)
+
+// TestGoldenFig5Trace pins the exact cycle-by-cycle control trace of the
+// fig. 4/fig. 5 scenario: a 2×2 switch (4 stages), a cell arriving on
+// input 0 for output 1 at cycle 0, and a second cell on input 1 for the
+// same output at cycle 4. The expected lines encode, literally:
+//
+//   - cycle 1: the first cell's write wave is initiated as a
+//     write-through T (automatic cut-through: output 1 is idle);
+//   - the control word marches one stage right per cycle (fig. 5);
+//   - cycle 5: output 1's first transmission occupies cycles 2…5, so at
+//     cycle 5 the link is bookable again and the second cell *also*
+//     upgrades to a write-through — its words go out at cycles 6…9,
+//     back-to-back with the first cell's, with zero idle link cycles;
+//   - every output drive M_s→1 follows its register load by one cycle.
+//
+// Any behavioural change to arbitration, wave timing, or cut-through
+// shows up as a diff against this golden text.
+func TestGoldenFig5Trace(t *testing.T) {
+	s := mustSwitch(t, Config{Ports: 2, WordBits: 16, Cells: 8, CutThrough: true})
+	k := s.Config().Stages // 4
+	var lines []string
+	s.SetTracer(func(e TraceEvent) { lines = append(lines, e.String()) })
+
+	for c := int64(0); c < 16; c++ {
+		var heads []*cell.Cell
+		switch c {
+		case 0:
+			heads = []*cell.Cell{cell.New(1, 0, 1, k, 16), nil}
+		case 4:
+			heads = []*cell.Cell{nil, cell.New(2, 1, 1, k, 16)}
+		}
+		s.Tick(heads)
+	}
+	deps := s.Drain()
+	if len(deps) != 2 {
+		t.Fatalf("%d departures, want 2", len(deps))
+	}
+
+	golden := strings.TrimSpace(`
+c=0    | M0:- M1:- M2:- M3:- | in: 0:h | out: -
+c=1    | M0:T(in0,out1,a0) M1:- M2:- M3:- | in: 0:1 | out: -
+c=2    | M0:- M1:T(in0,out1,a0) M2:- M3:- | in: 0:2 | out: M0→1
+c=3    | M0:- M1:- M2:T(in0,out1,a0) M3:- | in: 0:3 | out: M1→1
+c=4    | M0:- M1:- M2:- M3:T(in0,out1,a0) | in: 1:h | out: M2→1
+c=5    | M0:T(in1,out1,a0) M1:- M2:- M3:- | in: 1:1 | out: M3→1
+c=6    | M0:- M1:T(in1,out1,a0) M2:- M3:- | in: 1:2 | out: M0→1
+c=7    | M0:- M1:- M2:T(in1,out1,a0) M3:- | in: 1:3 | out: M1→1
+c=8    | M0:- M1:- M2:- M3:T(in1,out1,a0) | in: - | out: M2→1
+c=9    | M0:- M1:- M2:- M3:- | in: - | out: M3→1
+c=10   | M0:- M1:- M2:- M3:- | in: - | out: -
+c=11   | M0:- M1:- M2:- M3:- | in: - | out: -
+c=12   | M0:- M1:- M2:- M3:- | in: - | out: -
+c=13   | M0:- M1:- M2:- M3:- | in: - | out: -
+c=14   | M0:- M1:- M2:- M3:- | in: - | out: -
+c=15   | M0:- M1:- M2:- M3:- | in: - | out: -
+`)
+	got := strings.TrimSpace(strings.Join(lines, "\n"))
+	if got != golden {
+		t.Fatalf("trace diverged from fig. 5 golden:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+// TestGoldenStoreAndForwardTrace pins the same scenario's first cell with
+// cut-through disabled: a separate W wave (cycles 1–4) and R wave
+// (cycles 5–8) replace the fused T wave, and the head leaves only at
+// cycle 6 — after the whole cell has arrived. The contrast with
+// TestGoldenFig5Trace is §3.3's "automatic cut-through" made literal.
+func TestGoldenStoreAndForwardTrace(t *testing.T) {
+	s := mustSwitch(t, Config{Ports: 2, WordBits: 16, Cells: 8, CutThrough: false})
+	k := s.Config().Stages // 4
+	var lines []string
+	s.SetTracer(func(e TraceEvent) { lines = append(lines, e.String()) })
+	for c := int64(0); c < 12; c++ {
+		var heads []*cell.Cell
+		if c == 0 {
+			heads = []*cell.Cell{cell.New(1, 0, 1, k, 16), nil}
+		}
+		s.Tick(heads)
+	}
+	deps := s.Drain()
+	if len(deps) != 1 {
+		t.Fatalf("%d departures", len(deps))
+	}
+	golden := strings.TrimSpace(`
+c=0    | M0:- M1:- M2:- M3:- | in: 0:h | out: -
+c=1    | M0:W(in0,a0) M1:- M2:- M3:- | in: 0:1 | out: -
+c=2    | M0:- M1:W(in0,a0) M2:- M3:- | in: 0:2 | out: -
+c=3    | M0:- M1:- M2:W(in0,a0) M3:- | in: 0:3 | out: -
+c=4    | M0:- M1:- M2:- M3:W(in0,a0) | in: - | out: -
+c=5    | M0:R(out1,a0) M1:- M2:- M3:- | in: - | out: -
+c=6    | M0:- M1:R(out1,a0) M2:- M3:- | in: - | out: M0→1
+c=7    | M0:- M1:- M2:R(out1,a0) M3:- | in: - | out: M1→1
+c=8    | M0:- M1:- M2:- M3:R(out1,a0) | in: - | out: M2→1
+c=9    | M0:- M1:- M2:- M3:- | in: - | out: M3→1
+c=10   | M0:- M1:- M2:- M3:- | in: - | out: -
+c=11   | M0:- M1:- M2:- M3:- | in: - | out: -
+`)
+	got := strings.TrimSpace(strings.Join(lines, "\n"))
+	if got != golden {
+		t.Fatalf("SF trace diverged:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"pipemem/internal/cell"
+)
+
+func mcast(seq uint64, src, dst, k int, copies ...int) *cell.Cell {
+	c := cell.New(seq, src, dst, k, 16)
+	c.Copies = copies
+	return c
+}
+
+// TestMulticastAllCopiesDelivered: one stored cell, one copy per
+// destination, all bit-exact.
+func TestMulticastAllCopiesDelivered(t *testing.T) {
+	s := mustSwitch(t, Config{Ports: 4, WordBits: 16, Cells: 16, CutThrough: true})
+	k := s.Config().Stages
+	c := mcast(1, 0, 1, k, 2, 3)
+	s.Tick([]*cell.Cell{c, nil, nil, nil})
+	for i := 0; i < 6*k; i++ {
+		s.Tick(nil)
+	}
+	deps := s.Drain()
+	if len(deps) != 3 {
+		t.Fatalf("%d copies delivered, want 3", len(deps))
+	}
+	outs := map[int]bool{}
+	for _, d := range deps {
+		if !d.Cell.Equal(d.Expected) {
+			t.Fatal("multicast copy corrupted")
+		}
+		if outs[d.Output] {
+			t.Fatalf("output %d served twice", d.Output)
+		}
+		outs[d.Output] = true
+	}
+	for _, o := range []int{1, 2, 3} {
+		if !outs[o] {
+			t.Fatalf("output %d missed its copy", o)
+		}
+	}
+}
+
+// TestMulticastSingleAddress: the payload occupies exactly one buffer
+// address regardless of fanout — the shared-buffer multicast economy —
+// and the address frees only after the last copy's read wave.
+func TestMulticastSingleAddress(t *testing.T) {
+	s := mustSwitch(t, Config{Ports: 4, WordBits: 16, Cells: 16, CutThrough: true})
+	k := s.Config().Stages
+	c := mcast(1, 0, 1, k, 2, 3)
+	s.Tick([]*cell.Cell{c, nil, nil, nil})
+	s.Tick(nil) // write wave initiated here
+	if got := s.cfg.Cells - s.FreeCells(); got != 1 {
+		t.Fatalf("%d addresses allocated for a 3-way multicast, want 1", got)
+	}
+	if s.Buffered() != 3 {
+		t.Fatalf("%d descriptors queued, want 3", s.Buffered())
+	}
+	// Run until all copies depart; the address must be free again.
+	for i := 0; i < 8*k; i++ {
+		s.Tick(nil)
+	}
+	if got := len(s.Drain()); got != 3 {
+		t.Fatalf("%d departures", got)
+	}
+	if s.FreeCells() != s.cfg.Cells {
+		t.Fatalf("address leaked: %d free of %d", s.FreeCells(), s.cfg.Cells)
+	}
+}
+
+// TestMulticastStaggeredReads: the copies go out one initiation at a
+// time (staggered initiation applies to multicast too), so head
+// departure times on the three links are distinct.
+func TestMulticastStaggeredReads(t *testing.T) {
+	s := mustSwitch(t, Config{Ports: 4, WordBits: 16, Cells: 16, CutThrough: true})
+	k := s.Config().Stages
+	s.Tick([]*cell.Cell{mcast(1, 0, 1, k, 2, 3), nil, nil, nil})
+	for i := 0; i < 8*k; i++ {
+		s.Tick(nil)
+	}
+	deps := s.Drain()
+	seen := map[int64]bool{}
+	for _, d := range deps {
+		if seen[d.HeadOut] {
+			t.Fatalf("two copies' heads left in the same cycle %d", d.HeadOut)
+		}
+		seen[d.HeadOut] = true
+	}
+}
+
+// TestMulticastUnderUnicastLoad: multicast cells interleaved with
+// unicast traffic conserve addresses and deliver everything.
+func TestMulticastUnderUnicastLoad(t *testing.T) {
+	const ports = 4
+	s := mustSwitch(t, Config{Ports: ports, WordBits: 16, Cells: 64, CutThrough: true})
+	k := s.Config().Stages
+	var seq uint64
+	wantCopies := 0
+	got := 0
+	for c := int64(0); c < 400*int64(k); c++ {
+		var heads []*cell.Cell
+		if c%int64(k) == 0 {
+			heads = make([]*cell.Cell, ports)
+			// Input 0 multicasts to all outputs every other cell time;
+			// input 1 unicasts continuously.
+			if (c/int64(k))%2 == 0 {
+				seq++
+				heads[0] = mcast(seq, 0, 0, k, 1, 2, 3)
+				wantCopies += 4
+			}
+			seq++
+			heads[1] = cell.New(seq, 1, int(seq)%ports, k, 16)
+			wantCopies++
+		}
+		s.Tick(heads)
+		for _, d := range s.Drain() {
+			if !d.Cell.Equal(d.Expected) {
+				t.Fatal("corruption")
+			}
+			got++
+		}
+	}
+	for i := 0; i < 40*k; i++ {
+		s.Tick(nil)
+		got += len(s.Drain())
+	}
+	if got != wantCopies {
+		t.Fatalf("delivered %d copies, want %d", got, wantCopies)
+	}
+	if s.FreeCells() != 64 {
+		t.Fatalf("address leak: %d free of 64", s.FreeCells())
+	}
+	if c := s.Counters().Get("corrupt"); c != 0 {
+		t.Fatalf("%d corrupt", c)
+	}
+}
+
+// TestMulticastOutOfRangeCopyPanics.
+func TestMulticastOutOfRangeCopyPanics(t *testing.T) {
+	s := mustSwitch(t, Config{Ports: 2, WordBits: 16, Cells: 8, CutThrough: true})
+	k := s.Config().Stages
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Tick([]*cell.Cell{mcast(1, 0, 1, k, 7), nil})
+	for i := 0; i < 2*k; i++ {
+		s.Tick(nil)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/traffic"
+)
+
+// RunResult summarizes a traffic-driven RTL run.
+type RunResult struct {
+	// Cycles is the number of clock cycles simulated (including the
+	// drain tail).
+	Cycles int64
+	// Offered, Delivered and Dropped count cells.
+	Offered, Delivered, Dropped int64
+	// Corrupt counts integrity violations (must be zero).
+	Corrupt int64
+	// Utilization is the fraction of output-link cycles carrying data.
+	Utilization float64
+	// MeanCutLatency is the mean head-in→head-out latency in cycles.
+	MeanCutLatency float64
+	// MinCutLatency is the smallest observed head latency: 2 cycles with
+	// cut-through (one to reach the input register, one through M0).
+	MinCutLatency int64
+	// MeanInitDelay is the measured §3.4 staggered-initiation delay.
+	MeanInitDelay float64
+	// MaxBuffered is the peak buffer occupancy in cells; MeanBuffered
+	// the time-average (sampled per cycle over the driven window).
+	MaxBuffered  int
+	MeanBuffered float64
+}
+
+// String implements fmt.Stringer.
+func (r RunResult) String() string {
+	return fmt.Sprintf("cycles=%d offered=%d delivered=%d dropped=%d util=%.4f cutlat=%.2f initdelay=%.4f",
+		r.Cycles, r.Offered, r.Delivered, r.Dropped, r.Utilization, r.MeanCutLatency, r.MeanInitDelay)
+}
+
+// RunTraffic drives the switch with the cell stream for the given number
+// of cycles, then drains in-flight cells, verifying the integrity of every
+// departure. The stream's port count and the switch's must agree.
+func RunTraffic(s *Switch, cs *traffic.CellStream, cycles int64) (RunResult, error) {
+	n, k := s.n, s.k
+	heads := make([]int, n)
+	hcells := make([]*cell.Cell, n)
+	var seq uint64
+	var res RunResult
+	minLat := int64(-1)
+	busyWords := int64(0)
+
+	var occSum float64
+	collect := func() {
+		for _, d := range s.Drain() {
+			res.Delivered++
+			busyWords += int64(k)
+			if !d.Cell.Equal(d.Expected) {
+				res.Corrupt++
+			}
+			lat := d.HeadOut - d.HeadIn
+			if minLat < 0 || lat < minLat {
+				minLat = lat
+			}
+		}
+		if b := s.Buffered(); b > res.MaxBuffered {
+			res.MaxBuffered = b
+		}
+	}
+
+	for c := int64(0); c < cycles; c++ {
+		cs.Heads(heads)
+		for i := range hcells {
+			hcells[i] = nil
+			if heads[i] != traffic.NoArrival {
+				seq++
+				hcells[i] = cell.New(seq, i, heads[i], k, s.cfg.WordBits)
+				res.Offered++
+			}
+		}
+		s.Tick(hcells)
+		collect()
+		occSum += float64(s.Buffered())
+	}
+	res.MeanBuffered = occSum / float64(cycles)
+	// Drain: stop injecting and let the pipeline and queues empty. The
+	// bound covers the worst case of a full buffer funneled through one
+	// output.
+	drainBound := int64((s.cfg.Cells + 2) * k * 2)
+	for c := int64(0); c < drainBound && (s.Buffered() > 0 || s.inFlightCount() > 0 || s.egressBusy()); c++ {
+		s.Tick(nil)
+		collect()
+	}
+	res.Cycles = s.cycle
+	res.Dropped = s.counter.Get("drop-overrun")
+	res.MeanCutLatency = s.cutLatency.Mean()
+	res.MinCutLatency = minLat
+	res.MeanInitDelay = s.initDelay.Mean()
+	res.Utilization = float64(busyWords) / float64(cycles*int64(n))
+	if res.Delivered+res.Dropped+s.pendingCount() != res.Offered {
+		return res, fmt.Errorf("core: conservation violated: offered %d, delivered %d, dropped %d, pending %d",
+			res.Offered, res.Delivered, res.Dropped, s.pendingCount())
+	}
+	if res.Corrupt > 0 {
+		return res, fmt.Errorf("core: %d corrupted cells", res.Corrupt)
+	}
+	return res, nil
+}
+
+// countCells counts non-nil entries of a heads vector.
+func countCells(heads []*cell.Cell) int {
+	n := 0
+	for _, h := range heads {
+		if h != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// inFlightCount returns the number of cells still occupying input
+// register rows awaiting their write wave.
+func (s *Switch) inFlightCount() int {
+	c := 0
+	for _, a := range s.inflight {
+		if a != nil && !a.written {
+			c++
+		}
+	}
+	return c
+}
+
+// egressBusy reports whether any departure is still being transmitted.
+func (s *Switch) egressBusy() bool {
+	for _, e := range s.egress {
+		if e.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pendingCount returns cells that were offered but neither delivered nor
+// dropped (still resident at the end of a run).
+func (s *Switch) pendingCount() int64 {
+	return int64(s.Buffered() + s.inFlightCount() + s.egressWords())
+}
+
+// egressWords counts departures in flight at egress.
+func (s *Switch) egressWords() int {
+	c := 0
+	for _, e := range s.egress {
+		c += e.Len()
+	}
+	return c
+}

@@ -1,0 +1,692 @@
+package core
+
+import (
+	"fmt"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/fifo"
+	"pipemem/internal/stats"
+)
+
+// OpKind is the operation a memory stage performs in a cycle.
+type OpKind uint8
+
+const (
+	// OpNone: the stage is idle this cycle.
+	OpNone OpKind = iota
+	// OpWrite: the stage writes its link's input register into the RAM.
+	OpWrite
+	// OpRead: the stage reads the RAM into its output register.
+	OpRead
+	// OpWriteThrough: the stage writes the RAM and simultaneously taps
+	// the data bus into its output register — the same-cycle cut-through
+	// of §3.3 ("in the same or in any subsequent cycle, this word can
+	// also be loaded … into the leftmost output buffer register").
+	OpWriteThrough
+)
+
+// String implements fmt.Stringer (single letters, fig. 5 style).
+func (k OpKind) String() string {
+	switch k {
+	case OpNone:
+		return "-"
+	case OpWrite:
+		return "W"
+	case OpRead:
+		return "R"
+	case OpWriteThrough:
+		return "T"
+	default:
+		return "?"
+	}
+}
+
+// Op is one control word of the pipelined control path (fig. 5): the
+// operation stage M0 performs this cycle, which subsequent stages repeat
+// in subsequent cycles.
+type Op struct {
+	Kind OpKind
+	// In is the incoming link whose input register row supplies the data
+	// (OpWrite, OpWriteThrough).
+	In int
+	// Out is the outgoing link the data is destined for (OpRead,
+	// OpWriteThrough).
+	Out int
+	// Addr is the buffer address used by every stage of the wave.
+	Addr int
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpNone:
+		return "-"
+	case OpWrite:
+		return fmt.Sprintf("W(in%d,a%d)", o.In, o.Addr)
+	case OpRead:
+		return fmt.Sprintf("R(out%d,a%d)", o.Out, o.Addr)
+	case OpWriteThrough:
+		return fmt.Sprintf("T(in%d,out%d,a%d)", o.In, o.Out, o.Addr)
+	default:
+		return "?"
+	}
+}
+
+// outWord is one register of the shared output register row.
+type outWord struct {
+	word     cell.Word
+	out      int
+	loadedAt int64
+	valid    bool
+}
+
+// arrival tracks a cell currently occupying an input register row.
+type arrival struct {
+	c    *cell.Cell
+	head int64 // cycle the head word was latched
+	// written reports that the cell's write wave has been initiated.
+	written bool
+}
+
+// desc is a buffered cell's descriptor: what the address-management
+// circuitry of §3.3 keeps per queued copy of a stored cell. Unicast cells
+// have one descriptor; multicast cells have one per destination, all
+// sharing one buffer address (refcnt tracks the copies).
+type desc struct {
+	c          *cell.Cell
+	head       int64
+	writeStart int64
+	vc         int
+	addr       int
+}
+
+// Departure reports one cell leaving the switch, fully reassembled from
+// the simulated wire.
+type Departure struct {
+	// Cell is the payload observed on the outgoing link.
+	Cell *cell.Cell
+	// Expected is the cell as injected; integrity demands Cell equals it.
+	Expected *cell.Cell
+	// Output is the outgoing link.
+	Output int
+	// HeadIn is the cycle the head word arrived at the switch; HeadOut
+	// and TailOut are the cycles the head and tail words left on the
+	// outgoing link. HeadOut-HeadIn is the cut-through latency.
+	HeadIn, HeadOut, TailOut int64
+	// InitDelay is the number of cycles the cell's write wave waited for
+	// the stage-0 initiation slot beyond the earliest possible cycle
+	// (head+1): the quantity bounded by §3.4.
+	InitDelay int64
+	// VC is the virtual channel the cell traveled on (0 without VCs).
+	VC int
+}
+
+// reasm is the per-output reassembly state for departures in flight.
+type reasm struct {
+	d     *desc
+	words []cell.Word
+	start int64 // cycle of head word on the link
+}
+
+// Switch is the cycle-accurate pipelined memory shared buffer switch.
+// Construct with New; advance with Tick; collect departures with Drain.
+type Switch struct {
+	cfg  Config
+	n, k int
+
+	cycle int64
+
+	mem    [][]cell.Word // [stage][address]
+	inReg  [][]cell.Word // [input][stage]
+	outReg []outWord     // [stage]
+	ctrl   []Op          // [stage]: op executed at that stage this cycle
+
+	inflight []*arrival // per input
+
+	free   *fifo.FreeList
+	queues *fifo.MultiQueue // per (output, VC), of descriptor nodes
+	nodes  []desc           // descriptor-node pool
+	nfree  *fifo.FreeList   // free descriptor nodes
+	refcnt []int            // per address: queued copies not yet read
+
+	linkFree []int64 // per output: first cycle a new read may be initiated
+	readRR   int     // round-robin pointer over outputs
+	vcRR     []int   // per output: round-robin pointer over its VC queues
+	// vcWeights/vcTokens implement weighted round-robin service among an
+	// output's VCs ([KaSC91], the authors' earlier WRR cell multiplexing
+	// chip); nil weights mean plain round-robin.
+	vcWeights [][]int
+	vcTokens  [][]int
+	writeRR   int // tie-break pointer over inputs (EDF first)
+
+	egress       []*fifo.Ring[*reasm] // per output: cells being transmitted
+	done         []Departure
+	tracer       func(TraceEvent)
+	driveScratch []int // per stage: output link driven this cycle (trace)
+
+	// gate, when set, must return true for a transmission to start on an
+	// output (credit-based flow control); vcGate refines it per virtual
+	// channel; onTransmit, when set, is called once per transmission
+	// booked.
+	gate       func(out int) bool
+	vcGate     func(out, vc int) bool
+	onTransmit func(out int)
+	// onTransmitCell, when set, receives the departing cell and the wave
+	// initiation cycle; the multistage fabric uses it to chain
+	// cut-through across switches.
+	onTransmitCell func(out int, c *cell.Cell, startCycle int64)
+
+	// inDelay is the §4.3 link-pipelining delay line: slot c%R holds the
+	// heads that entered the switch boundary R cycles ago and reach the
+	// input registers this cycle. delayCount tracks cells in flight on
+	// the pipelined wires for conservation accounting.
+	inDelay    [][]*cell.Cell
+	delayCount int
+	counter    stats.Counter
+	// initDelay accumulates §3.4's staggered-initiation delay.
+	initDelay stats.Mean
+	// cutLatency is head-in to head-out in cycles.
+	cutLatency *stats.Hist
+}
+
+// New builds a switch; the configuration is canonicalized and validated.
+func New(cfg Config) (*Switch, error) {
+	cfg = cfg.Canonical()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n, k := cfg.Ports, cfg.Stages
+	s := &Switch{
+		cfg:        cfg,
+		n:          n,
+		k:          k,
+		mem:        make([][]cell.Word, k),
+		inReg:      make([][]cell.Word, n),
+		outReg:     make([]outWord, k),
+		ctrl:       make([]Op, k),
+		inflight:   make([]*arrival, n),
+		free:       fifo.NewFreeList(cfg.Cells),
+		queues:     fifo.NewMultiQueue(n*cfg.VCs, cfg.Cells*n),
+		nodes:      make([]desc, cfg.Cells*n),
+		nfree:      fifo.NewFreeList(cfg.Cells * n),
+		refcnt:     make([]int, cfg.Cells),
+		linkFree:   make([]int64, n),
+		vcRR:       make([]int, n),
+		egress:     make([]*fifo.Ring[*reasm], n),
+		cutLatency: stats.NewHist(4096),
+	}
+	for st := range s.mem {
+		s.mem[st] = make([]cell.Word, cfg.Cells)
+	}
+	for i := range s.inReg {
+		s.inReg[i] = make([]cell.Word, k)
+	}
+	for o := range s.egress {
+		s.egress[o] = fifo.NewRing[*reasm](0)
+	}
+	return s, nil
+}
+
+// Config returns the effective configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// qidx maps an (output, vc) pair to its descriptor-queue index.
+func (s *Switch) qidx(out, vc int) int { return out*s.cfg.VCs + vc }
+
+// QueuedFor returns the number of cells queued for an output across all
+// of its virtual channels.
+func (s *Switch) QueuedFor(out int) int {
+	total := 0
+	for vc := 0; vc < s.cfg.VCs; vc++ {
+		total += s.queues.Len(s.qidx(out, vc))
+	}
+	return total
+}
+
+// Cycle returns the current cycle number (number of Ticks so far).
+func (s *Switch) Cycle() int64 { return s.cycle }
+
+// Buffered returns the number of cells currently held in the buffer
+// (written or being written, not yet claimed by a read wave).
+func (s *Switch) Buffered() int { return s.queues.Total() }
+
+// FreeCells returns the number of unallocated buffer addresses.
+func (s *Switch) FreeCells() int { return s.free.Free() }
+
+// Counters exposes the event counters: "offered", "accepted", "delivered",
+// "drop-overrun" (a new head displaced a cell whose write wave never got
+// a buffer address), "corrupt" (integrity violations; must stay zero).
+func (s *Switch) Counters() *stats.Counter { return &s.counter }
+
+// InitDelay returns the accumulated staggered-initiation delay statistics
+// (§3.4): cycles a write wave waited beyond head+1 for the stage-0 slot.
+func (s *Switch) InitDelay() *stats.Mean { return &s.initDelay }
+
+// CutLatency returns the head-in→head-out latency histogram in cycles.
+func (s *Switch) CutLatency() *stats.Hist { return s.cutLatency }
+
+// SetTracer installs a per-cycle trace callback (nil to disable); see
+// TraceEvent.
+func (s *Switch) SetTracer(f func(TraceEvent)) { s.tracer = f }
+
+// SetOutputGate installs a side-effect-free admission predicate consulted
+// before any transmission is initiated on an output link. Telegraphos
+// uses it for its credit-based flow control ([KVES95]): an output with no
+// credits is skipped by read arbitration and by the cut-through upgrade,
+// and its cells wait in the shared buffer.
+func (s *Switch) SetOutputGate(gate func(out int) bool) { s.gate = gate }
+
+// SetVCGate installs a per-(output, VC) admission predicate — the
+// [KVES95] VC-level flow control. A VC whose gate is closed keeps its
+// cells queued without blocking the output's other VCs.
+func (s *Switch) SetVCGate(gate func(out, vc int) bool) { s.vcGate = gate }
+
+// SetVCWeights installs weighted round-robin service among output out's
+// virtual channels — the cell-multiplexing discipline of the authors'
+// earlier ATM switch chip [KaSC91]. weights must have one positive entry
+// per VC; under backlog, VC i receives weights[i] transmissions per WRR
+// frame. Passing nil restores plain round-robin.
+func (s *Switch) SetVCWeights(out int, weights []int) error {
+	if weights == nil {
+		if s.vcWeights != nil {
+			s.vcWeights[out] = nil
+			s.vcTokens[out] = nil
+		}
+		return nil
+	}
+	if len(weights) != s.cfg.VCs {
+		return fmt.Errorf("core: %d weights for %d VCs", len(weights), s.cfg.VCs)
+	}
+	for vc, w := range weights {
+		if w < 1 {
+			return fmt.Errorf("core: weight %d for VC %d, need ≥ 1", w, vc)
+		}
+	}
+	if s.vcWeights == nil {
+		s.vcWeights = make([][]int, s.n)
+		s.vcTokens = make([][]int, s.n)
+	}
+	s.vcWeights[out] = append([]int(nil), weights...)
+	s.vcTokens[out] = append([]int(nil), weights...)
+	return nil
+}
+
+// pickVC selects which of output o's VCs to serve, honouring WRR weights
+// when configured and plain round-robin otherwise. eligible reports
+// whether a VC has a serviceable head (backlog, open gate, SF-ready).
+// It returns the chosen VC or -1.
+func (s *Switch) pickVC(o int, eligible func(vc int) bool) int {
+	if s.vcWeights == nil || s.vcWeights[o] == nil {
+		for jv := 0; jv < s.cfg.VCs; jv++ {
+			vc := (s.vcRR[o] + jv) % s.cfg.VCs
+			if eligible(vc) {
+				s.vcRR[o] = (vc + 1) % s.cfg.VCs
+				return vc
+			}
+		}
+		return -1
+	}
+	// WRR: serve an eligible VC that still has tokens this frame; when
+	// every eligible VC has exhausted its tokens, start a new frame.
+	tokens := s.vcTokens[o]
+	for pass := 0; pass < 2; pass++ {
+		for jv := 0; jv < s.cfg.VCs; jv++ {
+			vc := (s.vcRR[o] + jv) % s.cfg.VCs
+			if tokens[vc] > 0 && eligible(vc) {
+				tokens[vc]--
+				if tokens[vc] == 0 {
+					s.vcRR[o] = (vc + 1) % s.cfg.VCs
+				}
+				return vc
+			}
+		}
+		if pass == 0 {
+			// Refill the frame only if some eligible VC exists at all.
+			any := false
+			for vc := 0; vc < s.cfg.VCs; vc++ {
+				if eligible(vc) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				return -1
+			}
+			copy(tokens, s.vcWeights[o])
+		}
+	}
+	return -1
+}
+
+// SetTransmitHook installs a callback invoked exactly once per
+// transmission booked on an output (credit consumption).
+func (s *Switch) SetTransmitHook(f func(out int)) { s.onTransmit = f }
+
+// SetTransmitCellHook installs a callback invoked when a transmission is
+// booked, carrying the departing cell and the wave-initiation cycle (the
+// head word is on the outgoing link at startCycle+1). The multistage
+// fabric uses it to start the downstream switch's arrival wave while the
+// tail is still crossing this switch — cut-through chained across hops.
+func (s *Switch) SetTransmitCellHook(f func(out int, c *cell.Cell, startCycle int64)) {
+	s.onTransmitCell = f
+}
+
+// Drain returns the departures completed since the last call.
+func (s *Switch) Drain() []Departure {
+	d := s.done
+	s.done = nil
+	return d
+}
+
+// Tick advances the switch one clock cycle. heads[i], when non-nil, is a
+// cell whose head word arrives at input i in this cycle; it must be
+// exactly K words long and the input link must not be mid-cell (the link
+// carries one word per cycle, so heads may be at most K cycles apart).
+// heads may be nil when no cell arrives anywhere.
+func (s *Switch) Tick(heads []*cell.Cell) {
+	c := s.cycle
+
+	// §4.3 link pipelining: heads spend LinkPipeline cycles crossing the
+	// pipelined input wires before reaching the input registers. The
+	// delay line is transparent to all switch logic below.
+	if r := s.cfg.LinkPipeline; r > 0 {
+		if s.inDelay == nil {
+			s.inDelay = make([][]*cell.Cell, r)
+		}
+		slot := int(c % int64(r))
+		delayed := s.inDelay[slot]
+		var entering []*cell.Cell
+		if heads != nil {
+			for _, h := range heads {
+				if h != nil {
+					entering = append([]*cell.Cell(nil), heads...)
+					s.delayCount += countCells(heads)
+					break
+				}
+			}
+		}
+		s.inDelay[slot] = entering
+		heads = delayed
+		s.delayCount -= countCells(heads)
+	}
+
+	// Phase 1 — egress: output registers loaded in the previous cycle
+	// drive their outgoing links now ("in the next cycle, this register
+	// drives the desired outgoing link", §3.2).
+	if s.tracer != nil {
+		if s.driveScratch == nil {
+			s.driveScratch = make([]int, s.k)
+		}
+		for st := range s.driveScratch {
+			s.driveScratch[st] = -1
+		}
+	}
+	for st := range s.outReg {
+		r := &s.outReg[st]
+		if r.valid && r.loadedAt == c-1 {
+			s.deliver(r.out, r.word, c)
+			if s.driveScratch != nil {
+				s.driveScratch[st] = r.out
+			}
+			r.valid = false
+		}
+	}
+
+	// Phase 2 — arbitration: choose at most one new wave for stage M0.
+	s.ctrl[0] = s.arbitrate(c)
+
+	if s.tracer != nil {
+		s.emitTrace(c, heads)
+	}
+
+	// Phase 3 — execute every stage's operation for this cycle.
+	for st := 0; st < s.k; st++ {
+		op := s.ctrl[st]
+		switch op.Kind {
+		case OpWrite:
+			s.mem[st][op.Addr] = s.inReg[op.In][st]
+		case OpRead:
+			s.outReg[st] = outWord{word: s.mem[st][op.Addr], out: op.Out, loadedAt: c, valid: true}
+		case OpWriteThrough:
+			w := s.inReg[op.In][st]
+			s.mem[st][op.Addr] = w
+			s.outReg[st] = outWord{word: w, out: op.Out, loadedAt: c, valid: true}
+		}
+	}
+
+	// Phase 4 — the control pipeline shifts: stage s+1 repeats stage s's
+	// operation next cycle (§3.3).
+	for st := s.k - 1; st >= 1; st-- {
+		s.ctrl[st] = s.ctrl[st-1]
+	}
+	s.ctrl[0] = Op{}
+
+	// Phase 5 — ingress: arriving words are latched into the input
+	// registers at the end of the cycle.
+	for i := 0; i < s.n; i++ {
+		if a := s.inflight[i]; a != nil {
+			if j := c - a.head; j > 0 && j < int64(s.k) {
+				s.inReg[i][j] = a.c.Words[j].Mask(s.cfg.WordBits)
+			}
+		}
+		if heads == nil || heads[i] == nil {
+			continue
+		}
+		nc := heads[i]
+		if len(nc.Words) != s.k {
+			panic(fmt.Sprintf("core: cell of %d words injected into %d-stage switch", len(nc.Words), s.k))
+		}
+		if nc.Dst < 0 || nc.Dst >= s.n {
+			panic(fmt.Sprintf("core: cell destination %d out of range", nc.Dst))
+		}
+		if old := s.inflight[i]; old != nil {
+			if c-old.head < int64(s.k) {
+				panic(fmt.Sprintf("core: head injected mid-cell on input %d (previous head at cycle %d, now %d)", i, old.head, c))
+			}
+			if !old.written {
+				// The previous cell never obtained a write wave (buffer
+				// exhausted for its whole residency): its words are now
+				// being overwritten and it is lost.
+				s.counter.Inc("drop-overrun", 1)
+			}
+		}
+		s.counter.Inc("offered", 1)
+		nc.Enqueue = c
+		s.inflight[i] = &arrival{c: nc, head: c}
+		s.inReg[i][0] = nc.Words[0].Mask(s.cfg.WordBits)
+	}
+
+	s.cycle++
+}
+
+// arbitrate picks this cycle's stage-0 operation: reads first (outgoing
+// links must not idle), then the most urgent pending write, upgraded to a
+// write-through when cut-through applies.
+func (s *Switch) arbitrate(c int64) Op {
+	if !s.cfg.NoReadPriority {
+		if op, ok := s.pickRead(c); ok {
+			return op
+		}
+	}
+	if op, ok := s.pickWrite(c); ok {
+		return op
+	}
+	if s.cfg.NoReadPriority {
+		if op, ok := s.pickRead(c); ok {
+			return op
+		}
+	}
+	return Op{}
+}
+
+// pickRead selects an idle outgoing link with an eligible head-of-queue
+// cell, round-robin.
+func (s *Switch) pickRead(c int64) (Op, bool) {
+	for j := 0; j < s.n; j++ {
+		o := (s.readRR + j) % s.n
+		if s.linkFree[o] > c {
+			continue
+		}
+		if s.gate != nil && !s.gate(o) {
+			continue
+		}
+		// Serve the output's virtual channels round-robin (or WRR when
+		// weights are configured, [KaSC91]): a VC with a closed gate or
+		// an ineligible head does not block the link's other VCs.
+		eligible := func(vc int) bool {
+			if s.vcGate != nil && !s.vcGate(o, vc) {
+				return false
+			}
+			node, ok := s.queues.Front(s.qidx(o, vc))
+			if !ok {
+				return false
+			}
+			d := &s.nodes[node]
+			// Store-and-forward: wait until the write wave has fully
+			// deposited the cell.
+			return s.cfg.CutThrough || c >= d.writeStart+int64(s.k)
+		}
+		vc := s.pickVC(o, eligible)
+		if vc >= 0 {
+			q := s.qidx(o, vc)
+			node, _ := s.queues.Pop(q)
+			d := &s.nodes[node]
+			s.readRR = (o + 1) % s.n
+			s.startTransmit(o, d, c)
+			addr := d.addr
+			s.nfree.Put(node)
+			// The address is reusable once its last queued copy has
+			// claimed its read wave: any later write wave trails this
+			// read wave stage by stage.
+			s.refcnt[addr]--
+			if s.refcnt[addr] == 0 {
+				s.free.Put(addr)
+			}
+			return Op{Kind: OpRead, Out: o, Addr: addr}, true
+		}
+	}
+	return Op{}, false
+}
+
+// pickWrite selects the pending arrival with the earliest head cycle
+// (earliest deadline first), tie-broken round-robin.
+func (s *Switch) pickWrite(c int64) (Op, bool) {
+	best := -1
+	var bestHead int64
+	for j := 0; j < s.n; j++ {
+		i := (s.writeRR + j) % s.n
+		a := s.inflight[i]
+		if a == nil || a.written || c <= a.head {
+			continue // no pending cell, or its head arrived only this cycle
+		}
+		if best == -1 || a.head < bestHead {
+			best, bestHead = i, a.head
+		}
+	}
+	if best == -1 {
+		return Op{}, false
+	}
+	a := s.inflight[best]
+	addr, ok := s.free.Get()
+	if !ok {
+		// Buffer exhausted: the cell stays pending and retries; if it is
+		// still unwritten when the next head arrives it is dropped
+		// (phase 5).
+		return Op{}, false
+	}
+	a.written = true
+	s.counter.Inc("accepted", 1)
+	s.initDelay.Add(float64(c - a.head - 1))
+	s.writeRR = (best + 1) % s.n
+	vc := a.c.VC
+	if vc < 0 || vc >= s.cfg.VCs {
+		panic(fmt.Sprintf("core: cell VC %d out of configured %d channels", vc, s.cfg.VCs))
+	}
+	d := desc{c: a.c, head: a.head, writeStart: c, vc: vc, addr: addr}
+	dst := a.c.Dst
+
+	// Automatic cut-through, same-cycle variant (unicast only): if the
+	// destination link is idle and no cell is queued ahead on any of its
+	// VCs, the write wave doubles as the read wave (§3.3).
+	if s.cfg.CutThrough && len(a.c.Copies) == 0 &&
+		s.linkFree[dst] <= c && s.QueuedFor(dst) == 0 &&
+		(s.gate == nil || s.gate(dst)) &&
+		(s.vcGate == nil || s.vcGate(dst, vc)) {
+		s.startTransmit(dst, &d, c)
+		s.free.Put(addr)
+		return Op{Kind: OpWriteThrough, In: best, Out: dst, Addr: addr}, true
+	}
+
+	// Enqueue one descriptor per destination; the payload is stored once
+	// (multicast economy of the shared buffer).
+	dsts := append([]int{dst}, a.c.Copies...)
+	s.refcnt[addr] = len(dsts)
+	for _, o := range dsts {
+		if o < 0 || o >= s.n {
+			panic(fmt.Sprintf("core: multicast copy to output %d out of range", o))
+		}
+		node, ok := s.nfree.Get()
+		if !ok {
+			panic("core: descriptor-node pool exhausted (impossible: sized cells×ports)")
+		}
+		s.nodes[node] = d
+		s.queues.Push(s.qidx(o, vc), node)
+	}
+	return Op{Kind: OpWrite, In: best, Addr: addr}, true
+}
+
+// startTransmit books the outgoing link for the K-cycle transmission that
+// follows a read (or write-through) wave initiated at cycle c, and sets up
+// reassembly of the departing cell.
+func (s *Switch) startTransmit(o int, d *desc, c int64) {
+	s.linkFree[o] = c + int64(s.k)
+	dd := *d
+	s.egress[o].Push(&reasm{d: &dd, words: make([]cell.Word, 0, s.k)})
+	if s.onTransmit != nil {
+		s.onTransmit(o)
+	}
+	if s.onTransmitCell != nil {
+		s.onTransmitCell(o, d.c, c)
+	}
+}
+
+// deliver observes one word on outgoing link o at cycle c.
+func (s *Switch) deliver(o int, w cell.Word, c int64) {
+	r, ok := s.egress[o].Front()
+	if !ok {
+		panic(fmt.Sprintf("core: word on output %d with no departure in flight", o))
+	}
+	if len(r.words) == 0 {
+		r.start = c
+	}
+	r.words = append(r.words, w)
+	if len(r.words) < s.k {
+		return
+	}
+	s.egress[o].Pop()
+	got := &cell.Cell{
+		Seq: r.d.c.Seq, Src: r.d.c.Src, Dst: r.d.c.Dst, VC: r.d.c.VC,
+		Enqueue: r.d.head, Words: r.words,
+	}
+	// With §4.3 link pipelining, timestamps are reported at the switch
+	// boundary: the head entered LinkPipeline cycles before it reached
+	// the input registers and leaves LinkPipeline cycles after the
+	// output register row drives it.
+	lp := int64(s.cfg.LinkPipeline)
+	dep := Departure{
+		Cell:      got,
+		Expected:  r.d.c,
+		Output:    o,
+		HeadIn:    r.d.head - lp,
+		HeadOut:   r.start + lp,
+		TailOut:   c + lp,
+		InitDelay: r.d.writeStart - r.d.head - 1,
+		VC:        r.d.vc,
+	}
+	s.counter.Inc("delivered", 1)
+	if !got.Equal(r.d.c) {
+		s.counter.Inc("corrupt", 1)
+	}
+	s.cutLatency.Add(dep.HeadOut - dep.HeadIn)
+	s.done = append(s.done, dep)
+}

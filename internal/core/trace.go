@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pipemem/internal/cell"
+)
+
+// TraceEvent is a per-cycle snapshot of the control signals and datapath
+// activity of the switch — the information fig. 5 of the paper plots: the
+// stage-0 control word, its delayed copies at the other stages, the input
+// register load enables, and the outgoing-link drives.
+type TraceEvent struct {
+	// Cycle is the clock cycle the event describes.
+	Cycle int64
+	// Ctrl[st] is the operation stage st performs in this cycle. Ctrl[0]
+	// is the freshly arbitrated control word; Ctrl[s] equals the
+	// previous cycle's Ctrl[s-1] (§3.3).
+	Ctrl []Op
+	// InLatch[i] is the word index input i latches at the end of this
+	// cycle (0 = a new head), or -1 when the link is idle.
+	InLatch []int
+	// OutDrive[st] is the outgoing link that output register st drives
+	// in this cycle, or -1.
+	OutDrive []int
+}
+
+// String renders the event as one fig. 5-style line:
+//
+//	c=12 | M0:W(in1,a3) M1:R(out0,a2) M2:- M3:- | in: 0:h 1:2 | out: M1→0
+func (e TraceEvent) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c=%-4d |", e.Cycle)
+	for st, op := range e.Ctrl {
+		fmt.Fprintf(&b, " M%d:%s", st, op)
+	}
+	b.WriteString(" | in:")
+	any := false
+	for i, j := range e.InLatch {
+		if j < 0 {
+			continue
+		}
+		any = true
+		if j == 0 {
+			fmt.Fprintf(&b, " %d:h", i)
+		} else {
+			fmt.Fprintf(&b, " %d:%d", i, j)
+		}
+	}
+	if !any {
+		b.WriteString(" -")
+	}
+	b.WriteString(" | out:")
+	any = false
+	for st, o := range e.OutDrive {
+		if o < 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(&b, " M%d→%d", st, o)
+	}
+	if !any {
+		b.WriteString(" -")
+	}
+	return b.String()
+}
+
+// emitTrace assembles and dispatches this cycle's TraceEvent. It runs
+// after arbitration (so Ctrl[0] is the fresh control word) and before the
+// ingress phase (InLatch is derived from the in-flight state plus the
+// heads being injected this cycle).
+func (s *Switch) emitTrace(c int64, heads []*cell.Cell) {
+	e := TraceEvent{
+		Cycle:    c,
+		Ctrl:     append([]Op(nil), s.ctrl...),
+		InLatch:  make([]int, s.n),
+		OutDrive: append([]int(nil), s.driveScratch...),
+	}
+	if e.OutDrive == nil {
+		e.OutDrive = make([]int, s.k)
+		for st := range e.OutDrive {
+			e.OutDrive[st] = -1
+		}
+	}
+	for i := 0; i < s.n; i++ {
+		e.InLatch[i] = -1
+		if heads != nil && heads[i] != nil {
+			e.InLatch[i] = 0
+			continue
+		}
+		if a := s.inflight[i]; a != nil {
+			if j := c - a.head; j > 0 && j < int64(s.k) {
+				e.InLatch[i] = int(j)
+			}
+		}
+	}
+	s.tracer(e)
+}

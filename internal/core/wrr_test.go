@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pipemem/internal/cell"
+)
+
+// prefill parks `per` cells on each of the given VCs for output 0 while
+// the output's gate is closed, then returns the switch with the gate
+// still closed (caller reopens via the returned func).
+func prefillVCs(t *testing.T, weights []int, per int) (*Switch, func()) {
+	t.Helper()
+	vcs := 2
+	s := mustSwitch(t, Config{Ports: 2, WordBits: 16, Cells: 256, CutThrough: true, VCs: vcs})
+	if weights != nil {
+		if err := s.SetVCWeights(0, weights); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closed := true
+	s.SetVCGate(func(out, vc int) bool { return !closed })
+	k := s.Config().Stages
+	var seq uint64
+	// Input 0 feeds VC 0, input 1 feeds VC 1, both to output 0.
+	for injected := 0; injected < per; injected++ {
+		heads := make([]*cell.Cell, 2)
+		for i := 0; i < 2; i++ {
+			seq++
+			c := cell.New(seq, i, 0, k, 16)
+			c.VC = i
+			heads[i] = c
+		}
+		s.Tick(heads)
+		for j := 1; j < k; j++ {
+			s.Tick(nil)
+		}
+	}
+	// Let the last write waves complete.
+	for j := 0; j < 2*k; j++ {
+		s.Tick(nil)
+	}
+	if got := s.QueuedFor(0); got != 2*per {
+		t.Fatalf("prefill parked %d cells, want %d", got, 2*per)
+	}
+	return s, func() { closed = false }
+}
+
+// TestWRRProportionalService: with both VC queues prefilled and the gate
+// reopened, a 3:1 weighting drains the backlog at a ≈3:1 rate until the
+// heavy queue empties — the [KaSC91] weighted multiplexing discipline.
+func TestWRRProportionalService(t *testing.T) {
+	s, open := prefillVCs(t, []int{3, 1}, 30)
+	open()
+	k := s.Config().Stages
+	counts := map[int]int{}
+	// Observe the first 24 departures: within WRR frames of 3+1, the
+	// split must be 18:6.
+	for c := 0; c < 200*k && counts[0]+counts[1] < 24; c++ {
+		s.Tick(nil)
+		for _, d := range s.Drain() {
+			if counts[0]+counts[1] < 24 {
+				counts[d.VC]++
+			}
+		}
+	}
+	if counts[0]+counts[1] < 24 {
+		t.Fatalf("only %v departures", counts)
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if math.Abs(ratio-3) > 0.5 {
+		t.Fatalf("drain ratio %.2f, want ≈3 (%v)", ratio, counts)
+	}
+}
+
+// TestWRREqualWeightsIsFair: 1:1 weights drain 1:1.
+func TestWRREqualWeightsIsFair(t *testing.T) {
+	s, open := prefillVCs(t, []int{1, 1}, 20)
+	open()
+	k := s.Config().Stages
+	counts := map[int]int{}
+	for c := 0; c < 200*k && counts[0]+counts[1] < 24; c++ {
+		s.Tick(nil)
+		for _, d := range s.Drain() {
+			if counts[0]+counts[1] < 24 {
+				counts[d.VC]++
+			}
+		}
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("drain ratio %.2f, want ≈1 (%v)", ratio, counts)
+	}
+}
+
+// TestWRRWorkConserving: once the heavy queue empties, the light one gets
+// the full link (no idle frames), so the whole backlog drains in exactly
+// backlog+pipeline cell times.
+func TestWRRWorkConserving(t *testing.T) {
+	const per = 16
+	s, open := prefillVCs(t, []int{3, 1}, per)
+	open()
+	k := s.Config().Stages
+	delivered := 0
+	cellTimes := 0
+	for c := 0; delivered < 2*per; c++ {
+		if c > (2*per+8)*k {
+			t.Fatalf("drain not work-conserving: %d of %d after %d cycles", delivered, 2*per, c)
+		}
+		s.Tick(nil)
+		delivered += len(s.Drain())
+		cellTimes = c / k
+	}
+	_ = cellTimes
+}
+
+// TestWRRSkipsIdleVC: an idle heavy-weight VC must not throttle the
+// backlogged one.
+func TestWRRSkipsIdleVC(t *testing.T) {
+	s := mustSwitch(t, Config{Ports: 2, WordBits: 16, Cells: 32, CutThrough: true, VCs: 2})
+	if err := s.SetVCWeights(0, []int{7, 1}); err != nil {
+		t.Fatal(err)
+	}
+	k := s.Config().Stages
+	var seq uint64
+	delivered := 0
+	// Only VC 1 (weight 1) carries traffic, back to back.
+	for c := int64(0); c < 100*int64(k); c++ {
+		var heads []*cell.Cell
+		if c%int64(k) == 0 {
+			seq++
+			hc := cell.New(seq, 0, 0, k, 16)
+			hc.VC = 1
+			heads = []*cell.Cell{hc, nil}
+		}
+		s.Tick(heads)
+		delivered += len(s.Drain())
+	}
+	if delivered < 95 {
+		t.Fatalf("only %d cells delivered in 100 cell times: idle VC throttled the live one", delivered)
+	}
+}
+
+// TestWRRValidation.
+func TestWRRValidation(t *testing.T) {
+	s := mustSwitch(t, Config{Ports: 2, WordBits: 16, Cells: 8, CutThrough: true, VCs: 2})
+	if err := s.SetVCWeights(0, []int{1}); err == nil {
+		t.Fatal("wrong-length weights accepted")
+	}
+	if err := s.SetVCWeights(0, []int{1, 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if err := s.SetVCWeights(0, []int{2, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetVCWeights(0, nil); err != nil {
+		t.Fatal("clearing weights failed")
+	}
+}
+
+// TestGatedVCHogsSharedPool documents the pathology that motivates
+// per-VC/per-output occupancy limits: when one VC's receiver stops
+// crediting and its traffic keeps coming, the parked cells eventually own
+// the whole shared pool and other traffic's throughput collapses. (The
+// slot-level CappedSharedBuffer shows the cure; see internal/sim.)
+func TestGatedVCHogsSharedPool(t *testing.T) {
+	s := mustSwitch(t, Config{Ports: 2, WordBits: 16, Cells: 32, CutThrough: true, VCs: 2})
+	blocked := true
+	s.SetVCGate(func(out, vc int) bool { return vc != 0 || !blocked })
+	k := s.Config().Stages
+	var seq uint64
+	vc1Delivered := 0
+	for c := int64(0); c < 400*int64(k); c++ {
+		var heads []*cell.Cell
+		if c%int64(k) == 0 {
+			heads = make([]*cell.Cell, 2)
+			seq++
+			c0 := cell.New(seq, 0, 0, k, 16)
+			c0.VC = 0 // blocked forever; parks in the pool
+			heads[0] = c0
+			seq++
+			c1 := cell.New(seq, 1, 0, k, 16)
+			c1.VC = 1
+			heads[1] = c1
+		}
+		s.Tick(heads)
+		for _, d := range s.Drain() {
+			if d.VC == 1 {
+				vc1Delivered++
+			}
+		}
+	}
+	// The pool is finite: VC 0's parked cells squeeze VC 1's share far
+	// below the ~400 it would otherwise deliver.
+	if free := s.FreeCells(); free > 2 {
+		t.Fatalf("pool not hogged: %d free", free)
+	}
+	if vc1Delivered > 120 {
+		t.Fatalf("VC 1 delivered %d: hogging did not bite (model changed?)", vc1Delivered)
+	}
+	if vc1Delivered == 0 {
+		t.Fatal("VC 1 fully starved: expected a trickle via freed addresses")
+	}
+}

@@ -1,0 +1,435 @@
+// Package fabric composes pipelined-memory shared-buffer switches into a
+// multistage network — the use the paper's introduction claims for its
+// building block: "they can be the building blocks for larger,
+// multi-stage switches and networks; our discussion applies equally well
+// to both uses" (§2).
+//
+// The topology is a k-ary butterfly: N = k^s terminals, s stages of N/k
+// switches of radix k, destination-digit routing. Each node is a full
+// cycle-accurate core.Switch; the inter-stage links carry one word per
+// cycle with one wire register of delay, and two properties of the
+// single-switch design compose across the fabric:
+//
+//   - cut-through chains: a cell's head can be entering stage t+1's
+//     buffer while its tail is still crossing stage t (implemented with
+//     the core transmit hook — the downstream arrival wave starts one
+//     wire-register after the upstream read wave);
+//   - credit-based flow control ([Kate94]/[KVES95]) on every inter-stage
+//     link bounds each switch's buffer occupancy and makes the fabric
+//     lossless end-to-end.
+//
+// The package exists for the E2 counterpoint: the same multistage
+// topology that collapses to ≈0.4 saturation with input-FIFO wormhole
+// nodes (internal/wormhole) sustains far higher throughput when the nodes
+// are shared-buffer switches.
+package fabric
+
+import (
+	"fmt"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/core"
+	"pipemem/internal/stats"
+	"pipemem/internal/traffic"
+)
+
+// Config parameterizes the fabric.
+type Config struct {
+	// Terminals is N; it must be a power of Radix ≥ Radix².
+	Terminals int
+	// Radix is k, the port count of each switch node.
+	Radix int
+	// WordBits is the link width.
+	WordBits int
+	// SwitchCells is each node's buffer capacity in cells.
+	SwitchCells int
+	// Credits is the per-inter-stage-link credit allowance (0 disables
+	// flow control; switches then drop on buffer exhaustion).
+	Credits int
+	// CutThrough enables automatic cut-through in every node.
+	CutThrough bool
+}
+
+// Validate reports whether the configuration is buildable.
+func (c Config) Validate() error {
+	if c.Radix < 2 {
+		return fmt.Errorf("fabric: radix %d", c.Radix)
+	}
+	n, s := 1, 0
+	for n < c.Terminals {
+		n *= c.Radix
+		s++
+	}
+	if n != c.Terminals || s < 2 {
+		return fmt.Errorf("fabric: terminals %d is not radix^s with s ≥ 2", c.Terminals)
+	}
+	if c.SwitchCells < 1 {
+		return fmt.Errorf("fabric: %d cells per switch", c.SwitchCells)
+	}
+	if c.Credits < 0 {
+		return fmt.Errorf("fabric: negative credits")
+	}
+	return nil
+}
+
+// stagesOf returns log_k(n).
+func stagesOf(n, k int) int {
+	s := 0
+	for v := 1; v < n; v *= k {
+		s++
+	}
+	return s
+}
+
+// flight tracks one cell crossing the fabric.
+type flight struct {
+	orig    *cell.Cell
+	dst     int
+	inject  int64
+	inbound int // line the cell most recently entered a stage through
+	stage   int
+}
+
+// injection is a scheduled head arrival at a switch input.
+type injection struct {
+	stage, sw, port int
+	c               *cell.Cell
+}
+
+// Net is the multistage fabric.
+type Net struct {
+	cfg    Config
+	n      int // terminals
+	k      int // radix
+	stages int
+	cellK  int // cell length in words (2·radix)
+
+	cycle int64
+
+	sw [][]*core.Switch // [stage][switch]
+
+	// pending[cycle] holds head injections scheduled for that cycle.
+	pending map[int64][]injection
+	// credits[t][line], t ≥ 1: available credits on the link into
+	// stage t, line index.
+	credits [][]int
+
+	flights map[uint64]*flight
+
+	injected, delivered, badEject int64
+	latency                       *stats.Hist
+}
+
+// New builds the fabric.
+func New(cfg Config) (*Net, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.Radix
+	n := cfg.Terminals
+	s := stagesOf(n, k)
+	net := &Net{
+		cfg: cfg, n: n, k: k, stages: s, cellK: 2 * k,
+		sw:      make([][]*core.Switch, s),
+		pending: make(map[int64][]injection),
+		credits: make([][]int, s),
+		flights: make(map[uint64]*flight),
+		latency: stats.NewHist(1 << 14),
+	}
+	for t := 0; t < s; t++ {
+		net.sw[t] = make([]*core.Switch, n/k)
+		net.credits[t] = make([]int, n)
+		for l := range net.credits[t] {
+			net.credits[t][l] = cfg.Credits
+		}
+		for i := range net.sw[t] {
+			swc, err := core.New(core.Config{
+				Ports: k, WordBits: cfg.WordBits, Cells: cfg.SwitchCells,
+				CutThrough: cfg.CutThrough,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t, i := t, i
+			if cfg.Credits > 0 && t < s-1 {
+				swc.SetOutputGate(func(out int) bool {
+					return net.credits[t+1][net.lineOf(t, i, out)] > 0
+				})
+			}
+			swc.SetTransmitCellHook(func(out int, c *cell.Cell, start int64) {
+				net.onTransmit(t, i, out, c, start)
+			})
+			net.sw[t][i] = swc
+		}
+	}
+	return net, nil
+}
+
+// digit returns digit b (base k) of v.
+func (f *Net) digit(v, b int) int {
+	for i := 0; i < b; i++ {
+		v /= f.k
+	}
+	return v % f.k
+}
+
+// routeDigit returns the digit of dst examined at stage t.
+func (f *Net) routeDigit(dst, t int) int { return f.digit(dst, f.stages-1-t) }
+
+// pow returns k^b.
+func (f *Net) pow(b int) int {
+	v := 1
+	for i := 0; i < b; i++ {
+		v *= f.k
+	}
+	return v
+}
+
+// switchOf returns the switch and port that line l connects to at stage t
+// (the switch groups the k lines differing only in digit s-1-t).
+func (f *Net) switchOf(t, l int) (sw, port int) {
+	b := f.stages - 1 - t
+	p := f.pow(b)
+	lo := l % p
+	hi := l / (p * f.k)
+	return hi*p + lo, (l / p) % f.k
+}
+
+// lineOf is the inverse of switchOf: the line of (stage t, switch sw,
+// port).
+func (f *Net) lineOf(t, sw, port int) int {
+	b := f.stages - 1 - t
+	p := f.pow(b)
+	lo := sw % p
+	hi := sw / p
+	return hi*p*f.k + port*p + lo
+}
+
+// onTransmit chains a departing cell into the next stage (or seals its
+// credit accounting at the last stage).
+func (f *Net) onTransmit(t, sw, out int, c *cell.Cell, start int64) {
+	fl := f.flights[c.Seq]
+	if fl == nil {
+		panic(fmt.Sprintf("fabric: transmit of unknown cell seq %d", c.Seq))
+	}
+	// The cell is leaving stage t: its inbound link's buffer slot frees.
+	if t > 0 && f.cfg.Credits > 0 {
+		f.credits[t][fl.inbound]++
+	}
+	if t == f.stages-1 {
+		return // ejection to the terminal; Drain verifies it
+	}
+	m := f.lineOf(t, sw, out)
+	if f.cfg.Credits > 0 {
+		if f.credits[t+1][m] <= 0 {
+			panic(fmt.Sprintf("fabric: credit underflow on stage %d line %d", t+1, m))
+		}
+		f.credits[t+1][m]--
+	}
+	nsw, nport := f.switchOf(t+1, m)
+	next := c.Clone()
+	next.Dst = f.routeDigit(fl.dst, t+1)
+	fl.inbound = m
+	fl.stage = t + 1
+	// Head on the wire at start+1, latched downstream one wire register
+	// later: the downstream arrival wave starts at start+2 while the
+	// upstream tail is still K-2 cycles from leaving — chained
+	// cut-through.
+	at := start + 2
+	f.pending[at] = append(f.pending[at], injection{stage: t + 1, sw: nsw, port: nport, c: next})
+}
+
+// Inject offers a cell at terminal term destined for terminal dst in the
+// current cycle. The caller must respect the word-serial spacing (one
+// head per K = 2·radix cycles per terminal); core.Switch panics otherwise.
+func (f *Net) Inject(term, dst int, seq uint64) {
+	c := cell.New(seq, term, dst, f.cellK, f.cfg.WordBits)
+	fl := &flight{orig: c.Clone(), dst: dst, inject: f.cycle, inbound: term}
+	f.flights[seq] = fl
+	hop := c.Clone()
+	hop.Dst = f.routeDigit(dst, 0)
+	sw, port := f.switchOf(0, term)
+	f.pending[f.cycle] = append(f.pending[f.cycle], injection{stage: 0, sw: sw, port: port, c: hop})
+	f.injected++
+}
+
+// Step advances the whole fabric one clock cycle.
+func (f *Net) Step() error {
+	// Distribute this cycle's scheduled head arrivals.
+	byNode := map[[2]int][]*cell.Cell{}
+	for _, inj := range f.pending[f.cycle] {
+		key := [2]int{inj.stage, inj.sw}
+		hs := byNode[key]
+		if hs == nil {
+			hs = make([]*cell.Cell, f.k)
+		}
+		if hs[inj.port] != nil {
+			return fmt.Errorf("fabric: two heads on stage %d switch %d port %d in cycle %d",
+				inj.stage, inj.sw, inj.port, f.cycle)
+		}
+		hs[inj.port] = inj.c
+		byNode[key] = hs
+	}
+	delete(f.pending, f.cycle)
+
+	for t := 0; t < f.stages; t++ {
+		for i, s := range f.sw[t] {
+			s.Tick(byNode[[2]int{t, i}])
+			deps := s.Drain()
+			if t < f.stages-1 {
+				continue // interior departures feed the next stage via hooks
+			}
+			for _, d := range deps {
+				if err := f.eject(i, d); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	f.cycle++
+	return nil
+}
+
+// eject verifies a cell leaving the last stage.
+func (f *Net) eject(sw int, d core.Departure) error {
+	fl := f.flights[d.Expected.Seq]
+	if fl == nil {
+		return fmt.Errorf("fabric: ejection of unknown cell %d", d.Expected.Seq)
+	}
+	term := f.lineOf(f.stages-1, sw, d.Output)
+	if term != fl.dst {
+		f.badEject++
+		return fmt.Errorf("fabric: cell %d for terminal %d ejected at %d", d.Expected.Seq, fl.dst, term)
+	}
+	// Payload must match the original end to end (Dst metadata differs
+	// per hop by design; compare words and identity).
+	if d.Cell.Seq != fl.orig.Seq || len(d.Cell.Words) != len(fl.orig.Words) {
+		f.badEject++
+		return fmt.Errorf("fabric: cell %d identity mangled", d.Expected.Seq)
+	}
+	for i := range d.Cell.Words {
+		if d.Cell.Words[i] != fl.orig.Words[i] {
+			f.badEject++
+			return fmt.Errorf("fabric: cell %d corrupted at word %d", d.Expected.Seq, i)
+		}
+	}
+	f.delivered++
+	f.latency.Add(d.HeadOut - fl.inject)
+	delete(f.flights, d.Expected.Seq)
+	return nil
+}
+
+// Cycle returns the current global cycle.
+func (f *Net) Cycle() int64 { return f.cycle }
+
+// Delivered returns end-to-end delivered cells.
+func (f *Net) Delivered() int64 { return f.delivered }
+
+// Injected returns cells offered at the terminals.
+func (f *Net) Injected() int64 { return f.injected }
+
+// Latency returns the inject→head-ejection histogram in cycles.
+func (f *Net) Latency() *stats.Hist { return f.latency }
+
+// CellWords returns the cell size in words (2·radix).
+func (f *Net) CellWords() int { return f.cellK }
+
+// Drops sums overrun drops across all nodes. With credits enabled, only
+// stage 0 can drop (terminal injection is not credit-protected; the
+// hosts, not the fabric, decide how hard to push).
+func (f *Net) Drops() int64 {
+	var d int64
+	for t := range f.sw {
+		for _, s := range f.sw[t] {
+			d += s.Counters().Get("drop-overrun")
+		}
+	}
+	return d
+}
+
+// InteriorDrops sums overrun drops at stages ≥ 1 — the links protected by
+// credit flow control; it must be zero whenever credits are enabled and
+// SwitchCells ≥ radix × credits.
+func (f *Net) InteriorDrops() int64 {
+	var d int64
+	for t := 1; t < f.stages; t++ {
+		for _, s := range f.sw[t] {
+			d += s.Counters().Get("drop-overrun")
+		}
+	}
+	return d
+}
+
+// Corrupt sums per-node integrity violations (must be 0).
+func (f *Net) Corrupt() int64 {
+	var c int64
+	for t := range f.sw {
+		for _, s := range f.sw[t] {
+			c += s.Counters().Get("corrupt")
+		}
+	}
+	return c + f.badEject
+}
+
+// Result summarizes a run.
+type Result struct {
+	Cycles    int64
+	Injected  int64
+	Delivered int64
+	Drops     int64
+	// InteriorDrops are drops on credit-protected links (stages ≥ 1);
+	// zero whenever flow control is on.
+	InteriorDrops int64
+	Corrupt       int64
+	Throughput    float64 // delivered cell-words per cycle per terminal
+	MeanLatency   float64 // inject→ejection head latency, cycles
+	MinLatency    int64
+}
+
+// Run drives the fabric with the given traffic for warmup+measure cycles.
+func Run(f *Net, tcfg traffic.Config, warmup, measure int64) (Result, error) {
+	tcfg.N = f.n
+	cs, err := traffic.NewCellStream(tcfg, f.cellK)
+	if err != nil {
+		return Result{}, err
+	}
+	heads := make([]int, f.n)
+	var seq uint64
+	drive := func(cycles int64) (int64, error) {
+		delivered := int64(0)
+		start := f.delivered
+		for i := int64(0); i < cycles; i++ {
+			cs.Heads(heads)
+			for term, dst := range heads {
+				if dst != traffic.NoArrival {
+					seq++
+					f.Inject(term, dst, seq)
+				}
+			}
+			if err := f.Step(); err != nil {
+				return 0, err
+			}
+		}
+		delivered = f.delivered - start
+		return delivered, nil
+	}
+	if _, err := drive(warmup); err != nil {
+		return Result{}, err
+	}
+	delivered, err := drive(measure)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Cycles:        measure,
+		Injected:      f.injected,
+		Delivered:     f.delivered,
+		Drops:         f.Drops(),
+		InteriorDrops: f.InteriorDrops(),
+		Corrupt:       f.Corrupt(),
+		Throughput:    float64(delivered*int64(f.cellK)) / float64(measure*int64(f.n)),
+		MeanLatency:   f.latency.Mean(),
+		MinLatency:    f.latency.Quantile(0),
+	}
+	return res, nil
+}

@@ -1,0 +1,31 @@
+package fifo
+
+import "testing"
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := NewRing[int](64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Push(i)
+		r.Pop()
+	}
+}
+
+func BenchmarkFreeListGetPut(b *testing.B) {
+	f := NewFreeList(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, _ := f.Get()
+		f.Put(a)
+	}
+}
+
+func BenchmarkMultiQueuePushPop(b *testing.B) {
+	m := NewMultiQueue(8, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := i & 7
+		m.Push(q, i&255)
+		m.Pop(q)
+	}
+}

@@ -1,0 +1,271 @@
+package fifo
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBoundedFIFO(t *testing.T) {
+	r := NewRing[int](3)
+	if r.Cap() != 3 || r.Len() != 0 {
+		t.Fatal("bad initial state")
+	}
+	for i := 1; i <= 3; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if !r.Full() || r.Push(4) {
+		t.Fatal("overflow not rejected")
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing[int](4)
+	seq := 0
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			r.Push(seq + i)
+		}
+		for i := 0; i < 3; i++ {
+			v, _ := r.Pop()
+			if v != seq+i {
+				t.Fatalf("round %d: got %d want %d", round, v, seq+i)
+			}
+		}
+		seq += 3
+	}
+}
+
+func TestRingUnboundedGrows(t *testing.T) {
+	r := NewRing[int](0)
+	if r.Cap() != -1 {
+		t.Fatal("unbounded ring must report Cap() == -1")
+	}
+	for i := 0; i < 1000; i++ {
+		if !r.Push(i) {
+			t.Fatalf("unbounded push %d failed", i)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestRingFrontAtRemoveAt(t *testing.T) {
+	r := NewRing[string](8)
+	// Force a wrapped layout.
+	r.Push("x")
+	r.Push("y")
+	r.Pop()
+	r.Pop()
+	for _, s := range []string{"a", "b", "c", "d"} {
+		r.Push(s)
+	}
+	if v, _ := r.Front(); v != "a" {
+		t.Fatalf("Front = %q", v)
+	}
+	if v, _ := r.At(2); v != "c" {
+		t.Fatalf("At(2) = %q", v)
+	}
+	if _, ok := r.At(4); ok {
+		t.Fatal("At out of range succeeded")
+	}
+	v, ok := r.RemoveAt(1)
+	if !ok || v != "b" {
+		t.Fatalf("RemoveAt(1) = %q,%v", v, ok)
+	}
+	want := []string{"a", "c", "d"}
+	for i, w := range want {
+		if v, _ := r.At(i); v != w {
+			t.Fatalf("after RemoveAt, At(%d) = %q want %q", i, v, w)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRingAgainstSliceQuick(t *testing.T) {
+	// Property: a Ring behaves exactly like a slice-based queue under a
+	// random operation sequence.
+	f := func(ops []uint8, seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		r := NewRing[int](16)
+		var ref []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				ok := r.Push(next)
+				refOK := len(ref) < 16
+				if ok != refOK {
+					return false
+				}
+				if ok {
+					ref = append(ref, next)
+				}
+				next++
+			case 1: // pop
+				v, ok := r.Pop()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			case 2: // removeAt random index
+				if len(ref) == 0 {
+					continue
+				}
+				i := rng.IntN(len(ref))
+				v, ok := r.RemoveAt(i)
+				if !ok || v != ref[i] {
+					return false
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+			if r.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeListExhaustionAndReuse(t *testing.T) {
+	f := NewFreeList(4)
+	if f.Size() != 4 || f.Free() != 4 {
+		t.Fatal("bad initial state")
+	}
+	got := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		a, ok := f.Get()
+		if !ok || got[a] {
+			t.Fatalf("Get %d: addr %d ok=%v dup=%v", i, a, ok, got[a])
+		}
+		if !f.Allocated(a) {
+			t.Fatalf("addr %d not marked allocated", a)
+		}
+		got[a] = true
+	}
+	if _, ok := f.Get(); ok {
+		t.Fatal("Get from exhausted list succeeded")
+	}
+	f.Put(2)
+	if f.Free() != 1 || f.Allocated(2) {
+		t.Fatal("Put did not free")
+	}
+	a, ok := f.Get()
+	if !ok || a != 2 {
+		t.Fatalf("reuse = %d,%v want 2", a, ok)
+	}
+}
+
+func TestFreeListDoubleFreePanics(t *testing.T) {
+	f := NewFreeList(2)
+	a, _ := f.Get()
+	f.Put(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	f.Put(a)
+}
+
+func TestFreeListRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range free did not panic")
+		}
+	}()
+	NewFreeList(2).Put(7)
+}
+
+func TestMultiQueueFIFOPerQueue(t *testing.T) {
+	m := NewMultiQueue(2, 10)
+	m.Push(0, 5)
+	m.Push(1, 6)
+	m.Push(0, 7)
+	m.Push(0, 2)
+	if m.Len(0) != 3 || m.Len(1) != 1 || m.Total() != 4 {
+		t.Fatal("lengths wrong")
+	}
+	if v, _ := m.Front(0); v != 5 {
+		t.Fatalf("Front(0) = %d", v)
+	}
+	for _, want := range []int{5, 7, 2} {
+		v, ok := m.Pop(0)
+		if !ok || v != want {
+			t.Fatalf("Pop(0) = %d,%v want %d", v, ok, want)
+		}
+	}
+	if _, ok := m.Pop(0); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+	if v, _ := m.Pop(1); v != 6 {
+		t.Fatalf("Pop(1) = %d", v)
+	}
+}
+
+func TestMultiQueueDoubleEnqueuePanics(t *testing.T) {
+	m := NewMultiQueue(2, 4)
+	m.Push(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double enqueue did not panic")
+		}
+	}()
+	m.Push(1, 1)
+}
+
+func TestMultiQueueWithFreeListInvariants(t *testing.T) {
+	// Simulate the shared-buffer manager: allocate from the free list,
+	// enqueue to a random output queue, randomly serve queues, free.
+	const size, queues = 64, 8
+	fl := NewFreeList(size)
+	mq := NewMultiQueue(queues, size)
+	rng := rand.New(rand.NewPCG(3, 9))
+	for step := 0; step < 100_000; step++ {
+		if rng.IntN(2) == 0 {
+			if a, ok := fl.Get(); ok {
+				mq.Push(rng.IntN(queues), a)
+			}
+		} else {
+			q := rng.IntN(queues)
+			if a, ok := mq.Pop(q); ok {
+				fl.Put(a)
+			}
+		}
+		if fl.Free()+mq.Total() != size {
+			t.Fatalf("step %d: leak — free %d + queued %d != %d", step, fl.Free(), mq.Total(), size)
+		}
+	}
+	sum := 0
+	for q := 0; q < queues; q++ {
+		sum += mq.Len(q)
+	}
+	if sum != mq.Total() {
+		t.Fatalf("per-queue lengths %d != total %d", sum, mq.Total())
+	}
+}

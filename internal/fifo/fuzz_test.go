@@ -1,0 +1,87 @@
+package fifo
+
+import "testing"
+
+// FuzzFreeListMultiQueue drives the shared-buffer management pair with an
+// arbitrary operation string and checks the no-leak/no-double-use
+// invariants after every step.
+func FuzzFreeListMultiQueue(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0, 0, 0, 0, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		const size, queues = 16, 4
+		fl := NewFreeList(size)
+		mq := NewMultiQueue(queues, size)
+		for _, op := range ops {
+			q := int(op>>4) % queues
+			if op&1 == 0 {
+				if a, ok := fl.Get(); ok {
+					mq.Push(q, a)
+				}
+			} else {
+				if a, ok := mq.Pop(q); ok {
+					fl.Put(a)
+				}
+			}
+			if fl.Free()+mq.Total() != size {
+				t.Fatalf("leak after op %x: free %d + queued %d != %d", op, fl.Free(), mq.Total(), size)
+			}
+		}
+	})
+}
+
+// FuzzRing compares the Ring against a reference slice queue under an
+// arbitrary operation string.
+func FuzzRing(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		r := NewRing[int](8)
+		var ref []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				ok := r.Push(next)
+				if ok != (len(ref) < 8) {
+					t.Fatal("push acceptance mismatch")
+				}
+				if ok {
+					ref = append(ref, next)
+				}
+				next++
+			case 1:
+				v, ok := r.Pop()
+				if ok != (len(ref) > 0) {
+					t.Fatal("pop availability mismatch")
+				}
+				if ok {
+					if v != ref[0] {
+						t.Fatalf("pop %d, want %d", v, ref[0])
+					}
+					ref = ref[1:]
+				}
+			case 2:
+				i := int(op>>2) % 8
+				v, ok := r.RemoveAt(i)
+				if ok != (i < len(ref)) {
+					t.Fatal("removeAt availability mismatch")
+				}
+				if ok {
+					if v != ref[i] {
+						t.Fatalf("removeAt %d, want %d", v, ref[i])
+					}
+					ref = append(ref[:i], ref[i+1:]...)
+				}
+			}
+			if r.Len() != len(ref) {
+				t.Fatal("length divergence")
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+// Package sar segments variable-size packets into fixed-size cells for
+// the pipelined memory switch and reassembles them at the outputs.
+//
+// §3.5 of the paper requires every packet to be "an integer multiple of a
+// basic quantum"; the core model (internal/core) fixes cells at exactly
+// one quantum and this package supplies the multiple: a packet of m·K
+// words travels as m cells injected back-to-back on its incoming link.
+// Because the switch keeps per-(output, VC) descriptor queues in FIFO
+// order and a link transmits cells without reordering, the m cells of a
+// packet arrive at the output in order (possibly interleaved with other
+// inputs' cells), and reassembly needs only one open context per
+// (input, output, VC) — the same invariant ATM's AAL5 relies on.
+//
+// Packet-level cut-through composes from cell-level cut-through: the
+// first cell's head can leave the switch while the last cell has not yet
+// entered it.
+package sar
+
+import (
+	"fmt"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/core"
+)
+
+// Packet is a variable-size unit of m·K words.
+type Packet struct {
+	// ID identifies the packet end to end.
+	ID uint64
+	// Src, Dst, VC as in cells.
+	Src, Dst, VC int
+	// Words is the payload; its length must be a positive multiple of
+	// the switch's cell size K (§3.5: pad at a higher layer if needed).
+	Words []cell.Word
+}
+
+// Cells returns the packet size in cells for cell size k.
+func (p *Packet) Cells(k int) int { return (len(p.Words) + k - 1) / k }
+
+// Segmenter slices packets into cells and meters them onto an input link
+// (one cell head every K cycles while a packet is in transit).
+type Segmenter struct {
+	k     int
+	width int
+	// queue of remaining cells per input, with packet bookkeeping.
+	pending [][]*cell.Cell
+	nextSeq uint64
+}
+
+// NewSegmenter builds a segmenter for an n-input switch with K-word
+// cells of the given word width.
+func NewSegmenter(n, k, width int) *Segmenter {
+	return &Segmenter{k: k, width: width, pending: make([][]*cell.Cell, n)}
+}
+
+// Offer enqueues a packet for segmentation at input src. It returns the
+// number of cells the packet became, or an error if the size is not a
+// positive multiple of K.
+func (s *Segmenter) Offer(p *Packet) (int, error) {
+	if len(p.Words) == 0 || len(p.Words)%s.k != 0 {
+		return 0, fmt.Errorf("sar: packet of %d words is not a positive multiple of the %d-word quantum (§3.5)", len(p.Words), s.k)
+	}
+	m := len(p.Words) / s.k
+	for i := 0; i < m; i++ {
+		s.nextSeq++
+		c := &cell.Cell{
+			Seq: s.nextSeq,
+			Src: p.Src, Dst: p.Dst, VC: p.VC,
+			Words: p.Words[i*s.k : (i+1)*s.k],
+		}
+		// The cell sequence within the packet and the packet identity
+		// ride in the header word's upper bits in a real design; the
+		// simulator keeps them in the descriptor map of the Reassembler,
+		// keyed by Seq, so payload words stay untouched.
+		s.pending[p.Src] = append(s.pending[p.Src], c)
+	}
+	return m, nil
+}
+
+// Backlog returns the number of cells awaiting injection at input i.
+func (s *Segmenter) Backlog(i int) int { return len(s.pending[i]) }
+
+// Next pops the next cell to inject at input i, or nil. The caller must
+// respect the K-cycle head spacing (inject at most one head per K cycles
+// per input).
+func (s *Segmenter) Next(i int) *cell.Cell {
+	if len(s.pending[i]) == 0 {
+		return nil
+	}
+	c := s.pending[i][0]
+	s.pending[i] = s.pending[i][1:]
+	return c
+}
+
+// key identifies a reassembly context.
+type key struct{ src, out, vc int }
+
+// open is an in-progress packet at an output.
+type open struct {
+	id    uint64
+	words []cell.Word
+	need  int
+	start int64
+}
+
+// Done is a fully reassembled packet at an output.
+type Done struct {
+	Packet *Packet
+	Output int
+	// HeadOut is the cycle the packet's first word left the switch;
+	// TailOut the last word of its last cell.
+	HeadOut, TailOut int64
+}
+
+// Reassembler rebuilds packets from the switch's departures.
+type Reassembler struct {
+	k int
+	// meta maps cell Seq → (packet, index within packet, cells total).
+	meta map[uint64]cellMeta
+	open map[key]*open
+	done []Done
+}
+
+type cellMeta struct {
+	pkt   *Packet
+	index int
+	total int
+}
+
+// NewReassembler builds a reassembler for K-word cells.
+func NewReassembler(k int) *Reassembler {
+	return &Reassembler{k: k, meta: make(map[uint64]cellMeta), open: make(map[key]*open)}
+}
+
+// Expect registers a packet's cells. It must be called with the same
+// sequence numbers the Segmenter assigned, i.e. right after Offer: the
+// seq values are firstSeq … firstSeq+cells-1.
+func (r *Reassembler) Expect(p *Packet, firstSeq uint64) {
+	m := len(p.Words) / r.k
+	for i := 0; i < m; i++ {
+		r.meta[firstSeq+uint64(i)] = cellMeta{pkt: p, index: i, total: m}
+	}
+}
+
+// Accept consumes one switch departure. It returns an error on protocol
+// violations: unknown cells, out-of-order cells within a packet, or
+// payload corruption.
+func (r *Reassembler) Accept(d core.Departure) error {
+	m, ok := r.meta[d.Cell.Seq]
+	if !ok {
+		return fmt.Errorf("sar: departure of unknown cell %d", d.Cell.Seq)
+	}
+	delete(r.meta, d.Cell.Seq)
+	k := key{src: d.Cell.Src, out: d.Output, vc: d.VC}
+	ctx := r.open[k]
+	if m.index == 0 {
+		if ctx != nil {
+			return fmt.Errorf("sar: packet %d opened while %d incomplete on %v", m.pkt.ID, ctx.id, k)
+		}
+		ctx = &open{id: m.pkt.ID, need: m.total, start: d.HeadOut}
+		r.open[k] = ctx
+	} else if ctx == nil || ctx.id != m.pkt.ID {
+		return fmt.Errorf("sar: cell %d of packet %d arrived out of order", m.index, m.pkt.ID)
+	}
+	ctx.words = append(ctx.words, d.Cell.Words...)
+	ctx.need--
+	if ctx.need > 0 {
+		return nil
+	}
+	delete(r.open, k)
+	if len(ctx.words) != len(m.pkt.Words) {
+		return fmt.Errorf("sar: packet %d reassembled to %d words, want %d", m.pkt.ID, len(ctx.words), len(m.pkt.Words))
+	}
+	for i := range ctx.words {
+		if ctx.words[i] != m.pkt.Words[i] {
+			return fmt.Errorf("sar: packet %d corrupted at word %d", m.pkt.ID, i)
+		}
+	}
+	r.done = append(r.done, Done{
+		Packet: m.pkt, Output: d.Output,
+		HeadOut: ctx.start, TailOut: d.TailOut,
+	})
+	return nil
+}
+
+// Drain returns the packets completed since the last call.
+func (r *Reassembler) Drain() []Done {
+	d := r.done
+	r.done = nil
+	return d
+}
+
+// OpenContexts returns the number of partially reassembled packets.
+func (r *Reassembler) OpenContexts() int { return len(r.open) }

@@ -1,0 +1,234 @@
+package sar
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/core"
+)
+
+func mkPacket(rng *rand.Rand, id uint64, src, dst, vc, words, width int) *Packet {
+	p := &Packet{ID: id, Src: src, Dst: dst, VC: vc, Words: make([]cell.Word, words)}
+	for i := range p.Words {
+		p.Words[i] = cell.Word(rng.Uint64()).Mask(width)
+	}
+	return p
+}
+
+// harness wires a segmenter and reassembler around a switch.
+type harness struct {
+	sw  *core.Switch
+	seg *Segmenter
+	rea *Reassembler
+	n   int
+	// per-input cycles until the link is free for the next head
+	busy []int
+	t    *testing.T
+}
+
+func newHarness(t *testing.T, ports, cells int) *harness {
+	t.Helper()
+	sw, err := core.New(core.Config{Ports: ports, WordBits: 16, Cells: cells, CutThrough: true, VCs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sw.Config().Stages
+	return &harness{
+		sw:   sw,
+		seg:  NewSegmenter(ports, k, 16),
+		rea:  NewReassembler(k),
+		n:    ports,
+		busy: make([]int, ports),
+		t:    t,
+	}
+}
+
+// offer registers a packet with both sides.
+func (h *harness) offer(p *Packet) {
+	h.t.Helper()
+	first := h.seg.nextSeq + 1
+	if _, err := h.seg.Offer(p); err != nil {
+		h.t.Fatal(err)
+	}
+	h.rea.Expect(p, first)
+}
+
+// step advances one cycle, injecting pending cells where links are free.
+func (h *harness) step() {
+	var heads []*cell.Cell
+	for i := 0; i < h.n; i++ {
+		if h.busy[i] > 0 {
+			h.busy[i]--
+			continue
+		}
+		if c := h.seg.Next(i); c != nil {
+			if heads == nil {
+				heads = make([]*cell.Cell, h.n)
+			}
+			heads[i] = c
+			h.busy[i] = h.sw.Config().Stages - 1
+		}
+	}
+	h.sw.Tick(heads)
+	for _, d := range h.sw.Drain() {
+		if err := h.rea.Accept(d); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+func TestOfferValidatesQuantum(t *testing.T) {
+	h := newHarness(t, 2, 16)
+	k := h.sw.Config().Stages
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := h.seg.Offer(mkPacket(rng, 1, 0, 1, 0, k+1, 16)); err == nil {
+		t.Fatal("non-multiple packet accepted")
+	}
+	if _, err := h.seg.Offer(mkPacket(rng, 1, 0, 1, 0, 0, 16)); err == nil {
+		t.Fatal("empty packet accepted")
+	}
+	m, err := h.seg.Offer(mkPacket(rng, 1, 0, 1, 0, 3*k, 16))
+	if err != nil || m != 3 {
+		t.Fatalf("3-quantum packet: m=%d err=%v", m, err)
+	}
+	if h.seg.Backlog(0) != 3 {
+		t.Fatalf("backlog %d", h.seg.Backlog(0))
+	}
+}
+
+// TestSinglePacketMultiQuantum: a 4-cell packet crosses intact, and its
+// head leaves before its tail has entered — packet-level cut-through.
+func TestSinglePacketMultiQuantum(t *testing.T) {
+	h := newHarness(t, 2, 16)
+	k := h.sw.Config().Stages
+	rng := rand.New(rand.NewPCG(2, 2))
+	p := mkPacket(rng, 7, 0, 1, 0, 4*k, 16)
+	h.offer(p)
+	for i := 0; i < 12*k; i++ {
+		h.step()
+	}
+	done := h.rea.Drain()
+	if len(done) != 1 {
+		t.Fatalf("%d packets reassembled", len(done))
+	}
+	d := done[0]
+	if d.Packet.ID != 7 || d.Output != 1 {
+		t.Fatalf("wrong packet/output: %+v", d)
+	}
+	// Head out at cycle 2 (cell-level cut-through); the packet's tail
+	// enters the switch only at cycle 4K-1. Packet-level cut-through:
+	// HeadOut ≪ tail arrival.
+	if d.HeadOut >= int64(k) {
+		t.Fatalf("head out at %d: no packet-level cut-through", d.HeadOut)
+	}
+	if d.TailOut < int64(4*k) {
+		t.Fatalf("tail out at %d, before the packet could even arrive", d.TailOut)
+	}
+	if h.rea.OpenContexts() != 0 {
+		t.Fatal("leaked reassembly context")
+	}
+}
+
+// TestInterleavedSourcesReassemble: many packets from all inputs to all
+// outputs, random sizes, interleaving at the outputs — every packet must
+// reassemble exactly once, intact (Accept errors otherwise).
+func TestInterleavedSourcesReassemble(t *testing.T) {
+	const ports = 4
+	h := newHarness(t, ports, 128)
+	k := h.sw.Config().Stages
+	rng := rand.New(rand.NewPCG(3, 3))
+	var id uint64
+	offered := 0
+	for round := 0; round < 30; round++ {
+		for src := 0; src < ports; src++ {
+			id++
+			m := 1 + rng.IntN(4)
+			h.offer(mkPacket(rng, id, src, rng.IntN(ports), rng.IntN(2), m*k, 16))
+			offered++
+		}
+		for i := 0; i < 3*k; i++ {
+			h.step()
+		}
+	}
+	// Drain everything.
+	for i := 0; i < 300*k; i++ {
+		h.step()
+	}
+	done := h.rea.Drain()
+	if len(done) != offered {
+		t.Fatalf("reassembled %d of %d packets", len(done), offered)
+	}
+	if h.rea.OpenContexts() != 0 {
+		t.Fatalf("%d contexts leaked", h.rea.OpenContexts())
+	}
+}
+
+// TestPerFlowOrderAcrossVCs: two flows from the same input to the same
+// output on different VCs interleave freely but each reassembles.
+func TestPerFlowOrderAcrossVCs(t *testing.T) {
+	h := newHarness(t, 2, 64)
+	k := h.sw.Config().Stages
+	rng := rand.New(rand.NewPCG(4, 4))
+	// Alternate offering packets on VC0 and VC1 from input 0 to output 1.
+	var id uint64
+	for i := 0; i < 10; i++ {
+		id++
+		h.offer(mkPacket(rng, id, 0, 1, i%2, 2*k, 16))
+	}
+	for i := 0; i < 200*k; i++ {
+		h.step()
+	}
+	done := h.rea.Drain()
+	if len(done) != 10 {
+		t.Fatalf("reassembled %d of 10", len(done))
+	}
+}
+
+// TestUnknownCellRejected: a departure the reassembler never expected is
+// a protocol violation.
+func TestUnknownCellRejected(t *testing.T) {
+	r := NewReassembler(4)
+	err := r.Accept(core.Departure{Cell: &cell.Cell{Seq: 999, Words: make([]cell.Word, 4)}})
+	if err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}
+
+// TestReassemblerRejectsProtocolViolations: crafted departures that
+// violate per-flow ordering are detected, not silently absorbed.
+func TestReassemblerRejectsProtocolViolations(t *testing.T) {
+	const k = 4
+	r := NewReassembler(k)
+	rng := rand.New(rand.NewPCG(9, 9))
+	p1 := mkPacket(rng, 1, 0, 1, 0, 2*k, 16)
+	p2 := mkPacket(rng, 2, 0, 1, 0, 2*k, 16)
+	r.Expect(p1, 1) // cells 1,2
+	r.Expect(p2, 3) // cells 3,4
+
+	dep := func(seq uint64, words []cell.Word) core.Departure {
+		return core.Departure{
+			Cell:     &cell.Cell{Seq: seq, Src: 0, Dst: 1, Words: words},
+			Expected: &cell.Cell{Seq: seq},
+			Output:   1,
+		}
+	}
+	// Out of order within a packet: cell 2 before cell 1.
+	if err := r.Accept(dep(2, p1.Words[k:])); err == nil {
+		t.Fatal("mid-packet cell accepted without its head")
+	}
+	// Proper head, then an interleaved second packet's head on the same
+	// (src, out, vc): a context collision.
+	if err := r.Accept(dep(1, p1.Words[:k])); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Accept(dep(3, p2.Words[:k])); err == nil {
+		t.Fatal("second packet opened while first incomplete on the same flow")
+	}
+	// Corrupted payload on the closing cell.
+	bad := append([]cell.Word(nil), p1.Words[k:]...)
+	bad[0] ^= 1
+	if err := r.Accept(dep(2, bad)); err == nil {
+		t.Fatal("corrupted reassembly accepted")
+	}
+}

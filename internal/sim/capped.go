@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"pipemem/internal/fifo"
+)
+
+// CappedSharedBuffer is shared buffering with a per-output occupancy
+// limit: no single output's queue may hold more than OutCap cells even
+// when the shared pool has room.
+//
+// It addresses the classic weakness of a pure shared buffer that the
+// paper's §2.2 sizing numbers implicitly assume away (uniform traffic): a
+// hotspot output can monopolize the whole pool, so cells for *cold*
+// outputs — which could have departed immediately — are dropped too. A
+// per-output threshold keeps the sharing advantage for well-behaved
+// traffic while bounding the hog. (PRIZMA-class chips shipped exactly
+// such output thresholds; the mechanism is part of the §3.3 "buffer
+// management circuits", orthogonal to the pipelined datapath.)
+type CappedSharedBuffer struct {
+	n      int
+	outCap int
+	queues *fifo.MultiQueue
+	items  []item
+	free   *fifo.FreeList
+	m      *Metrics
+}
+
+// NewCappedSharedBuffer builds an n×n shared buffer of bufCap total cells
+// with at most outCap cells queued per output.
+func NewCappedSharedBuffer(n, bufCap, outCap int) *CappedSharedBuffer {
+	return &CappedSharedBuffer{
+		n:      n,
+		outCap: outCap,
+		queues: fifo.NewMultiQueue(n, bufCap),
+		items:  make([]item, bufCap),
+		free:   fifo.NewFreeList(bufCap),
+		m:      newMetrics(),
+	}
+}
+
+// N implements Arch.
+func (s *CappedSharedBuffer) N() int { return s.n }
+
+// Name implements Arch.
+func (s *CappedSharedBuffer) Name() string { return "shared-capped" }
+
+// Metrics implements Arch.
+func (s *CappedSharedBuffer) Metrics() *Metrics { return s.m }
+
+// Resident implements Arch.
+func (s *CappedSharedBuffer) Resident() int { return s.queues.Total() }
+
+// Step implements Arch.
+func (s *CappedSharedBuffer) Step(arrivals []int) {
+	for _, d := range arrivals {
+		if d == NoArrival {
+			continue
+		}
+		if s.queues.Len(d) >= s.outCap {
+			s.m.arrival(d, false) // the hog pays, not the pool
+			continue
+		}
+		addr, ok := s.free.Get()
+		if !ok {
+			s.m.arrival(d, false)
+			continue
+		}
+		s.items[addr] = item{dst: d, t: s.m.Slot}
+		s.queues.Push(d, addr)
+		s.m.arrival(d, true)
+	}
+	for o := 0; o < s.n; o++ {
+		if addr, ok := s.queues.Pop(o); ok {
+			s.m.departure(s.items[addr].t)
+			s.free.Put(addr)
+		}
+	}
+	s.m.Slot++
+}

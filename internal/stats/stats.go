@@ -1,0 +1,219 @@
+// Package stats provides the measurement primitives the simulators in this
+// repository share: streaming mean/variance trackers, integer histograms,
+// loss/throughput counters and batch-mean confidence intervals.
+//
+// All types have useful zero values and are not safe for concurrent use;
+// every simulator owns its own instances.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean accumulates a streaming mean and variance using Welford's method,
+// which is numerically stable for the long runs (10⁷–10⁸ samples) the loss
+// experiments need.
+type Mean struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add records one sample.
+func (m *Mean) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of samples recorded.
+func (m *Mean) N() int64 { return m.n }
+
+// Mean returns the sample mean, or 0 if no samples were recorded.
+func (m *Mean) Mean() float64 { return m.mean }
+
+// Var returns the unbiased sample variance, or 0 for fewer than 2 samples.
+func (m *Mean) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Mean) StdDev() float64 { return math.Sqrt(m.Var()) }
+
+// Merge folds another accumulator into m (parallel-run reduction).
+func (m *Mean) Merge(o *Mean) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *o
+		return
+	}
+	n := m.n + o.n
+	d := o.mean - m.mean
+	m.m2 += o.m2 + d*d*float64(m.n)*float64(o.n)/float64(n)
+	m.mean += d * float64(o.n) / float64(n)
+	m.n = n
+}
+
+// Hist is a fixed-width integer histogram with an overflow bucket, used for
+// latency and occupancy distributions.
+type Hist struct {
+	buckets  []int64
+	overflow int64
+	total    int64
+	sum      float64
+	max      int64
+}
+
+// NewHist returns a histogram that resolves values 0..n-1 individually and
+// counts everything ≥ n in a single overflow bucket.
+func NewHist(n int) *Hist {
+	return &Hist{buckets: make([]int64, n)}
+}
+
+// Add records one non-negative integer sample.
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram sample %d", v))
+	}
+	if int(v) < len(h.buckets) {
+		h.buckets[v]++
+	} else {
+		h.overflow++
+	}
+	h.total++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the total sample count.
+func (h *Hist) N() int64 { return h.total }
+
+// Mean returns the mean of all samples (including overflowed values, which
+// contribute their true magnitude to the mean).
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest sample seen.
+func (h *Hist) Max() int64 { return h.max }
+
+// Count returns the number of samples equal to v, or the overflow count if
+// v is beyond the resolved range.
+func (h *Hist) Count(v int64) int64 {
+	if int(v) < len(h.buckets) {
+		return h.buckets[v]
+	}
+	return h.overflow
+}
+
+// Quantile returns the smallest resolved value x such that at least q of
+// the samples are ≤ x. Overflowed samples count as the overflow boundary.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for v, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return int64(v)
+		}
+	}
+	return int64(len(h.buckets))
+}
+
+// Counter tallies named integer events (arrivals, departures, drops…).
+type Counter struct {
+	counts map[string]int64
+}
+
+// Inc adds delta to the named event count.
+func (c *Counter) Inc(name string, delta int64) {
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += delta
+}
+
+// Get returns the count for name (0 if never incremented).
+func (c *Counter) Get(name string) int64 { return c.counts[name] }
+
+// Names returns all event names in sorted order.
+func (c *Counter) Names() []string {
+	names := make([]string, 0, len(c.counts))
+	for n := range c.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Ratio returns Get(num)/Get(den), or 0 when the denominator is zero. It is
+// the canonical loss-probability and utilization accessor.
+func (c *Counter) Ratio(num, den string) float64 {
+	d := c.Get(den)
+	if d == 0 {
+		return 0
+	}
+	return float64(c.Get(num)) / float64(d)
+}
+
+// BatchMeans implements the method of batch means: samples are grouped into
+// fixed-size batches and a confidence interval is computed over batch
+// averages, sidestepping the autocorrelation of queueing processes.
+type BatchMeans struct {
+	batchSize int64
+	cur       Mean
+	batches   Mean
+}
+
+// NewBatchMeans returns an estimator with the given batch size.
+func NewBatchMeans(batchSize int64) *BatchMeans {
+	if batchSize < 1 {
+		panic("stats: batch size must be ≥ 1")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add records a sample, closing a batch when it fills.
+func (b *BatchMeans) Add(x float64) {
+	b.cur.Add(x)
+	if b.cur.N() == b.batchSize {
+		b.batches.Add(b.cur.Mean())
+		b.cur = Mean{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.batches.N() }
+
+// Mean returns the grand mean over completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// HalfWidth95 returns the half-width of a ~95% confidence interval over
+// batch means (normal approximation, 1.96·s/√k). It returns +Inf for fewer
+// than 2 batches.
+func (b *BatchMeans) HalfWidth95() float64 {
+	k := b.batches.N()
+	if k < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * b.batches.StdDev() / math.Sqrt(float64(k))
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	if m.Mean() != 0 || m.Var() != 0 || m.N() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.N() != 8 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if got := m.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	// Population variance of this classic data set is 4; sample variance
+	// is 4*8/7.
+	if got := m.Var(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Fatalf("var = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestMeanMergeMatchesSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var all, ma, mb Mean
+		for _, x := range a {
+			sanitize(&x)
+			all.Add(x)
+			ma.Add(x)
+		}
+		for _, x := range b {
+			sanitize(&x)
+			all.Add(x)
+			mb.Add(x)
+		}
+		ma.Merge(&mb)
+		return ma.N() == all.N() &&
+			closeEnough(ma.Mean(), all.Mean()) &&
+			closeEnough(ma.Var(), all.Var())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(x *float64) {
+	if math.IsNaN(*x) || math.IsInf(*x, 0) {
+		*x = 0
+	}
+	// Keep magnitudes moderate so float comparisons stay meaningful.
+	*x = math.Mod(*x, 1e6)
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+}
+
+func TestHist(t *testing.T) {
+	h := NewHist(10)
+	for i := int64(0); i < 5; i++ {
+		h.Add(i)
+	}
+	h.Add(100) // overflow
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Count(3) != 1 || h.Count(50) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	want := (0 + 1 + 2 + 3 + 4 + 100) / 6.0
+	if math.Abs(h.Mean()-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), want)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := NewHist(100)
+	for i := int64(1); i <= 100; i++ {
+		h.Add(i - 1) // values 0..99 once each
+	}
+	if q := h.Quantile(0.5); q != 49 {
+		t.Fatalf("median = %d, want 49", q)
+	}
+	if q := h.Quantile(0.99); q != 98 {
+		t.Fatalf("p99 = %d, want 98", q)
+	}
+	if q := h.Quantile(1.0); q != 99 {
+		t.Fatalf("p100 = %d, want 99", q)
+	}
+}
+
+func TestHistNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHist(4).Add(-1)
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Get("x") != 0 {
+		t.Fatal("zero value should read 0")
+	}
+	c.Inc("arrivals", 10)
+	c.Inc("drops", 1)
+	c.Inc("arrivals", 5)
+	if c.Get("arrivals") != 15 || c.Get("drops") != 1 {
+		t.Fatal("counts wrong")
+	}
+	if got := c.Ratio("drops", "arrivals"); math.Abs(got-1.0/15) > 1e-15 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := c.Ratio("drops", "missing"); got != 0 {
+		t.Fatalf("Ratio with zero denominator = %v, want 0", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "arrivals" || names[1] != "drops" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(100)
+	if !math.IsInf(b.HalfWidth95(), 1) {
+		t.Fatal("half-width with no batches must be +Inf")
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 100_000; i++ {
+		b.Add(rng.Float64()) // uniform(0,1): mean 0.5
+	}
+	if b.Batches() != 1000 {
+		t.Fatalf("Batches = %d", b.Batches())
+	}
+	if math.Abs(b.Mean()-0.5) > 0.01 {
+		t.Fatalf("Mean = %v, want ≈0.5", b.Mean())
+	}
+	hw := b.HalfWidth95()
+	if hw <= 0 || hw > 0.01 {
+		t.Fatalf("HalfWidth95 = %v, implausible", hw)
+	}
+	// The true mean should be inside the interval (w.h.p.).
+	if math.Abs(b.Mean()-0.5) > 3*hw {
+		t.Fatalf("true mean outside 3× interval: mean=%v hw=%v", b.Mean(), hw)
+	}
+}
+
+func TestBatchMeansPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBatchMeans(0)
+}

@@ -1,0 +1,150 @@
+package telegraphos
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// creditRun drives one input back-to-back into one output with the given
+// allowance and reverse-channel delay, the receiver crediting immediately
+// on each departure, and returns the sustained throughput in cells per
+// cell time.
+func creditRun(t *testing.T, credits int, delay int64, cellTimes int) float64 {
+	t.Helper()
+	m := TelegraphosII() // 4×4, K = 8
+	s, err := NewSwitch(m, credits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCreditDelay(delay)
+	rng := rand.New(rand.NewPCG(21, 21))
+	var seq uint64
+	delivered := 0
+	for c := 0; c < cellTimes*m.Stages; c++ {
+		var pkts []*Packet
+		if c%m.Stages == 0 {
+			seq++
+			pkts = make([]*Packet, m.Ports)
+			pkts[0] = newPacket(m, rng, seq, 0) // header 0 → output 0
+		}
+		s.Tick(pkts)
+		for range s.Drain() {
+			delivered++
+			s.ReturnCredit(0)
+		}
+	}
+	return float64(delivered) / float64(cellTimes)
+}
+
+// TestCreditBandwidthDelayProduct reproduces the sizing rule of
+// credit-based flow control: with reverse-channel delay D cycles and
+// cell time K, a window of `credits` cells sustains throughput
+// ≈ min(1, credits·K / (K + D + 1)) — the +1 because the receiver can
+// only free (and credit) a buffer once the TAIL word has landed, one
+// cycle after the link goes quiet. One credit over a long round trip
+// throttles the link; enough credits to cover the round trip restore
+// full rate. This is the rule that sizes the [KVES95] credit counters.
+func TestCreditBandwidthDelayProduct(t *testing.T) {
+	const k = 8 // Telegraphos II cell time
+	for _, tc := range []struct {
+		credits int
+		delay   int64
+	}{
+		{1, 0}, {1, 24}, {2, 24}, {4, 24}, {2, 56}, {8, 56},
+	} {
+		got := creditRun(t, tc.credits, tc.delay, 600)
+		want := math.Min(1, float64(tc.credits)*k/float64(k+int(tc.delay)+1))
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("credits=%d delay=%d: throughput %.3f, BDP rule predicts %.3f",
+				tc.credits, tc.delay, got, want)
+		}
+	}
+}
+
+// TestCreditDelayZeroIsImmediate: delay 0 behaves exactly like the
+// undelayed path.
+func TestCreditDelayZeroIsImmediate(t *testing.T) {
+	a := creditRun(t, 2, 0, 300)
+	if a < 0.95 { // 2 credits cover the K+1 effective round trip
+		t.Fatalf("undelayed 2-credit run throttled: %.3f", a)
+	}
+}
+
+// TestCreditDelayNegativeClamped.
+func TestCreditDelayNegativeClamped(t *testing.T) {
+	m := TelegraphosII()
+	s, err := NewSwitch(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCreditDelay(-5) // clamps to 0; must not panic or stall
+	rng := rand.New(rand.NewPCG(3, 3))
+	pkts := make([]*Packet, m.Ports)
+	pkts[0] = newPacket(m, rng, 1, 0)
+	s.Tick(pkts)
+	for i := 0; i < 6*m.Stages; i++ {
+		s.Tick(nil)
+	}
+	if len(s.Drain()) != 1 {
+		t.Fatal("packet lost with clamped delay")
+	}
+}
+
+// TestVCCreditDelay: per-VC credits honour the delay too.
+func TestVCCreditDelay(t *testing.T) {
+	m := TelegraphosII()
+	s, err := NewVCSwitch(m, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCreditDelay(40)
+	rng := rand.New(rand.NewPCG(5, 5))
+	var seq uint64
+	delivered := 0
+	const cellTimes = 300
+	for c := 0; c < cellTimes*m.Stages; c++ {
+		var pkts []*Packet
+		if c%m.Stages == 0 {
+			seq++
+			pkts = make([]*Packet, m.Ports)
+			p := newPacket(m, rng, seq, 0)
+			p.VC = 1
+			pkts[0] = p
+		}
+		s.Tick(pkts)
+		for range s.Drain() {
+			delivered++
+			s.ReturnVCCredit(0, 1)
+		}
+	}
+	got := float64(delivered) / cellTimes
+	want := 8.0 / (8 + 40 + 1)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("VC throughput %.3f, BDP rule %.3f", got, want)
+	}
+}
+
+// Example-style documentation of the BDP table (not asserted tightly —
+// the tight assertions are above).
+func TestCreditSizingTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	var rows []string
+	for _, credits := range []int{1, 2, 4, 8} {
+		thr := creditRun(t, credits, 56, 400)
+		rows = append(rows, fmt.Sprintf("credits=%d delay=56: %.2f", credits, thr))
+	}
+	// Monotone non-decreasing in credits.
+	prev := -1.0
+	for i, credits := range []int{1, 2, 4, 8} {
+		thr := creditRun(t, credits, 56, 400)
+		if thr+0.02 < prev {
+			t.Fatalf("throughput fell with more credits: %v (row %d)", rows, i)
+		}
+		prev = thr
+		_ = credits
+	}
+}

@@ -1,0 +1,153 @@
+package telegraphos
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pipemem/internal/cell"
+)
+
+func vcPacket(m Model, rng *rand.Rand, seq, header uint64, vc int) *Packet {
+	payload := make([]cell.Word, m.Stages-1)
+	for i := range payload {
+		payload[i] = cell.Word(rng.Uint64()).Mask(m.WordBits)
+	}
+	return &Packet{Header: header, Payload: payload, Seq: seq, VC: vc}
+}
+
+func TestNewVCSwitchValidation(t *testing.T) {
+	if _, err := NewVCSwitch(TelegraphosII(), 0, 4); err == nil {
+		t.Fatal("0 VCs accepted")
+	}
+	s, err := NewVCSwitch(TelegraphosII(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VCCredits(0, 0) != 3 || s.VCCredits(0, 1) != 3 {
+		t.Fatal("VC credits not initialized")
+	}
+	// Plain switch reports 0 for VC credits.
+	plain, err := NewSwitch(TelegraphosII(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.VCCredits(0, 0) != 0 {
+		t.Fatal("plain switch should report 0 VC credits")
+	}
+	plain.ReturnVCCredit(0, 0) // must be a no-op, not a panic
+}
+
+// TestVCLevelFlowControlIsolation is the [KVES95] headline property: a
+// receiver that stops crediting one VC stalls only that VC's packets; the
+// same outgoing link keeps carrying the other VC at full rate. Link-level
+// credits cannot do this — the companion paper's reason for VC-level
+// accounting.
+func TestVCLevelFlowControlIsolation(t *testing.T) {
+	m := TelegraphosII()
+	s, err := NewVCSwitch(m, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(8, 8))
+	// Exhaust VC 0's single credit with one packet (never re-credited),
+	// then keep sending on both VCs toward output 0.
+	var seq uint64
+	send := func(input, vc int) {
+		seq++
+		pkts := make([]*Packet, m.Ports)
+		pkts[input] = vcPacket(m, rng, seq, 0, vc) // header 0 → output 0
+		s.Tick(pkts)
+		for i := 1; i < m.Stages; i++ {
+			s.Tick(nil)
+		}
+	}
+	vcCount := map[int]int{}
+	drain := func() {
+		for _, d := range s.Drain() {
+			vcCount[d.VC]++
+			if d.VC == 1 {
+				s.ReturnVCCredit(0, 1) // the VC-1 receiver keeps up
+			}
+		}
+	}
+	for round := 0; round < 12; round++ {
+		send(0, 0) // VC 0: stalls after the first packet
+		drain()
+		send(1, 1) // VC 1: flows forever
+		drain()
+	}
+	for i := 0; i < 8*m.Stages; i++ {
+		s.Tick(nil)
+		drain()
+	}
+	if vcCount[1] != 12 {
+		t.Fatalf("VC1 delivered %d of 12 packets despite VC0 stall", vcCount[1])
+	}
+	if vcCount[0] != 1 {
+		t.Fatalf("VC0 delivered %d packets with a single never-returned credit, want 1", vcCount[0])
+	}
+	// The stalled VC's cells are parked in the shared buffer.
+	if s.Core().QueuedFor(0) == 0 {
+		t.Fatal("stalled VC0 cells not parked in the buffer")
+	}
+	// Re-crediting VC0 releases them in order.
+	got := 0
+	for i := 0; i < 12; i++ {
+		s.ReturnVCCredit(0, 0)
+		for j := 0; j < 4*m.Stages; j++ {
+			s.Tick(nil)
+		}
+		for _, d := range s.Drain() {
+			if d.VC != 0 {
+				t.Fatalf("unexpected VC %d after re-credit", d.VC)
+			}
+			got++
+		}
+	}
+	if got != 11 {
+		t.Fatalf("released %d parked VC0 packets, want 11", got)
+	}
+}
+
+// TestVCPacketsKeepTheirChannel: the VC survives translation and transit.
+func TestVCPacketsKeepTheirChannel(t *testing.T) {
+	m := TelegraphosIII()
+	s, err := NewVCSwitch(m, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	var seq uint64
+	free := make([]int, m.Ports)
+	want := map[uint64]int{}
+	for c := 0; c < 20_000; c++ {
+		pkts := make([]*Packet, m.Ports)
+		for i := range pkts {
+			if free[i] > 0 {
+				free[i]--
+				continue
+			}
+			if rng.Float64() < 0.4 {
+				seq++
+				vc := rng.IntN(4)
+				pkts[i] = vcPacket(m, rng, seq, uint64(rng.IntN(m.Ports)), vc)
+				want[seq] = vc
+				free[i] = m.Stages - 1
+			}
+		}
+		s.Tick(pkts)
+		for _, d := range s.Drain() {
+			if want[d.Expected.Seq] != d.VC {
+				t.Fatalf("packet %d changed VC: want %d got %d", d.Expected.Seq, want[d.Expected.Seq], d.VC)
+			}
+			if !d.Cell.Equal(d.Expected) {
+				t.Fatal("corruption")
+			}
+			s.ReturnVCCredit(d.Output, d.VC)
+			delete(want, d.Expected.Seq)
+		}
+	}
+	if len(want) > 64 {
+		t.Fatalf("%d packets never delivered", len(want))
+	}
+}

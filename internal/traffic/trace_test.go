@@ -1,0 +1,52 @@
+package traffic
+
+import "testing"
+
+func TestTraceReplaysSchedule(t *testing.T) {
+	sched := [][]int{
+		{1, NoArrival, 0, NoArrival},
+		{NoArrival, NoArrival, NoArrival, NoArrival},
+		{3, 2, 1, 0},
+	}
+	g, err := NewGenerator(Config{Kind: Trace, N: 4, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, 4)
+	for s, want := range sched {
+		n := g.Step(dst)
+		wantN := 0
+		for i, d := range want {
+			if d != NoArrival {
+				wantN++
+			}
+			if dst[i] != d {
+				t.Fatalf("slot %d input %d: %d, want %d", s, i, dst[i], d)
+			}
+		}
+		if n != wantN {
+			t.Fatalf("slot %d: n=%d, want %d", s, n, wantN)
+		}
+	}
+	// Past the schedule: idle forever.
+	for s := 0; s < 10; s++ {
+		if n := g.Step(dst); n != 0 {
+			t.Fatalf("post-schedule slot %d produced %d arrivals", s, n)
+		}
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{Kind: Trace, N: 4, Schedule: [][]int{{0, 1}}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := NewGenerator(Config{Kind: Trace, N: 4, Schedule: [][]int{{0, 1, 2, 9}}}); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+	if _, err := NewGenerator(Config{Kind: Trace, N: 4}); err != nil {
+		t.Fatalf("empty trace rejected: %v", err)
+	}
+	if Trace.String() != "trace" {
+		t.Fatal("Stringer")
+	}
+}

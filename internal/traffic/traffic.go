@@ -1,0 +1,364 @@
+// Package traffic generates the synthetic workloads the paper's evaluation
+// assumes: independent Bernoulli arrivals with uniformly distributed
+// destinations (the model of [KaHM87] and [HlKa88]), bursty on/off traffic
+// (the regime in which [Dally90] shows early saturation), hotspot traffic,
+// and deterministic back-to-back streams for worst-case RTL runs.
+//
+// Two granularities are provided:
+//
+//   - Generator produces one event per input port per slot, for the
+//     slot-level architecture simulators of internal/sim (one slot = one
+//     cell time).
+//   - CellStream produces word-granularity cell arrivals, for the
+//     cycle-accurate RTL models, where a cell occupies K consecutive cycles
+//     on its link and a new head may appear only on an idle link.
+//
+// All generators are deterministic given their seed (math/rand/v2 PCG).
+package traffic
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Kind selects an arrival process.
+type Kind int
+
+const (
+	// Bernoulli is i.i.d. arrivals: each input receives a cell in each
+	// slot with probability Load, destination uniform over outputs.
+	Bernoulli Kind = iota
+	// Bursty is an on/off process: geometrically distributed bursts of
+	// mean length BurstLen, every cell of a burst addressed to the same
+	// destination, separated by geometrically distributed idle gaps sized
+	// to meet Load.
+	Bursty
+	// Hotspot is Bernoulli arrivals where a fraction HotFrac of cells is
+	// addressed to output HotPort and the rest uniformly.
+	Hotspot
+	// Saturation keeps every input backlogged: a cell is always available
+	// in every slot (Load is ignored), destination uniform. Used for
+	// saturation-throughput measurements.
+	Saturation
+	// Permutation is admissible full-rate traffic: in each slot (or cell
+	// time) the inputs target a rotating permutation of the outputs, so
+	// no output is ever oversubscribed. This is the workload under which
+	// a non-blocking switch sustains 100% utilization with bounded
+	// queues — the regime of the paper's full-load prototype runs (§4.4).
+	// Load scales it down Bernoulli-style.
+	Permutation
+	// Trace replays a caller-supplied schedule of arrivals verbatim
+	// (Config.Schedule); after the schedule ends the source goes idle.
+	// Used for regression scenarios and measured traces.
+	Trace Kind = 100
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Bernoulli:
+		return "bernoulli"
+	case Bursty:
+		return "bursty"
+	case Hotspot:
+		return "hotspot"
+	case Saturation:
+		return "saturation"
+	case Permutation:
+		return "permutation"
+	case Trace:
+		return "trace"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a Generator or CellStream.
+type Config struct {
+	Kind Kind
+	// N is the switch size (N inputs, N outputs).
+	N int
+	// Load is the offered load per input link in (0, 1].
+	Load float64
+	// BurstLen is the mean burst length in cells (Bursty only, ≥ 1).
+	BurstLen float64
+	// HotFrac is the fraction of traffic aimed at HotPort (Hotspot only).
+	HotFrac float64
+	// HotPort is the hotspot output (Hotspot only).
+	HotPort int
+	// Seed seeds the generator's PRNG.
+	Seed uint64
+	// Schedule is the slot-by-slot arrival plan for Kind == Trace:
+	// Schedule[s][i] is the destination arriving at input i in slot s,
+	// or NoArrival.
+	Schedule [][]int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("traffic: N = %d, need ≥ 2", c.N)
+	}
+	if c.Kind == Permutation && c.Load == 0 {
+		c.Load = 1 // callers may leave full rate implicit
+	}
+	if c.Kind == Trace {
+		for s, row := range c.Schedule {
+			if len(row) != c.N {
+				return fmt.Errorf("traffic: trace slot %d has %d entries, want %d", s, len(row), c.N)
+			}
+			for i, d := range row {
+				if d != NoArrival && (d < 0 || d >= c.N) {
+					return fmt.Errorf("traffic: trace slot %d input %d: destination %d out of range", s, i, d)
+				}
+			}
+		}
+		return nil
+	}
+	if c.Kind != Saturation && c.Kind != Permutation && (c.Load <= 0 || c.Load > 1) {
+		return fmt.Errorf("traffic: load %v out of (0,1]", c.Load)
+	}
+	if c.Kind == Bursty && c.BurstLen < 1 {
+		return fmt.Errorf("traffic: burst length %v, need ≥ 1", c.BurstLen)
+	}
+	if c.Kind == Hotspot {
+		if c.HotFrac < 0 || c.HotFrac > 1 {
+			return fmt.Errorf("traffic: hotspot fraction %v out of [0,1]", c.HotFrac)
+		}
+		if c.HotPort < 0 || c.HotPort >= c.N {
+			return fmt.Errorf("traffic: hotspot port %d out of range", c.HotPort)
+		}
+	}
+	return nil
+}
+
+// NoArrival marks an input with no arrival in a slot.
+const NoArrival = -1
+
+// Generator produces slot-level arrivals: in each slot, each input port
+// independently receives at most one cell, identified by its destination.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	// burst state, per input (Bursty only)
+	burstDst  []int
+	burstLeft []int
+	// rotation counter (Permutation only)
+	rot int64
+	// slot index (Trace only)
+	slot int
+}
+
+// NewGenerator builds a generator for the configuration.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Kind == Permutation && cfg.Load == 0 {
+		cfg.Load = 1
+	}
+	g := &Generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
+	}
+	if cfg.Kind == Bursty {
+		g.burstDst = make([]int, cfg.N)
+		g.burstLeft = make([]int, cfg.N)
+		for i := range g.burstDst {
+			g.burstDst[i] = NoArrival
+		}
+	}
+	return g, nil
+}
+
+// N returns the port count.
+func (g *Generator) N() int { return g.cfg.N }
+
+// Step fills dst (length N) with this slot's arrivals: dst[i] is the
+// destination of the cell arriving at input i, or NoArrival. It returns the
+// number of arrivals.
+func (g *Generator) Step(dst []int) int {
+	if len(dst) != g.cfg.N {
+		panic("traffic: destination slice has wrong length")
+	}
+	if g.cfg.Kind == Trace {
+		n := 0
+		for i := range dst {
+			dst[i] = NoArrival
+			if g.slot < len(g.cfg.Schedule) {
+				dst[i] = g.cfg.Schedule[g.slot][i]
+			}
+			if dst[i] != NoArrival {
+				n++
+			}
+		}
+		g.slot++
+		return n
+	}
+	n := 0
+	for i := range dst {
+		dst[i] = g.next(i)
+		if dst[i] != NoArrival {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Generator) next(input int) int {
+	c := &g.cfg
+	switch c.Kind {
+	case Bernoulli:
+		if g.rng.Float64() < c.Load {
+			return g.rng.IntN(c.N)
+		}
+		return NoArrival
+	case Saturation:
+		return g.rng.IntN(c.N)
+	case Permutation:
+		// The rotation advances once per slot; input i targets output
+		// (i + rot) mod n, so every slot's active senders form a
+		// sub-permutation and no output is oversubscribed.
+		if input == 0 {
+			g.rot++
+		}
+		if c.Load < 1 && g.rng.Float64() >= c.Load {
+			return NoArrival
+		}
+		return (input + int(g.rot)) % c.N
+	case Hotspot:
+		if g.rng.Float64() >= c.Load {
+			return NoArrival
+		}
+		if g.rng.Float64() < c.HotFrac {
+			return c.HotPort
+		}
+		return g.rng.IntN(c.N)
+	case Bursty:
+		if g.burstLeft[input] > 0 {
+			g.burstLeft[input]--
+			return g.burstDst[input]
+		}
+		// Idle: start a new burst with probability q chosen so that the
+		// long-run fraction of busy slots is Load. Mean burst B, mean
+		// idle 1/q - 1 + 1/q… we use the standard on/off construction:
+		// start probability q = Load / (BurstLen·(1-Load) + Load).
+		q := c.Load / (c.BurstLen*(1-c.Load) + c.Load)
+		if c.Load >= 1 {
+			q = 1
+		}
+		if g.rng.Float64() < q {
+			// Geometric length with mean BurstLen (support ≥ 1); this
+			// slot delivers the first cell of the burst.
+			l := 1
+			p := 1 / c.BurstLen
+			for g.rng.Float64() >= p {
+				l++
+			}
+			g.burstDst[input] = g.rng.IntN(c.N)
+			g.burstLeft[input] = l - 1
+			return g.burstDst[input]
+		}
+		return NoArrival
+	default:
+		panic("traffic: unknown kind")
+	}
+}
+
+// CellStream produces cycle-level arrivals for word-serial links: a cell of
+// CellLen words occupies CellLen consecutive cycles on its input link; after
+// a cell's tail, the link stays idle for a geometrically distributed gap
+// sized so the long-run link utilization equals Load. With Load = 1 cells
+// are back-to-back. The unconditioned probability of a cell head appearing
+// in a given cycle approaches Load/CellLen — the "p/2n" of §3.4.
+type CellStream struct {
+	cfg     Config
+	cellLen int
+	rng     *rand.Rand
+	// remaining busy cycles per input (>0 while a cell is in transit)
+	busy []int
+	// per-input cell counter (Permutation only)
+	sent []int64
+}
+
+// NewCellStream builds a word-granularity stream of cells of cellLen words.
+func NewCellStream(cfg Config, cellLen int) (*CellStream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Kind == Bursty || cfg.Kind == Hotspot {
+		return nil, fmt.Errorf("traffic: CellStream supports Bernoulli, Saturation and Permutation kinds, got %v", cfg.Kind)
+	}
+	if cellLen < 1 {
+		return nil, fmt.Errorf("traffic: cell length %d, need ≥ 1", cellLen)
+	}
+	if cfg.Kind == Permutation && cfg.Load == 0 {
+		cfg.Load = 1
+	}
+	return &CellStream{
+		cfg:     cfg,
+		cellLen: cellLen,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xbf58476d1ce4e5b9)),
+		busy:    make([]int, cfg.N),
+		sent:    make([]int64, cfg.N),
+	}, nil
+}
+
+// Heads fills dst (length N) with the destinations of cell heads appearing
+// in this cycle (NoArrival where no head appears) and returns the number of
+// heads. A head can appear only on a link that is not mid-cell.
+func (s *CellStream) Heads(dst []int) int {
+	if len(dst) != s.cfg.N {
+		panic("traffic: destination slice has wrong length")
+	}
+	n := 0
+	for i := range dst {
+		dst[i] = NoArrival
+		if s.busy[i] > 0 {
+			s.busy[i]--
+			continue
+		}
+		start := false
+		perm := false
+		switch s.cfg.Kind {
+		case Saturation:
+			start = true
+		case Permutation:
+			// At full rate all inputs run in cell-time lockstep: input i's
+			// t-th cell targets (i+t) mod n, a fresh permutation per cell
+			// time — admissible traffic that never oversubscribes an
+			// output. Below full rate, cells are thinned with the same
+			// idle-gap start probability as Bernoulli streams so the link
+			// utilization equals Load.
+			perm = true
+			if s.cfg.Load >= 1 {
+				start = true
+			} else {
+				p, k := s.cfg.Load, float64(s.cellLen)
+				start = s.rng.Float64() < p/(k*(1-p)+p)
+			}
+			if !start {
+				s.sent[i]++ // the rotation advances even for skipped cells
+			}
+		case Bernoulli:
+			// Start probability on an idle cycle such that utilization
+			// is Load: q = p / (K·(1-p) + p)… for word-serial links the
+			// busy period is K cycles, so q = p/(K(1-p)+p); p = 1 gives
+			// q = 1 (back-to-back).
+			p, k := s.cfg.Load, float64(s.cellLen)
+			q := p / (k*(1-p) + p)
+			start = s.rng.Float64() < q
+		}
+		if start {
+			if perm {
+				dst[i] = (i + int(s.sent[i])) % s.cfg.N
+				s.sent[i]++
+			} else {
+				dst[i] = s.rng.IntN(s.cfg.N)
+			}
+			s.busy[i] = s.cellLen - 1
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,243 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{Kind: Bernoulli, N: 4, Load: 0.5, Seed: 1}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Kind: Bernoulli, N: 1, Load: 0.5},
+		{Kind: Bernoulli, N: 4, Load: 0},
+		{Kind: Bernoulli, N: 4, Load: 1.5},
+		{Kind: Bursty, N: 4, Load: 0.5, BurstLen: 0.5},
+		{Kind: Hotspot, N: 4, Load: 0.5, HotFrac: 1.5},
+		{Kind: Hotspot, N: 4, Load: 0.5, HotFrac: 0.5, HotPort: 9},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func measureLoad(t *testing.T, cfg Config, slots int) (load float64, dstCounts []int) {
+	t.Helper()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, cfg.N)
+	dstCounts = make([]int, cfg.N)
+	arrivals := 0
+	for s := 0; s < slots; s++ {
+		arrivals += g.Step(dst)
+		for _, d := range dst {
+			if d != NoArrival {
+				dstCounts[d]++
+			}
+		}
+	}
+	return float64(arrivals) / float64(slots*cfg.N), dstCounts
+}
+
+func TestBernoulliLoadAndUniformity(t *testing.T) {
+	cfg := Config{Kind: Bernoulli, N: 8, Load: 0.6, Seed: 42}
+	load, dsts := measureLoad(t, cfg, 200_000)
+	if math.Abs(load-0.6) > 0.005 {
+		t.Fatalf("measured load %v, want ≈0.6", load)
+	}
+	total := 0
+	for _, c := range dsts {
+		total += c
+	}
+	for d, c := range dsts {
+		frac := float64(c) / float64(total)
+		if math.Abs(frac-1.0/8) > 0.01 {
+			t.Fatalf("destination %d got fraction %v, want ≈0.125", d, frac)
+		}
+	}
+}
+
+func TestBurstyLoadAndBurstStructure(t *testing.T) {
+	cfg := Config{Kind: Bursty, N: 4, Load: 0.5, BurstLen: 10, Seed: 7}
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, cfg.N)
+	const slots = 400_000
+	arrivals := 0
+	// Track burst statistics on input 0: a burst is a maximal run of
+	// consecutive busy slots with the same destination.
+	var bursts, burstCells int
+	prev := NoArrival
+	for s := 0; s < slots; s++ {
+		arrivals += g.Step(dst)
+		d := dst[0]
+		if d != NoArrival {
+			burstCells++
+			// A burst ends at an idle slot or (rarely) at a destination
+			// change when two bursts happen back-to-back with a zero
+			// idle gap — both start a new run here.
+			if prev == NoArrival || d != prev {
+				bursts++
+			}
+		}
+		prev = d
+	}
+	load := float64(arrivals) / float64(slots*cfg.N)
+	if math.Abs(load-0.5) > 0.01 {
+		t.Fatalf("measured load %v, want ≈0.5", load)
+	}
+	meanBurst := float64(burstCells) / float64(bursts)
+	if math.Abs(meanBurst-10) > 1.0 {
+		t.Fatalf("mean burst length %v, want ≈10", meanBurst)
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	cfg := Config{Kind: Hotspot, N: 8, Load: 0.5, HotFrac: 0.3, HotPort: 2, Seed: 3}
+	load, dsts := measureLoad(t, cfg, 200_000)
+	if math.Abs(load-0.5) > 0.01 {
+		t.Fatalf("measured load %v", load)
+	}
+	total := 0
+	for _, c := range dsts {
+		total += c
+	}
+	// Hot port receives HotFrac + (1-HotFrac)/N of the traffic.
+	wantHot := 0.3 + 0.7/8
+	gotHot := float64(dsts[2]) / float64(total)
+	if math.Abs(gotHot-wantHot) > 0.01 {
+		t.Fatalf("hot port fraction %v, want ≈%v", gotHot, wantHot)
+	}
+}
+
+func TestSaturationAlwaysArrives(t *testing.T) {
+	cfg := Config{Kind: Saturation, N: 4, Seed: 1}
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, 4)
+	for s := 0; s < 1000; s++ {
+		if got := g.Step(dst); got != 4 {
+			t.Fatalf("slot %d: %d arrivals, want 4", s, got)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := Config{Kind: Bernoulli, N: 4, Load: 0.7, Seed: 99}
+	g1, _ := NewGenerator(cfg)
+	g2, _ := NewGenerator(cfg)
+	a, b := make([]int, 4), make([]int, 4)
+	for s := 0; s < 10_000; s++ {
+		g1.Step(a)
+		g2.Step(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("slot %d input %d: %d vs %d", s, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestCellStreamLoadAndSpacing(t *testing.T) {
+	for _, p := range []float64{0.2, 0.5, 0.9, 1.0} {
+		cfg := Config{Kind: Bernoulli, N: 4, Load: p, Seed: 11}
+		if p == 1.0 {
+			cfg.Kind = Saturation
+		}
+		const k = 16
+		s, err := NewCellStream(cfg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]int, 4)
+		const cycles = 300_000
+		heads := 0
+		last := make([]int, 4)
+		for i := range last {
+			last[i] = -k
+		}
+		for c := 0; c < cycles; c++ {
+			s.Heads(dst)
+			for i, d := range dst {
+				if d == NoArrival {
+					continue
+				}
+				heads++
+				if c-last[i] < k {
+					t.Fatalf("input %d: heads %d and %d closer than cell length %d", i, last[i], c, k)
+				}
+				last[i] = c
+			}
+		}
+		util := float64(heads*k) / float64(cycles*4)
+		if math.Abs(util-p) > 0.02 {
+			t.Fatalf("load %v: measured utilization %v", p, util)
+		}
+	}
+}
+
+func TestCellStreamHeadRateMatchesSection34(t *testing.T) {
+	// §3.4: the probability of a head appearing on a given link in a given
+	// cycle is p/2n for cells of 2n words.
+	const n, p = 8, 0.4
+	cfg := Config{Kind: Bernoulli, N: n, Load: p, Seed: 5}
+	s, err := NewCellStream(cfg, 2*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, n)
+	const cycles = 500_000
+	heads := 0
+	for c := 0; c < cycles; c++ {
+		heads += s.Heads(dst)
+	}
+	got := float64(heads) / float64(cycles*n)
+	want := p / float64(2*n)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("head rate %v, want ≈%v", got, want)
+	}
+}
+
+func TestCellStreamRejectsUnsupportedKinds(t *testing.T) {
+	if _, err := NewCellStream(Config{Kind: Bursty, N: 4, Load: 0.5, BurstLen: 4}, 8); err == nil {
+		t.Fatal("bursty cell stream should be rejected")
+	}
+	if _, err := NewCellStream(Config{Kind: Bernoulli, N: 4, Load: 0.5}, 0); err == nil {
+		t.Fatal("zero cell length should be rejected")
+	}
+}
+
+func TestCellStreamDestinationsInRangeQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%15)
+		cfg := Config{Kind: Saturation, N: n, Seed: seed}
+		s, err := NewCellStream(cfg, 2*n)
+		if err != nil {
+			return false
+		}
+		dst := make([]int, n)
+		for c := 0; c < 200; c++ {
+			s.Heads(dst)
+			for _, d := range dst {
+				if d != NoArrival && (d < 0 || d >= n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package wormhole
+
+import (
+	"testing"
+
+	"pipemem/internal/analytic"
+)
+
+func mustNet(t *testing.T, cfg Config) *Net {
+	t.Helper()
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Terminals: 16, BufferFlits: 16, MsgFlits: 20, Saturate: true}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for i, c := range []Config{
+		{Terminals: 3, BufferFlits: 4, MsgFlits: 4, Load: 0.5},
+		{Terminals: 2, BufferFlits: 4, MsgFlits: 4, Load: 0.5},
+		{Terminals: 8, BufferFlits: 0, MsgFlits: 4, Load: 0.5},
+		{Terminals: 8, BufferFlits: 4, MsgFlits: 0, Load: 0.5},
+		{Terminals: 8, BufferFlits: 4, MsgFlits: 4, Load: 0},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestDeliveryCorrectness runs moderate load and relies on the built-in
+// checks (right terminal, in-order, no duplicates): Step errors on any
+// violation.
+func TestDeliveryCorrectness(t *testing.T) {
+	w := mustNet(t, Config{Terminals: 16, BufferFlits: 16, MsgFlits: 20, Load: 0.2, Seed: 3})
+	for i := 0; i < 50_000; i++ {
+		if err := w.Step(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	if w.Delivered() == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Flit conservation: delivered ≤ injected, difference bounded by
+	// network capacity.
+	inNet := w.Injected() - w.Delivered()
+	if inNet < 0 {
+		t.Fatalf("delivered %d > injected %d", w.Delivered(), w.Injected())
+	}
+	maxCap := int64(16 * 4 * 16) // stages × buffer × lines
+	if inNet > maxCap {
+		t.Fatalf("%d flits unaccounted (> capacity %d)", inNet, maxCap)
+	}
+}
+
+// TestLowLoadDeliversOffered: far below saturation the network must carry
+// what is offered.
+func TestLowLoadDeliversOffered(t *testing.T) {
+	w := mustNet(t, Config{Terminals: 16, BufferFlits: 16, MsgFlits: 20, Load: 0.1, Seed: 5})
+	for i := 0; i < 20_000; i++ {
+		if err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Run(w, 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput < 0.09 || res.Throughput > 0.11 {
+		t.Fatalf("throughput %v at offered 0.1", res.Throughput)
+	}
+}
+
+// TestDallySaturation reproduces the §2.1 quote's shape: 20-flit messages
+// with 16-flit buffers on a deep input-buffered wormhole fabric saturate
+// around a quarter-to-two-fifths of link capacity — far below both 100%
+// and the 2-√2 HOL bound for fixed cells. (The quoted 25% figure is from a
+// torus; the butterfly substitution lands at ≈0.35–0.40 at 256 terminals,
+// same mechanism and direction — see DESIGN.md.)
+func TestDallySaturation(t *testing.T) {
+	w := mustNet(t, Config{Terminals: 256, BufferFlits: 16, MsgFlits: 20, Saturate: true, Seed: 7})
+	res, err := Run(w, 30_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput < 0.25 || res.Throughput > 0.47 {
+		t.Fatalf("saturation throughput %v, want ≈0.25–0.45 (Dally90 regime)", res.Throughput)
+	}
+	if res.Throughput >= analytic.HOLSaturationAsymptotic {
+		t.Fatalf("saturation %v not below the HOL bound %v", res.Throughput, analytic.HOLSaturationAsymptotic)
+	}
+}
+
+// TestShortMessagesSaturateHigher: the ablation — when bursts fit in the
+// buffers (messages ≤ buffer), saturation recovers substantially,
+// confirming that the early collapse is the bursts-exceed-buffers effect.
+func TestShortMessagesSaturateHigher(t *testing.T) {
+	long := mustNet(t, Config{Terminals: 16, BufferFlits: 16, MsgFlits: 20, Saturate: true, Seed: 9})
+	short := mustNet(t, Config{Terminals: 16, BufferFlits: 16, MsgFlits: 4, Saturate: true, Seed: 9})
+	resLong, err := Run(long, 50_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resShort, err := Run(short, 50_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resShort.Throughput <= resLong.Throughput+0.05 {
+		t.Fatalf("short-message saturation %v not clearly above long-message %v",
+			resShort.Throughput, resLong.Throughput)
+	}
+}
+
+// TestBiggerBuffersHelp: doubling buffers beyond the message length lifts
+// saturation.
+func TestBiggerBuffersHelp(t *testing.T) {
+	small := mustNet(t, Config{Terminals: 16, BufferFlits: 16, MsgFlits: 20, Saturate: true, Seed: 11})
+	big := mustNet(t, Config{Terminals: 16, BufferFlits: 64, MsgFlits: 20, Saturate: true, Seed: 11})
+	resSmall, err := Run(small, 50_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBig, err := Run(big, 50_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBig.Throughput <= resSmall.Throughput {
+		t.Fatalf("64-flit buffers (%v) not above 16-flit buffers (%v)",
+			resBig.Throughput, resSmall.Throughput)
+	}
+}
+
+// TestDeterminism: same seed, same result.
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		w := mustNet(t, Config{Terminals: 8, BufferFlits: 8, MsgFlits: 10, Load: 0.3, Seed: 13})
+		res, err := Run(w, 5_000, 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

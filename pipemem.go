@@ -1,0 +1,461 @@
+// Package pipemem is a production-quality Go reproduction of
+//
+//	M. Katevenis, P. Vatsolaki, A. Efthymiou,
+//	"Pipelined Memory Shared Buffer for VLSI Switches",
+//	ACM SIGCOMM 1995.
+//
+// The package exposes, under one import path:
+//
+//   - the paper's primary contribution: a cycle-accurate RTL model of the
+//     pipelined memory shared buffer switch (Switch, DualSwitch), with
+//     automatic cut-through, pipelined control, staggered initiation, and
+//     free-list/per-output-queue buffer management;
+//   - the comparison baselines: the wide-memory shared buffer of fig. 3
+//     (WideSwitch), the PRIZMA-style interleaved buffer of §5.3
+//     (PrizmaSwitch), and slot-level simulators of every §2 architecture
+//     (input FIFO queueing, non-FIFO input buffering with PIM/iSLIP/2DRR
+//     schedulers, output/crosspoint/shared/block-crosspoint queueing,
+//     input smoothing);
+//   - the three Telegraphos prototypes of §4 (Telegraphos I/II/III) with
+//     routing translation and credit flow control;
+//   - the analytic models and the VLSI area arithmetic of §3.4, §3.5,
+//     §4 and §5;
+//   - the experiment harness (Experiments) that regenerates every
+//     quantitative claim of the paper; see EXPERIMENTS.md.
+//
+// # Quickstart
+//
+//	sw, err := pipemem.New(pipemem.Config{Ports: 8, WordBits: 16,
+//	    Cells: 256, CutThrough: true})
+//	...
+//	stream, _ := pipemem.NewCellStream(pipemem.TrafficConfig{
+//	    Kind: pipemem.Bernoulli, N: 8, Load: 0.5, Seed: 1}, sw.Config().Stages)
+//	res, err := pipemem.RunTraffic(sw, stream, 100_000)
+//
+// See examples/ for runnable programs.
+package pipemem
+
+import (
+	"io"
+
+	"pipemem/internal/analytic"
+	"pipemem/internal/arb"
+	"pipemem/internal/area"
+	"pipemem/internal/cell"
+	"pipemem/internal/clos"
+	"pipemem/internal/core"
+	"pipemem/internal/fabric"
+	"pipemem/internal/prizma"
+	"pipemem/internal/sar"
+	"pipemem/internal/sim"
+	"pipemem/internal/telegraphos"
+	"pipemem/internal/traffic"
+	"pipemem/internal/widemem"
+	"pipemem/internal/wormhole"
+)
+
+// ---- The pipelined memory shared buffer (the paper's contribution) ----
+
+// Word is the unit transferred on a link in one clock cycle (w ≤ 64
+// effective bits).
+type Word = cell.Word
+
+// Cell is a fixed-size packet of exactly K words.
+type Cell = cell.Cell
+
+// NewCell builds a cell with a deterministic payload derived from
+// (seq, src, dst), masked to width bits; word 0 carries the destination.
+func NewCell(seq uint64, src, dst, words, width int) *Cell {
+	return cell.New(seq, src, dst, words, width)
+}
+
+// Config parameterizes a pipelined memory switch; see core.Config.
+type Config = core.Config
+
+// Switch is the cycle-accurate pipelined memory shared buffer switch
+// (fig. 4): K = 2n single-ported memory stages addressed in a pipelined
+// fashion, one input register row per link, one shared output register
+// row, control generated for stage 0 only, automatic cut-through.
+type Switch = core.Switch
+
+// DualSwitch is the §3.5 half-quantum organization: two n-stage pipelined
+// memories handling cells of n words at full rate.
+type DualSwitch = core.DualSwitch
+
+// Departure reports one cell leaving a switch.
+type Departure = core.Departure
+
+// TraceEvent is the fig. 5-style per-cycle control/datapath snapshot.
+type TraceEvent = core.TraceEvent
+
+// Op and OpKind are the pipelined control words.
+type (
+	Op     = core.Op
+	OpKind = core.OpKind
+)
+
+// Control-word kinds.
+const (
+	OpNone         = core.OpNone
+	OpWrite        = core.OpWrite
+	OpRead         = core.OpRead
+	OpWriteThrough = core.OpWriteThrough
+)
+
+// RunResult summarizes a traffic-driven RTL run.
+type RunResult = core.RunResult
+
+// VCDWriter renders the switch's per-cycle trace as an IEEE-1364 VCD
+// waveform stream for viewers like GTKWave.
+type VCDWriter = core.VCDWriter
+
+// NewVCDWriter prepares a VCD stream for the switch's geometry; install
+// the returned writer's Trace method with Switch.SetTracer.
+func NewVCDWriter(w io.Writer, s *Switch, cycleNs float64) *VCDWriter {
+	return core.NewVCDWriter(w, s, cycleNs)
+}
+
+// New builds a pipelined memory switch.
+func New(cfg Config) (*Switch, error) { return core.New(cfg) }
+
+// NewDual builds the half-quantum two-memory switch (§3.5).
+func NewDual(cfg Config) (*DualSwitch, error) { return core.NewDual(cfg) }
+
+// RunTraffic drives a Switch with a cell stream and verifies integrity.
+func RunTraffic(s *Switch, cs *CellStream, cycles int64) (RunResult, error) {
+	return core.RunTraffic(s, cs, cycles)
+}
+
+// RunDualTraffic drives a DualSwitch.
+func RunDualTraffic(d *DualSwitch, cs *CellStream, cycles int64) (RunResult, error) {
+	return core.RunDualTraffic(d, cs, cycles)
+}
+
+// ---- Baseline shared-buffer organizations ----
+
+// WideConfig parameterizes the wide-memory baseline (fig. 3).
+type WideConfig = widemem.Config
+
+// WideSwitch is the wide-memory shared buffer with double input buffering
+// and an optional explicit cut-through crossbar.
+type WideSwitch = widemem.Switch
+
+// NewWide builds a wide-memory switch.
+func NewWide(cfg WideConfig) (*WideSwitch, error) { return widemem.New(cfg) }
+
+// RunWideTraffic drives a WideSwitch.
+func RunWideTraffic(s *WideSwitch, cs *CellStream, cycles int64) (widemem.RunResult, error) {
+	return widemem.RunTraffic(s, cs, cycles)
+}
+
+// PrizmaConfig parameterizes the interleaved baseline (§5.3).
+type PrizmaConfig = prizma.Config
+
+// PrizmaSwitch is the PRIZMA-style one-cell-per-bank interleaved buffer.
+type PrizmaSwitch = prizma.Switch
+
+// NewPrizma builds an interleaved switch.
+func NewPrizma(cfg PrizmaConfig) (*PrizmaSwitch, error) { return prizma.New(cfg) }
+
+// RunPrizmaTraffic drives a PrizmaSwitch.
+func RunPrizmaTraffic(s *PrizmaSwitch, cs *CellStream, cycles int64) (prizma.RunResult, error) {
+	return prizma.RunTraffic(s, cs, cycles)
+}
+
+// ---- Segmentation and reassembly (§3.5 multi-quantum packets) ----
+
+// Packet is a variable-size unit of m·K words, segmented into m cells.
+type Packet = sar.Packet
+
+// Segmenter slices packets into cells for injection.
+type Segmenter = sar.Segmenter
+
+// Reassembler rebuilds packets from switch departures.
+type Reassembler = sar.Reassembler
+
+// ReassembledPacket is one completed packet at an output.
+type ReassembledPacket = sar.Done
+
+// NewSegmenter builds a segmenter for an n-input switch with K-word
+// cells of the given word width.
+func NewSegmenter(n, k, width int) *Segmenter { return sar.NewSegmenter(n, k, width) }
+
+// NewReassembler builds a reassembler for K-word cells.
+func NewReassembler(k int) *Reassembler { return sar.NewReassembler(k) }
+
+// ---- Traffic ----
+
+// TrafficConfig parameterizes generators; see traffic.Config.
+type TrafficConfig = traffic.Config
+
+// TrafficKind selects the arrival process.
+type TrafficKind = traffic.Kind
+
+// Arrival processes.
+const (
+	Bernoulli   = traffic.Bernoulli
+	Bursty      = traffic.Bursty
+	Hotspot     = traffic.Hotspot
+	Saturation  = traffic.Saturation
+	Permutation = traffic.Permutation
+)
+
+// NoArrival marks an idle input in arrival vectors.
+const NoArrival = traffic.NoArrival
+
+// Generator produces slot-level arrivals for the §2 architecture models.
+type Generator = traffic.Generator
+
+// CellStream produces word-serial cell arrivals for the RTL models.
+type CellStream = traffic.CellStream
+
+// NewGenerator builds a slot-level traffic generator.
+func NewGenerator(cfg TrafficConfig) (*Generator, error) { return traffic.NewGenerator(cfg) }
+
+// NewCellStream builds a word-serial cell stream for cells of cellLen
+// words.
+func NewCellStream(cfg TrafficConfig, cellLen int) (*CellStream, error) {
+	return traffic.NewCellStream(cfg, cellLen)
+}
+
+// ---- Slot-level architecture simulators (§2) ----
+
+// Arch is a slot-level switch architecture model.
+type Arch = sim.Arch
+
+// ArchResult summarizes a slot-level run.
+type ArchResult = sim.Result
+
+// NewInputFIFO builds FIFO input queueing (head-of-line blocking).
+func NewInputFIFO(n, bufCap int) Arch { return sim.NewInputFIFO(n, bufCap, nil) }
+
+// NewVOQ builds non-FIFO input buffering with the given scheduler
+// ("islip", "pim" or "2drr").
+func NewVOQ(n, bufCap int, scheduler string) Arch {
+	var m arb.Matcher
+	switch scheduler {
+	case "pim":
+		m = arb.NewPIM(0, 1)
+	case "2drr":
+		m = arb.NewTwoDRR()
+	default:
+		m = arb.NewISLIP(n, 0)
+	}
+	return sim.NewVOQ(n, bufCap, m)
+}
+
+// NewOutputQueue builds output queueing with per-output capacity.
+func NewOutputQueue(n, bufCap int) Arch { return sim.NewOutputQueue(n, bufCap) }
+
+// NewSharedBufferArch builds slot-level shared buffering of total
+// capacity bufCap cells.
+func NewSharedBufferArch(n, bufCap int) Arch { return sim.NewSharedBuffer(n, bufCap) }
+
+// NewCappedSharedBufferArch builds shared buffering with a per-output
+// occupancy limit — hotspot-hogging protection (see
+// sim.CappedSharedBuffer).
+func NewCappedSharedBufferArch(n, bufCap, outCap int) Arch {
+	return sim.NewCappedSharedBuffer(n, bufCap, outCap)
+}
+
+// NewCrosspoint builds crosspoint queueing with per-crosspoint capacity.
+func NewCrosspoint(n, bufCap int) Arch { return sim.NewCrosspoint(n, bufCap) }
+
+// NewBlockCrosspoint builds block-crosspoint buffering: groups of g×g
+// ports share a buffer of blockCap cells.
+func NewBlockCrosspoint(n, g, blockCap int) Arch { return sim.NewBlockCrosspoint(n, g, blockCap) }
+
+// NewInputSmoothing builds the frame-based [HlKa88] scheme with frame b.
+func NewInputSmoothing(n, b int) Arch { return sim.NewInputSmoothing(n, b) }
+
+// NewSpeedupFabric builds input queueing over an s×-speed fabric with
+// output queues.
+func NewSpeedupFabric(n, inCap, outCap, speedup int) Arch {
+	return sim.NewSpeedupFabric(n, inCap, outCap, speedup)
+}
+
+// RunArch drives an architecture with a generator for warmup + measured
+// slots.
+func RunArch(a Arch, g *Generator, warmup, measured int64) ArchResult {
+	return sim.Run(a, g, warmup, measured)
+}
+
+// ---- Wormhole (the [Dally90] comparison) ----
+
+// WormholeConfig parameterizes the multistage wormhole network.
+type WormholeConfig = wormhole.Config
+
+// WormholeNet is the flit-level butterfly of input-buffered wormhole
+// switches.
+type WormholeNet = wormhole.Net
+
+// WormholeResult summarizes a wormhole run.
+type WormholeResult = wormhole.Result
+
+// NewWormhole builds the network.
+func NewWormhole(cfg WormholeConfig) (*WormholeNet, error) { return wormhole.New(cfg) }
+
+// WormholeLaneConfig parameterizes the multi-lane (virtual channel)
+// wormhole network — the lane sweep of [Dally90, fig. 8].
+type WormholeLaneConfig = wormhole.LaneConfig
+
+// WormholeLaneNet is the multi-lane wormhole network.
+type WormholeLaneNet = wormhole.LaneNet
+
+// NewWormholeLanes builds the multi-lane network.
+func NewWormholeLanes(cfg WormholeLaneConfig) (*WormholeLaneNet, error) {
+	return wormhole.NewLanes(cfg)
+}
+
+// RunWormholeLanes advances the multi-lane network warmup+measure cycles.
+func RunWormholeLanes(w *WormholeLaneNet, warmup, measure int64) (WormholeResult, error) {
+	return wormhole.RunLanes(w, warmup, measure)
+}
+
+// RunWormhole advances the network for warmup+measure cycles.
+func RunWormhole(w *WormholeNet, warmup, measure int64) (WormholeResult, error) {
+	return wormhole.Run(w, warmup, measure)
+}
+
+// ---- Multistage fabric of pipelined-memory switches ----
+
+// FabricConfig parameterizes a k-ary butterfly of pipelined-memory
+// switches with credit flow control and chained cut-through.
+type FabricConfig = fabric.Config
+
+// Fabric is the multistage network.
+type Fabric = fabric.Net
+
+// FabricResult summarizes a fabric run.
+type FabricResult = fabric.Result
+
+// NewFabric builds the multistage network.
+func NewFabric(cfg FabricConfig) (*Fabric, error) { return fabric.New(cfg) }
+
+// RunFabric drives the fabric with terminal traffic for warmup+measure
+// cycles.
+func RunFabric(f *Fabric, tcfg TrafficConfig, warmup, measure int64) (FabricResult, error) {
+	return fabric.Run(f, tcfg, warmup, measure)
+}
+
+// ClosConfig parameterizes a three-stage Clos network of pipelined-memory
+// switches (C(n,n,n): n² terminals).
+type ClosConfig = clos.Config
+
+// ClosNet is the three-stage Clos network.
+type ClosNet = clos.Net
+
+// ClosResult summarizes a Clos run.
+type ClosResult = clos.Result
+
+// NewClos builds the Clos network.
+func NewClos(cfg ClosConfig) (*ClosNet, error) { return clos.New(cfg) }
+
+// RunClos drives the Clos network with terminal traffic.
+func RunClos(f *ClosNet, tcfg TrafficConfig, warmup, measure int64) (ClosResult, error) {
+	return clos.Run(f, tcfg, warmup, measure)
+}
+
+// ---- Telegraphos prototypes (§4) ----
+
+// TelegraphosModel describes one prototype generation.
+type TelegraphosModel = telegraphos.Model
+
+// TelegraphosSwitch is a prototype switch: pipelined buffer + routing
+// translation + credit flow control.
+type TelegraphosSwitch = telegraphos.Switch
+
+// TelegraphosPacket is a header+payload packet on a Telegraphos link.
+type TelegraphosPacket = telegraphos.Packet
+
+// The three §4 prototypes.
+func TelegraphosI() TelegraphosModel   { return telegraphos.TelegraphosI() }
+func TelegraphosII() TelegraphosModel  { return telegraphos.TelegraphosII() }
+func TelegraphosIII() TelegraphosModel { return telegraphos.TelegraphosIII() }
+
+// TelegraphosModels returns all three prototypes.
+func TelegraphosModels() []TelegraphosModel { return telegraphos.Models() }
+
+// NewTelegraphos builds a prototype's switch with the given per-link
+// credit allowance (0 disables flow control).
+func NewTelegraphos(m TelegraphosModel, creditsPerLink int) (*TelegraphosSwitch, error) {
+	return telegraphos.NewSwitch(m, creditsPerLink)
+}
+
+// NewTelegraphosVC builds a prototype's switch with vcs virtual channels
+// per outgoing link, each with its own credit allowance — the [KVES95]
+// VC-level flow control and shared buffering organization.
+func NewTelegraphosVC(m TelegraphosModel, vcs, creditsPerVC int) (*TelegraphosSwitch, error) {
+	return telegraphos.NewVCSwitch(m, vcs, creditsPerVC)
+}
+
+// ---- Analytics and area models ----
+
+// HOLSaturation returns the [KaHM87] input-queueing saturation throughput.
+func HOLSaturation(n int) float64 { return analytic.HOLSaturation(n) }
+
+// StaggeredInitiationDelay returns the §3.4 closed form (p/4)·(n-1)/n.
+func StaggeredInitiationDelay(p float64, n int) float64 {
+	return analytic.StaggeredInitiationDelay(p, n)
+}
+
+// OutputQueueWait returns the [KaHM87] output-queueing mean wait.
+func OutputQueueWait(n int, p float64) float64 { return analytic.OutputQueueWait(n, p) }
+
+// SharedBufferOccupancy returns the mean shared-buffer occupancy in cells
+// at Bernoulli load p.
+func SharedBufferOccupancy(n int, p float64) float64 {
+	return analytic.SharedBufferOccupancy(n, p)
+}
+
+// Quantum is the §3.5 packet-size quantum calculator.
+type Quantum = analytic.Quantum
+
+// AggregateGbps returns buffer throughput for a width and cycle time.
+func AggregateGbps(widthBits int, cycleNs float64) float64 {
+	return analytic.AggregateGbps(widthBits, cycleNs)
+}
+
+// AreaModel is the §5.2 peripheral-area row model.
+type AreaModel = area.RowModel
+
+// Tech describes a CMOS process generation for the area model.
+type Tech = area.Tech
+
+// The paper's two processes.
+var (
+	TechES2u07 = area.ES2u07 // 0.7 µm standard cell (Telegraphos II)
+	TechES2u10 = area.ES2u10 // 1.0 µm full custom (Telegraphos III)
+)
+
+// DefaultAreaModel returns coefficients fitted to the §5.2 anchors.
+func DefaultAreaModel() AreaModel { return area.DefaultRowModel() }
+
+// PrizmaCrossbarRatio is the §5.3 cost ratio M/(2n).
+func PrizmaCrossbarRatio(ports, banks int) float64 { return area.PrizmaCrossbarRatio(ports, banks) }
+
+// StageTiming is the §4.2–§4.4 critical-path timing model of one memory
+// stage (fig. 7a/7b addressing, word-line length, bit-line splitting).
+type StageTiming = area.StageTiming
+
+// Address-path variants of fig. 7.
+const (
+	AddrDecoder     = area.Decoder
+	AddrPipelineReg = area.PipelineReg
+)
+
+// TelegraphosIIITiming returns the §4.4 stage timing (16/10 ns).
+func TelegraphosIIITiming() StageTiming { return area.TelegraphosIIITiming() }
+
+// TelegraphosIITiming returns the §4.2 stage timing (40 ns).
+func TelegraphosIITiming() StageTiming { return area.TelegraphosIITiming() }
+
+// WideMemoryTiming returns an unsplit wide-memory stage's timing.
+func WideMemoryTiming(ports, wordBits int) StageTiming {
+	return area.WideMemoryTiming(ports, wordBits)
+}
+
+// CompareInputVsShared evaluates the fig. 9 floorplan comparison.
+func CompareInputVsShared(n, w, cellsPerInput, sharedCells int) area.InputVsShared {
+	return area.CompareInputVsShared(n, w, cellsPerInput, sharedCells)
+}
