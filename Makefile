@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race fuzz check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the parsers (plan grammar, core config fuzzers).
+fuzz:
+	$(GO) test ./internal/fault -run FuzzFaultPlanParse -fuzz FuzzFaultPlanParse -fuzztime 30s
+
+# The gate every change must pass; referenced from README.md.
+check: vet build race

@@ -10,11 +10,24 @@
 //
 // Architectures: input-fifo, voq, output, shared, crosspoint,
 // block-crosspoint, smoothing, speedup.
+//
+// With -faultplan, pmsim instead drives the cycle-accurate pipelined
+// memory switch under traffic while a fault schedule unfolds, and reports
+// corruption, ECC activity, bypasses and link retransmissions:
+//
+//	pmsim -faultplan plan.txt -n 4 -buf 32 -load 0.6 -slots 100000 -ecc
+//	pmsim -faultplan random -n 4 -buf 32 -ecc -bypass 3
+//	pmsim -faultplan - < plan.txt -n 4 -linkprotect
+//
+// The plan format is one event per line: "@<cycle> <kind> key=val…"
+// (kinds: mem, stuck, ctrl, inreg, linkdrop, linkcorrupt); "random"
+// generates a seeded random plan, "-" reads standard input.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pipemem"
@@ -37,10 +50,26 @@ func main() {
 		warmup   = flag.Int64("warmup", 0, "warm-up slots (default slots/10)")
 		seed     = flag.Uint64("seed", 1, "PRNG seed")
 		sweep    = flag.Bool("sweep", false, "sweep load 0.1..0.95 instead of a single point")
+
+		faultplan = flag.String("faultplan", "", "fault-injection run: plan file, '-' for stdin, or 'random' (overrides -arch)")
+		ecc       = flag.Bool("ecc", false, "fault run: SEC-DED protect the memory banks")
+		bypass    = flag.Int("bypass", 0, "fault run: map out a bank after this many unrecovered ECC errors (0 = off; implies -ecc)")
+		linkprot  = flag.Bool("linkprotect", false, "fault run: CRC/retransmit protocol on the input links")
+		retries   = flag.Int("retries", 0, "fault run: link retransmission budget (0 = default)")
+		events    = flag.Int("events", 200, "fault run: event count for -faultplan random")
 	)
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *slots / 10
+	}
+
+	if *faultplan != "" {
+		runFaultPlan(*faultplan, faultOpts{
+			n: *n, buf: *buf, load: *load, cycles: *slots, seed: *seed,
+			ecc: *ecc || *bypass > 0, bypass: *bypass,
+			linkprotect: *linkprot, retries: *retries, events: *events,
+		})
+		return
 	}
 
 	build := func() pipemem.Arch {
@@ -98,4 +127,80 @@ func main() {
 		return
 	}
 	run(*load)
+}
+
+type faultOpts struct {
+	n, buf      int
+	load        float64
+	cycles      int64
+	seed        uint64
+	ecc         bool
+	bypass      int
+	linkprotect bool
+	retries     int
+	events      int
+}
+
+// runFaultPlan drives the cycle-accurate switch under a fault schedule and
+// prints the report, the final health state, and the engine's per-kind
+// tallies.
+func runFaultPlan(src string, o faultOpts) {
+	plan, err := loadPlan(src, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+	rep, err := pipemem.RunFaults(pipemem.FaultRunOptions{
+		Config: pipemem.Config{
+			Ports: o.n, Cells: o.buf, CutThrough: !o.ecc,
+			ECC: o.ecc, BypassThreshold: o.bypass,
+		},
+		Plan:        plan,
+		Seed:        o.seed,
+		Cycles:      o.cycles,
+		Load:        o.load,
+		LinkProtect: o.linkprotect,
+		MaxRetries:  o.retries,
+	})
+	if rep != nil {
+		fmt.Println(rep)
+		h := rep.Health
+		fmt.Printf("health: degraded=%v failed=%v usable-cells=%d ecc-hard=%d bypass-drops=%d\n",
+			h.Degraded, h.Failed, h.UsableCells, h.ECCHard, h.BypassDrops)
+		for _, k := range []string{"mem", "stuck", "ctrl", "inreg", "linkdrop", "linkcorrupt"} {
+			if a, s := rep.Engine["applied-"+k], rep.Engine["skipped-"+k]; a+s > 0 {
+				fmt.Printf("faults: %-11s applied=%d skipped=%d\n", k, a, s)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+}
+
+// loadPlan resolves the -faultplan argument: a seeded random plan, stdin,
+// or a plan file.
+func loadPlan(src string, o faultOpts) (*pipemem.FaultPlan, error) {
+	if src == "random" {
+		kinds := []pipemem.FaultKind{pipemem.FaultMem}
+		if o.linkprotect {
+			kinds = []pipemem.FaultKind{pipemem.FaultLinkDrop, pipemem.FaultLinkCorrupt}
+		}
+		return pipemem.RandomFaultPlan(o.seed, pipemem.FaultRandomOptions{
+			Cycles: o.cycles, Events: o.events, Stages: 2 * o.n,
+			WordBits: 16, Inputs: o.n, Kinds: kinds,
+		}), nil
+	}
+	var text []byte
+	var err error
+	if src == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pipemem.ParseFaultPlan(string(text))
 }

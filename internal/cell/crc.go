@@ -1,0 +1,26 @@
+package cell
+
+// CRC16 computes the CRC-16/CCITT-FALSE checksum (polynomial 0x1021,
+// initial value 0xFFFF) over a sequence of link words, each folded in as
+// its eight little-endian bytes. The fault-tolerant link layer appends it
+// to every cell transfer: a receiver recomputing a different value NAKs
+// the transfer and the sender retransmits. Sixteen bits of CRC on a
+// K·w-bit cell leave a 2⁻¹⁶ escape probability per corrupted transfer;
+// escapes are not silent — the switch's end-to-end integrity check still
+// flags the delivered cell as corrupt.
+func CRC16(words []Word) uint16 {
+	crc := uint16(0xFFFF)
+	for _, w := range words {
+		for b := 0; b < 64; b += 8 {
+			crc ^= uint16(byte(w>>uint(b))) << 8
+			for i := 0; i < 8; i++ {
+				if crc&0x8000 != 0 {
+					crc = crc<<1 ^ 0x1021
+				} else {
+					crc <<= 1
+				}
+			}
+		}
+	}
+	return crc
+}

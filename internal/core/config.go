@@ -31,8 +31,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 )
+
+// ErrBadConfig is the sentinel wrapped by every Config validation error, so
+// callers can test errors.Is(err, ErrBadConfig) regardless of which field
+// was rejected.
+var ErrBadConfig = errors.New("core: invalid configuration")
 
 // Config parameterizes a pipelined memory shared buffer switch.
 type Config struct {
@@ -67,6 +73,20 @@ type Config struct {
 	// §3.3's point that buffer management "is orthogonal to the shared
 	// buffer organization".
 	VCs int
+	// ECC enables per-word SEC-DED protection of the memory banks: each
+	// stage stores eccCheckBits(WordBits)+1 extra bit columns per word,
+	// single-bit upsets are corrected on the read wave ("ecc-corrected"
+	// counter) and multi-bit failures are flagged ("ecc-uncorrectable")
+	// instead of being silently delivered.
+	ECC bool
+	// BypassThreshold, when positive, arms faulty-stage bypass: a memory
+	// bank that accumulates this many uncorrectable ECC errors is mapped
+	// out — its words are redirected to its partner bank's upper address
+	// half — and the switch keeps running at half buffer capacity and
+	// halved initiation rate (graceful degradation; see Health). Requires
+	// ECC (detection) and Cells ≥ 2 (somewhere to redirect to). 0 disables
+	// automatic bypass; MapOutStage remains available.
+	BypassThreshold int
 	// LinkPipeline is the §4.3 optimization for very-high-speed
 	// technologies: the long lines carrying the input and output link
 	// data are split into this many extra pipeline stages each (with a
@@ -95,32 +115,42 @@ func (c Config) Canonical() Config {
 	return c
 }
 
-// Validate reports whether the configuration is buildable.
+// Validate reports whether the configuration is buildable. Every error
+// wraps ErrBadConfig.
 func (c Config) Validate() error {
 	c = c.Canonical()
 	if c.Ports < 1 {
-		return fmt.Errorf("core: ports = %d, need ≥ 1", c.Ports)
+		return fmt.Errorf("%w: ports = %d, need ≥ 1", ErrBadConfig, c.Ports)
 	}
 	if c.Stages < 2 {
-		return fmt.Errorf("core: stages = %d, need ≥ 2", c.Stages)
+		return fmt.Errorf("%w: stages = %d, need ≥ 2", ErrBadConfig, c.Stages)
 	}
 	if c.WordBits < 1 || c.WordBits > 64 {
-		return fmt.Errorf("core: word width %d out of 1…64", c.WordBits)
+		return fmt.Errorf("%w: word width %d out of 1…64", ErrBadConfig, c.WordBits)
 	}
 	if c.Cells < 1 {
-		return fmt.Errorf("core: capacity %d cells, need ≥ 1", c.Cells)
+		return fmt.Errorf("%w: capacity %d cells, need ≥ 1", ErrBadConfig, c.Cells)
 	}
 	if c.Stages < 2*c.Ports {
 		// With fewer than 2n stages the one-initiation-per-cycle slot
 		// budget (n reads + n writes per K cycles) exceeds capacity and
 		// write deadlines can be missed; the paper always uses K = 2n.
-		return fmt.Errorf("core: %d stages < 2×%d ports; write deadlines not schedulable", c.Stages, c.Ports)
+		return fmt.Errorf("%w: %d stages < 2×%d ports; write deadlines not schedulable", ErrBadConfig, c.Stages, c.Ports)
 	}
 	if c.LinkPipeline < 0 {
-		return fmt.Errorf("core: negative link pipelining %d", c.LinkPipeline)
+		return fmt.Errorf("%w: negative link pipelining %d", ErrBadConfig, c.LinkPipeline)
 	}
 	if c.VCs < 1 {
-		return fmt.Errorf("core: %d virtual channels, need ≥ 1", c.VCs)
+		return fmt.Errorf("%w: %d virtual channels, need ≥ 1", ErrBadConfig, c.VCs)
+	}
+	if c.BypassThreshold < 0 {
+		return fmt.Errorf("%w: negative bypass threshold %d", ErrBadConfig, c.BypassThreshold)
+	}
+	if c.BypassThreshold > 0 && !c.ECC {
+		return fmt.Errorf("%w: stage bypass (threshold %d) requires ECC for error detection", ErrBadConfig, c.BypassThreshold)
+	}
+	if c.BypassThreshold > 0 && c.Cells < 2 {
+		return fmt.Errorf("%w: stage bypass requires ≥ 2 cells of capacity, have %d", ErrBadConfig, c.Cells)
 	}
 	return nil
 }

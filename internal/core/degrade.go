@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+
+	"pipemem/internal/cell"
+)
+
+// Faulty-stage bypass and graceful degradation.
+//
+// The pipelined memory has no redundancy between stages: every cell needs
+// one word in every one of the K banks, so a dead bank cannot simply be
+// skipped. Instead, banks are paired (bank b with b^1; the odd bank out in
+// an odd-K configuration pairs downward) and the buffer's address space is
+// split in half. When bank b is mapped out:
+//
+//   - usable buffer addresses shrink to addrLimit = Cells/2;
+//   - every access of a wave's stage b at address a < addrLimit is
+//     redirected to the partner bank at address a + addrLimit — the upper
+//     half of each healthy bank becomes the spare region for its partner;
+//   - all resident cells are flushed ("drop-bypass" per queued copy) and
+//     the free list is rebuilt over the low addresses, so no later read
+//     ever targets a pre-bypass location;
+//   - wave initiations are spaced two cycles apart (arbitrate), since a
+//     redirected stage doubles the port load on its partner bank; with the
+//     2-cycle cadence no two waves ever meet on one single-ported bank.
+//
+// Waves already in flight when the bypass trips keep their original bank
+// schedule (Op.Remap is frozen at initiation): a read started before the
+// map-out completes from the physical bank that held its data, and the
+// stale tail of a flushed write harmlessly touches retired locations.
+//
+// The degradation mirrors §5's area-vs-capacity tradeoff at run time:
+// losing one of K banks costs half the buffer capacity and half the peak
+// initiation rate, but the switch keeps forwarding traffic and integrity
+// checks stay honest. Losing both banks of a pair is unsurvivable; the
+// switch keeps running but Health.Failed is raised and delivered data is
+// no longer trustworthy.
+
+// Health is a snapshot of the switch's fault-tolerance state, the
+// run-time view a management plane would poll.
+type Health struct {
+	// StageDown[b] reports that memory bank b is mapped out.
+	StageDown []bool
+	// Bypassed lists the mapped-out banks in ascending order.
+	Bypassed []int
+	// Degraded reports that a bypass is active: the buffer runs at half
+	// capacity and waves are initiated at most every other cycle.
+	Degraded bool
+	// Failed reports that both banks of a partner pair are down (or a
+	// bypass had nowhere to redirect): the shared buffer can no longer
+	// store cells reliably and delivered data is suspect.
+	Failed bool
+	// UsableCells is the current buffer capacity in cell addresses.
+	UsableCells int
+	// ECCCorrected, ECCUncorrectable and ECCHard mirror the
+	// "ecc-corrected", "ecc-uncorrectable" and "ecc-hard" counters (hard:
+	// corrected locations that failed their scrub-verify); BypassDrops
+	// mirrors "drop-bypass" (queued copies flushed when a stage was mapped
+	// out).
+	ECCCorrected, ECCUncorrectable, ECCHard, BypassDrops int64
+}
+
+// Health reports the current fault-tolerance state.
+func (s *Switch) Health() Health {
+	h := Health{
+		StageDown:        append([]bool(nil), s.stageDown...),
+		Degraded:         s.halved,
+		Failed:           s.failed,
+		UsableCells:      s.addrLimit,
+		ECCCorrected:     s.counter.Get("ecc-corrected"),
+		ECCUncorrectable: s.counter.Get("ecc-uncorrectable"),
+		ECCHard:          s.counter.Get("ecc-hard"),
+		BypassDrops:      s.counter.Get("drop-bypass"),
+	}
+	for b, down := range s.stageDown {
+		if down {
+			h.Bypassed = append(h.Bypassed, b)
+		}
+	}
+	return h
+}
+
+// partner returns the bank paired with st for bypass redirection.
+func (s *Switch) partner(st int) int {
+	p := st ^ 1
+	if p >= s.k {
+		p = st - 1
+	}
+	return p
+}
+
+// bankFor resolves a wave's (stage, address) access to a physical (bank,
+// row). Only remapped waves (initiated under an active bypass) follow the
+// redirect; their addresses are always below addrLimit, so the partner's
+// upper half is in range.
+func (s *Switch) bankFor(st, addr int, remap bool) (int, int) {
+	if remap && s.halved && s.stageDown[st] && addr < s.addrLimit {
+		if p := s.partner(st); !s.stageDown[p] {
+			return p, addr + s.addrLimit
+		}
+	}
+	return st, addr
+}
+
+// writeWord performs stage st's write of a wave at address addr. A bank
+// with an injected stuck-at fault ignores writes (its cells hold a frozen
+// pattern), which is what lets the ECC layer notice it on the read wave.
+func (s *Switch) writeWord(st, addr int, remap bool, w cell.Word) {
+	b, a := s.bankFor(st, addr, remap)
+	if s.stuck != nil && s.stuck[b] {
+		return
+	}
+	s.mem[b][a] = w
+	if s.eccMem != nil {
+		s.eccMem[b][a] = eccEncode(w, s.cfg.WordBits)
+	}
+}
+
+// senseWord is what bank b's data lines present for row a: the stored
+// word, or all-ones if the bank has a stuck-at fault.
+func (s *Switch) senseWord(b, a int) cell.Word {
+	if s.stuck != nil && s.stuck[b] {
+		return cell.Word(^uint64(0)).Mask(s.cfg.WordBits)
+	}
+	return s.mem[b][a]
+}
+
+// readWord performs stage st's read of a wave at address addr, applying
+// the ECC defense layer. Single-bit upsets are corrected and scrubbed
+// back, with a read-after-write verify: a location that still fails after
+// the scrub holds a hard fault ("ecc-hard") and counts toward the bank's
+// bypass threshold, while a repaired transient does not. Multi-bit
+// failures ("ecc-uncorrectable") always count toward the threshold. A
+// stuck bank's data lines read all-ones regardless of what was written, so
+// its reads fail their (stale) check bits one way or the other: either as
+// outright uncorrectable words, or as "corrected" words whose scrub is
+// silently ignored and caught by the verify.
+func (s *Switch) readWord(st, addr int, remap bool) cell.Word {
+	b, a := s.bankFor(st, addr, remap)
+	w := s.senseWord(b, a)
+	if s.eccMem == nil {
+		return w
+	}
+	dec, status := eccDecode(w, s.eccMem[b][a], s.cfg.WordBits)
+	switch status {
+	case eccCorrected:
+		s.counter.Inc("ecc-corrected", 1)
+		if s.stuck == nil || !s.stuck[b] {
+			s.mem[b][a] = dec
+			s.eccMem[b][a] = eccEncode(dec, s.cfg.WordBits)
+		}
+		if _, vs := eccDecode(s.senseWord(b, a), s.eccMem[b][a], s.cfg.WordBits); vs != eccClean {
+			s.counter.Inc("ecc-hard", 1)
+			s.stageErr[b]++
+		}
+	case eccUncorrectable:
+		s.counter.Inc("ecc-uncorrectable", 1)
+		s.stageErr[b]++
+	}
+	return dec
+}
+
+// mapOutBank takes bank b out of service: capacity halves, resident cells
+// are flushed, and future waves redirect stage b to the partner bank's
+// upper half. Idempotent per bank. Counted under "stage-bypass".
+func (s *Switch) mapOutBank(b int) {
+	if s.stageDown[b] {
+		return
+	}
+	s.stageDown[b] = true
+	s.counter.Inc("stage-bypass", 1)
+	if s.stageDown[s.partner(b)] || s.cfg.Cells < 2 {
+		s.failed = true
+	}
+	if !s.halved {
+		s.halved = true
+		s.addrLimit = s.cfg.Cells / 2
+	}
+	// Flush every queued descriptor: resident cells may straddle the dead
+	// bank and the address split invalidates their locations either way.
+	for q := 0; q < s.queues.Queues(); q++ {
+		for {
+			node, ok := s.queues.Pop(q)
+			if !ok {
+				break
+			}
+			addr := s.nodes[node].addr
+			s.counter.Inc("drop-bypass", 1)
+			s.nfree.Put(node)
+			s.refcnt[addr]--
+			if s.refcnt[addr] == 0 {
+				s.free.Put(addr)
+			}
+		}
+	}
+	// Rebuild the free list over the usable low addresses only; the upper
+	// half of every bank is now the redirect region and the corresponding
+	// addresses stay permanently retired (never handed out again).
+	for {
+		if _, ok := s.free.Get(); !ok {
+			break
+		}
+	}
+	for a := s.addrLimit - 1; a >= 0; a-- {
+		s.free.Put(a)
+	}
+}
+
+// MapOutStage manually maps out stage st — the maintenance path a
+// management plane would use for a bank failing in ways ECC cannot see.
+// Call it between Ticks. Reads already in flight complete from the
+// physical bank, so mapping out a still-readable bank loses no data beyond
+// the flushed buffer residents.
+func (s *Switch) MapOutStage(st int) error {
+	if st < 0 || st >= s.k {
+		return fmt.Errorf("core: stage %d out of range 0…%d", st, s.k-1)
+	}
+	s.mapOutBank(st)
+	return nil
+}
+
+// SetStageStuck injects (or clears) a stuck-at fault on bank st: writes
+// are ignored and the data lines read all-ones. The fault engine's "stuck"
+// events use this; with ECC armed the bank's words fail their check bits
+// on every read until the bypass threshold maps the bank out.
+func (s *Switch) SetStageStuck(st int, stuck bool) {
+	if st < 0 || st >= s.k {
+		return
+	}
+	if s.stuck == nil {
+		s.stuck = make([]bool, s.k)
+	}
+	s.stuck[st] = stuck
+}
+
+// InjectMemoryFault XORs mask into the stored word of the given wave
+// stage and buffer address — a single-event upset in the bank array. The
+// check bits are deliberately left stale so the ECC layer sees the flip.
+// The current bypass remap is applied, so the fault lands where live
+// traffic will actually read.
+func (s *Switch) InjectMemoryFault(stage, addr int, mask cell.Word) {
+	if stage < 0 || stage >= s.k || addr < 0 || addr >= s.cfg.Cells {
+		return
+	}
+	b, a := s.bankFor(stage, addr, true)
+	s.mem[b][a] ^= mask.Mask(s.cfg.WordBits)
+}
+
+// MemoryClean reports whether the word at (stage, addr) currently matches
+// its check bits (vacuously true without ECC). Fault engines use it to
+// keep at most one outstanding flip per word, the regime SEC-DED is
+// guaranteed to correct.
+func (s *Switch) MemoryClean(stage, addr int) bool {
+	if stage < 0 || stage >= s.k || addr < 0 || addr >= s.cfg.Cells {
+		return true
+	}
+	if s.eccMem == nil {
+		return true
+	}
+	b, a := s.bankFor(stage, addr, true)
+	_, status := eccDecode(s.mem[b][a], s.eccMem[b][a], s.cfg.WordBits)
+	return status == eccClean
+}
+
+// InjectControlFault overwrites the control word currently latched at
+// stage st — a glitch in the shifting control pipeline of §3.3. The next
+// Tick executes the corrupted operation at that stage and shifts it
+// onward like any other op.
+func (s *Switch) InjectControlFault(st int, op Op) {
+	if st < 0 || st >= s.k {
+		return
+	}
+	s.ctrl[st] = op
+}
+
+// InjectInputRegisterFault XORs mask into input in's register for word
+// position word — an upset in the input latch row before the write wave
+// copies it into the buffer.
+func (s *Switch) InjectInputRegisterFault(in, word int, mask cell.Word) {
+	if in < 0 || in >= s.n || word < 0 || word >= s.k {
+		return
+	}
+	s.inReg[in][word] ^= mask.Mask(s.cfg.WordBits)
+}
+
+// QueuedAt returns the number of queued copies (descriptors) that will
+// still read buffer address addr — nonzero means the address holds live
+// cell data worth targeting with a fault.
+func (s *Switch) QueuedAt(addr int) int {
+	if addr < 0 || addr >= s.cfg.Cells {
+		return 0
+	}
+	return s.refcnt[addr]
+}
+
+// AddrStable reports that address addr holds a fully deposited cell whose
+// read wave has not yet been initiated: its write wave has passed every
+// stage and at least one descriptor still queues it. A single-bit fault
+// injected into a stable word is read exactly once downstream (the first
+// read scrubs it), so an engine flipping only stable, clean words gets an
+// exact correction count.
+func (s *Switch) AddrStable(addr int) bool {
+	return s.QueuedAt(addr) > 0 && s.cycle >= s.writeStartAt[addr]+int64(s.k)
+}

@@ -61,16 +61,16 @@ func NewDual(cfg Config) (*DualSwitch, error) {
 		cfg.Stages = cfg.Ports // canonical half-quantum
 	}
 	if cfg.Stages != cfg.Ports {
-		return nil, fmt.Errorf("core: dual switch needs Stages = Ports (half quantum), got %d stages for %d ports", cfg.Stages, cfg.Ports)
+		return nil, fmt.Errorf("%w: dual switch needs Stages = Ports (half quantum), got %d stages for %d ports", ErrBadConfig, cfg.Stages, cfg.Ports)
 	}
 	if cfg.Ports < 2 {
-		return nil, fmt.Errorf("core: dual switch needs ≥ 2 ports")
+		return nil, fmt.Errorf("%w: dual switch needs ≥ 2 ports", ErrBadConfig)
 	}
 	if cfg.WordBits < 1 || cfg.WordBits > 64 {
-		return nil, fmt.Errorf("core: word width %d out of 1…64", cfg.WordBits)
+		return nil, fmt.Errorf("%w: word width %d out of 1…64", ErrBadConfig, cfg.WordBits)
 	}
 	if cfg.Cells < 1 {
-		return nil, fmt.Errorf("core: capacity %d cells per bank, need ≥ 1", cfg.Cells)
+		return nil, fmt.Errorf("%w: capacity %d cells per bank, need ≥ 1", ErrBadConfig, cfg.Cells)
 	}
 	n, k := cfg.Ports, cfg.Ports
 	d := &DualSwitch{

@@ -1,0 +1,138 @@
+package core
+
+import (
+	mathbits "math/bits"
+
+	"pipemem/internal/cell"
+)
+
+// SEC-DED (single-error-correct, double-error-detect) Hamming code for one
+// memory word of up to 64 data bits. The pipelined memory stores the check
+// bits alongside each word of each stage (an extra r+1 bit columns per
+// bank, §5-style area cost) so that a single-event upset in a bank is
+// corrected on the read wave and a multi-bit failure is detected rather
+// than silently delivered.
+//
+// The layout is the textbook one: codeword positions are numbered from 1;
+// positions that are powers of two hold check bits, the rest hold the data
+// bits in order. Check bit i covers every position whose index has bit i
+// set. An overall-parity bit extends the Hamming distance to 4 (SEC-DED).
+
+// eccStatus classifies the outcome of a decode.
+type eccStatus uint8
+
+const (
+	// eccClean: the word matched its check bits.
+	eccClean eccStatus = iota
+	// eccCorrected: a single-bit error (in data, check bits, or the
+	// overall parity) was corrected.
+	eccCorrected
+	// eccUncorrectable: a multi-bit error was detected; the returned word
+	// is not trustworthy.
+	eccUncorrectable
+)
+
+// eccCheckBits returns the number of Hamming check bits r for width data
+// bits (smallest r with 2^r ≥ width + r + 1). The stored check word is one
+// bit wider: the overall parity rides in bit r.
+func eccCheckBits(width int) int {
+	r := 0
+	for (1 << r) < width+r+1 {
+		r++
+	}
+	return r
+}
+
+// eccSpread places the width data bits of w into codeword positions
+// 1..width+r, skipping power-of-two positions, and returns the positions
+// of the 1-bits folded as an XOR (the parity-group accumulator) plus the
+// populated codeword as a position-indexed bitmask is not needed — only
+// the group parities are. Instead of materializing the codeword, both
+// encode and decode fold each 1-bit's position into a running XOR: for a
+// codeword with exactly the check bits chosen below, the XOR of the
+// positions of all 1-bits is zero, and after a single bit error at
+// position p it is exactly p.
+func eccSpread(w cell.Word, width int) (posXor uint, ones int) {
+	pos := uint(0) // codeword position of the next data bit, starting at 3
+	next := uint(3)
+	for b := 0; b < width; b++ {
+		pos = next
+		// Advance to the following non-power-of-two position.
+		next++
+		for next&(next-1) == 0 {
+			next++
+		}
+		if w&(1<<uint(b)) != 0 {
+			posXor ^= pos
+			ones++
+		}
+	}
+	return posXor, ones
+}
+
+// eccEncode returns the stored check bits for a width-bit data word: bits
+// 0..r-1 are the Hamming check bits, bit r is the overall parity of the
+// whole codeword (data + check bits).
+func eccEncode(w cell.Word, width int) uint8 {
+	r := eccCheckBits(width)
+	posXor, ones := eccSpread(w, width)
+	// Check bit i equals the parity of the data positions with bit i set,
+	// which is exactly bit i of posXor.
+	check := uint8(posXor) & (1<<uint(r) - 1)
+	// Overall parity over data bits and check bits.
+	parity := uint(ones)
+	for i := 0; i < r; i++ {
+		parity += uint(check>>uint(i)) & 1
+	}
+	return check | uint8(parity&1)<<uint(r)
+}
+
+// eccDecode verifies a (word, check) pair read from a bank. It returns the
+// (possibly corrected) word and the decode status.
+func eccDecode(w cell.Word, check uint8, width int) (cell.Word, eccStatus) {
+	r := eccCheckBits(width)
+	expect := eccEncode(w, width)
+	syndrome := uint((check ^ expect) & (1<<uint(r) - 1))
+	// The overall parity is checked over the bits actually read (data,
+	// check bits, parity bit): the encoder makes that total even.
+	ones := mathbits.OnesCount64(uint64(w)) + mathbits.OnesCount8(check)
+	parityErr := ones&1 != 0
+	switch {
+	case syndrome == 0 && !parityErr:
+		return w, eccClean
+	case syndrome == 0 && parityErr:
+		// The overall-parity bit itself flipped; the data is intact.
+		return w, eccCorrected
+	case parityErr:
+		// Odd number of flipped bits with a nonzero syndrome: a single-bit
+		// error at codeword position `syndrome`. Power-of-two positions are
+		// check bits (data intact); others map back to a data bit.
+		if syndrome&(syndrome-1) == 0 {
+			return w, eccCorrected
+		}
+		if bit, ok := eccDataBit(syndrome, width); ok {
+			return w ^ 1<<uint(bit), eccCorrected
+		}
+		// Position beyond the codeword: cannot be a single-bit error.
+		return w, eccUncorrectable
+	default:
+		// Even number of flipped bits, nonzero syndrome: double error.
+		return w, eccUncorrectable
+	}
+}
+
+// eccDataBit maps codeword position pos back to a data bit index; ok is
+// false when pos is outside the data positions of a width-bit codeword.
+func eccDataBit(pos uint, width int) (int, bool) {
+	p := uint(3)
+	for b := 0; b < width; b++ {
+		if p == pos {
+			return b, true
+		}
+		p++
+		for p&(p-1) == 0 {
+			p++
+		}
+	}
+	return 0, false
+}

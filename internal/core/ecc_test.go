@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pipemem/internal/cell"
+)
+
+// TestECCCleanRoundTrip: an unperturbed (word, check) pair decodes clean
+// for every supported width.
+func TestECCCleanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, width := range []int{1, 4, 8, 11, 16, 26, 32, 57, 64} {
+		for i := 0; i < 200; i++ {
+			w := cell.Word(rng.Uint64()).Mask(width)
+			got, st := eccDecode(w, eccEncode(w, width), width)
+			if st != eccClean || got != w {
+				t.Fatalf("width %d word %#x: status %d, got %#x", width, w, st, got)
+			}
+		}
+	}
+}
+
+// TestECCSingleBitCorrection: every single-bit data error is corrected back
+// to the original word; every single-bit check error leaves data intact.
+func TestECCSingleBitCorrection(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, width := range []int{1, 8, 16, 33, 64} {
+		r := eccCheckBits(width)
+		for i := 0; i < 100; i++ {
+			w := cell.Word(rng.Uint64()).Mask(width)
+			chk := eccEncode(w, width)
+			for b := 0; b < width; b++ {
+				got, st := eccDecode(w^1<<uint(b), chk, width)
+				if st != eccCorrected || got != w {
+					t.Fatalf("width %d: data bit %d flip not corrected (status %d, got %#x, want %#x)",
+						width, b, st, got, w)
+				}
+			}
+			for b := 0; b <= r; b++ { // check bits and the parity bit
+				got, st := eccDecode(w, chk^1<<uint(b), width)
+				if st != eccCorrected || got != w {
+					t.Fatalf("width %d: check bit %d flip mishandled (status %d)", width, b, st)
+				}
+			}
+		}
+	}
+}
+
+// TestECCDoubleBitDetection: any two-bit data error is flagged
+// uncorrectable — never silently delivered, never miscorrected.
+func TestECCDoubleBitDetection(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, width := range []int{8, 16, 64} {
+		for i := 0; i < 50; i++ {
+			w := cell.Word(rng.Uint64()).Mask(width)
+			chk := eccEncode(w, width)
+			for b1 := 0; b1 < width; b1++ {
+				b2 := (b1 + 1 + rng.IntN(width-1)) % width
+				if b1 == b2 {
+					continue
+				}
+				_, st := eccDecode(w^1<<uint(b1)^1<<uint(b2), chk, width)
+				if st != eccUncorrectable {
+					t.Fatalf("width %d: double flip (%d,%d) not detected (status %d)", width, b1, b2, st)
+				}
+			}
+		}
+	}
+}
+
+// TestECCCheckBitCount pins the check-bit arithmetic: 16-bit words need 5+1
+// bits, 64-bit words 7+1 (the §5-style area overhead quoted in DESIGN.md).
+func TestECCCheckBitCount(t *testing.T) {
+	for _, tc := range []struct{ width, r int }{
+		{1, 2}, {4, 3}, {8, 4}, {11, 4}, {16, 5}, {26, 5}, {57, 6}, {64, 7},
+	} {
+		if got := eccCheckBits(tc.width); got != tc.r {
+			t.Errorf("eccCheckBits(%d) = %d, want %d", tc.width, got, tc.r)
+		}
+	}
+}

@@ -91,7 +91,7 @@ func RunTraffic(s *Switch, cs *traffic.CellStream, cycles int64) (RunResult, err
 		collect()
 	}
 	res.Cycles = s.cycle
-	res.Dropped = s.counter.Get("drop-overrun")
+	res.Dropped = s.counter.Get("drop-overrun") + s.counter.Get("drop-bypass")
 	res.MeanCutLatency = s.cutLatency.Mean()
 	res.MinCutLatency = minLat
 	res.MeanInitDelay = s.initDelay.Mean()
@@ -142,8 +142,14 @@ func (s *Switch) egressBusy() bool {
 // pendingCount returns cells that were offered but neither delivered nor
 // dropped (still resident at the end of a run).
 func (s *Switch) pendingCount() int64 {
-	return int64(s.Buffered() + s.inFlightCount() + s.egressWords())
+	return int64(s.Buffered() + s.inFlightCount() + s.egressWords() + s.delayCount)
 }
+
+// Resident returns the number of cells currently inside the switch in any
+// form: crossing pipelined link wires, awaiting a write wave in the input
+// registers, buffered, or streaming out of an egress link. Conservation
+// demands offered == delivered + dropped + Resident() at every instant.
+func (s *Switch) Resident() int { return int(s.pendingCount()) }
 
 // egressWords counts departures in flight at egress.
 func (s *Switch) egressWords() int {

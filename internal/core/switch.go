@@ -54,6 +54,12 @@ type Op struct {
 	Out int
 	// Addr is the buffer address used by every stage of the wave.
 	Addr int
+	// Remap marks a wave initiated while a stage bypass is active: every
+	// stage of the wave resolves mapped-out banks through the redirect
+	// table (degrade.go). The flag is frozen at initiation so a wave that
+	// was in flight when a bypass tripped keeps its original bank schedule
+	// to completion.
+	Remap bool
 }
 
 // String implements fmt.Stringer.
@@ -176,6 +182,26 @@ type Switch struct {
 	// cut-through across switches.
 	onTransmitCell func(out int, c *cell.Cell, startCycle int64)
 
+	// Fault-tolerance state (defense layers; see degrade.go). eccMem holds
+	// the per-word SEC-DED check bits when Config.ECC is on. stuck marks
+	// banks with an injected stuck-at fault. stageErr tallies uncorrectable
+	// errors per bank; stageDown marks banks mapped out by bypass. Once a
+	// bypass halves the buffer, addrLimit is the usable address count and
+	// the upper half of every healthy bank is the redirect region for its
+	// mapped-out partner. lastInit spaces initiations while degraded.
+	eccMem    [][]uint8
+	stuck     []bool
+	stageErr  []int
+	stageDown []bool
+	halved    bool
+	failed    bool
+	addrLimit int
+	lastInit  int64
+	// writeStartAt[addr] is the initiation cycle of the write wave that
+	// last allocated addr; fault engines use it (AddrStable) to target
+	// only fully deposited words.
+	writeStartAt []int64
+
 	// inDelay is the §4.3 link-pipelining delay line: slot c%R holds the
 	// heads that entered the switch boundary R cycles ago and reach the
 	// input registers this cycle. delayCount tracks cells in flight on
@@ -197,26 +223,37 @@ func New(cfg Config) (*Switch, error) {
 	}
 	n, k := cfg.Ports, cfg.Stages
 	s := &Switch{
-		cfg:        cfg,
-		n:          n,
-		k:          k,
-		mem:        make([][]cell.Word, k),
-		inReg:      make([][]cell.Word, n),
-		outReg:     make([]outWord, k),
-		ctrl:       make([]Op, k),
-		inflight:   make([]*arrival, n),
-		free:       fifo.NewFreeList(cfg.Cells),
-		queues:     fifo.NewMultiQueue(n*cfg.VCs, cfg.Cells*n),
-		nodes:      make([]desc, cfg.Cells*n),
-		nfree:      fifo.NewFreeList(cfg.Cells * n),
-		refcnt:     make([]int, cfg.Cells),
-		linkFree:   make([]int64, n),
-		vcRR:       make([]int, n),
-		egress:     make([]*fifo.Ring[*reasm], n),
-		cutLatency: stats.NewHist(4096),
+		cfg:          cfg,
+		n:            n,
+		k:            k,
+		mem:          make([][]cell.Word, k),
+		inReg:        make([][]cell.Word, n),
+		outReg:       make([]outWord, k),
+		ctrl:         make([]Op, k),
+		inflight:     make([]*arrival, n),
+		free:         fifo.NewFreeList(cfg.Cells),
+		queues:       fifo.NewMultiQueue(n*cfg.VCs, cfg.Cells*n),
+		nodes:        make([]desc, cfg.Cells*n),
+		nfree:        fifo.NewFreeList(cfg.Cells * n),
+		refcnt:       make([]int, cfg.Cells),
+		linkFree:     make([]int64, n),
+		vcRR:         make([]int, n),
+		egress:       make([]*fifo.Ring[*reasm], n),
+		cutLatency:   stats.NewHist(4096),
+		stageErr:     make([]int, k),
+		stageDown:    make([]bool, k),
+		addrLimit:    cfg.Cells,
+		lastInit:     -2,
+		writeStartAt: make([]int64, cfg.Cells),
 	}
 	for st := range s.mem {
 		s.mem[st] = make([]cell.Word, cfg.Cells)
+	}
+	if cfg.ECC {
+		s.eccMem = make([][]uint8, k)
+		for st := range s.eccMem {
+			s.eccMem[st] = make([]uint8, cfg.Cells)
+		}
 	}
 	for i := range s.inReg {
 		s.inReg[i] = make([]cell.Word, k)
@@ -439,17 +476,21 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 		s.emitTrace(c, heads)
 	}
 
-	// Phase 3 — execute every stage's operation for this cycle.
+	// Phase 3 — execute every stage's operation for this cycle. Reads and
+	// writes go through the fault-tolerance layer (degrade.go): ECC
+	// encode/check-correct and the bypass remap of mapped-out banks. A
+	// write-through taps the data bus directly, so the RAM plays no part
+	// in the departing word (§3.3).
 	for st := 0; st < s.k; st++ {
 		op := s.ctrl[st]
 		switch op.Kind {
 		case OpWrite:
-			s.mem[st][op.Addr] = s.inReg[op.In][st]
+			s.writeWord(st, op.Addr, op.Remap, s.inReg[op.In][st])
 		case OpRead:
-			s.outReg[st] = outWord{word: s.mem[st][op.Addr], out: op.Out, loadedAt: c, valid: true}
+			s.outReg[st] = outWord{word: s.readWord(st, op.Addr, op.Remap), out: op.Out, loadedAt: c, valid: true}
 		case OpWriteThrough:
 			w := s.inReg[op.In][st]
-			s.mem[st][op.Addr] = w
+			s.writeWord(st, op.Addr, op.Remap, w)
 			s.outReg[st] = outWord{word: w, out: op.Out, loadedAt: c, valid: true}
 		}
 	}
@@ -496,13 +537,42 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 		s.inReg[i][0] = nc.Words[0].Mask(s.cfg.WordBits)
 	}
 
+	// Faulty-stage bypass: a bank that has accumulated BypassThreshold
+	// uncorrectable ECC errors is mapped out at the end of the cycle,
+	// outside the execute phase (degrade.go).
+	if t := s.cfg.BypassThreshold; t > 0 {
+		for b := 0; b < s.k; b++ {
+			if !s.stageDown[b] && s.stageErr[b] >= t {
+				s.mapOutBank(b)
+			}
+		}
+	}
+
 	s.cycle++
 }
 
-// arbitrate picks this cycle's stage-0 operation: reads first (outgoing
-// links must not idle), then the most urgent pending write, upgraded to a
-// write-through when cut-through applies.
+// arbitrate picks this cycle's stage-0 operation, enforcing the degraded
+// initiation cadence while a stage bypass is active: a mapped-out stage
+// doubles the load on its partner bank's single port, so waves initiated on
+// consecutive cycles could collide there. Spacing initiations two cycles
+// apart makes every remapped schedule conflict-free again (the §3.4 slot
+// argument at half rate).
 func (s *Switch) arbitrate(c int64) Op {
+	if s.halved && c-s.lastInit < 2 {
+		return Op{}
+	}
+	op := s.pickOp(c)
+	if op.Kind != OpNone {
+		s.lastInit = c
+		op.Remap = s.halved
+	}
+	return op
+}
+
+// pickOp chooses the wave to initiate: reads first (outgoing links must
+// not idle), then the most urgent pending write, upgraded to a
+// write-through when cut-through applies.
+func (s *Switch) pickOp(c int64) Op {
 	if !s.cfg.NoReadPriority {
 		if op, ok := s.pickRead(c); ok {
 			return op
@@ -595,6 +665,7 @@ func (s *Switch) pickWrite(c int64) (Op, bool) {
 		return Op{}, false
 	}
 	a.written = true
+	s.writeStartAt[addr] = c
 	s.counter.Inc("accepted", 1)
 	s.initDelay.Add(float64(c - a.head - 1))
 	s.writeRR = (best + 1) % s.n

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"math/rand/v2"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/core"
+	"pipemem/internal/stats"
+)
+
+// Target is what an Engine injects into: the switch's seams, and
+// optionally the CRC links in front of its inputs (nil Links skips link
+// events).
+type Target struct {
+	Switch *core.Switch
+	Links  []*Link
+}
+
+// Engine walks a Plan and fires each event at its cycle. Everything it
+// does is deterministic in (plan, seed): "any" targets are resolved with
+// its own PCG stream, never the traffic's.
+type Engine struct {
+	plan    *Plan
+	idx     int
+	rng     *rand.Rand
+	counter stats.Counter
+}
+
+// NewEngine returns an engine over plan (which must be cycle-ordered, as
+// Parse and Random produce). The seed resolves "any" targets.
+func NewEngine(plan *Plan, seed uint64) *Engine {
+	return &Engine{
+		plan: plan,
+		rng:  rand.New(rand.NewPCG(seed, 0xd1342543de82ef95)),
+	}
+}
+
+// Step fires every event scheduled at the given cycle. Call it once per
+// cycle, before the switch's Tick for that cycle. Events whose target
+// cannot be resolved (no live buffer word, an idle link) are skipped and
+// counted; applied and skipped tallies are per kind in Counters.
+func (e *Engine) Step(t Target, cycle int64) {
+	for e.idx < len(e.plan.Events) && e.plan.Events[e.idx].Cycle <= cycle {
+		ev := e.plan.Events[e.idx]
+		e.idx++
+		if ev.Cycle < cycle {
+			continue // scheduled before the run started; unreachable now
+		}
+		if e.apply(t, ev) {
+			e.counter.Inc("applied-"+ev.Kind.String(), 1)
+		} else {
+			e.counter.Inc("skipped-"+ev.Kind.String(), 1)
+		}
+	}
+}
+
+// Done reports that every event in the plan has been fired or passed over.
+func (e *Engine) Done() bool { return e.idx >= len(e.plan.Events) }
+
+// Counters exposes the applied-/skipped- tallies per fault kind.
+func (e *Engine) Counters() *stats.Counter { return &e.counter }
+
+// Applied returns how many events of kind k actually hit a target.
+func (e *Engine) Applied(k Kind) int64 { return e.counter.Get("applied-" + k.String()) }
+
+// Skipped returns how many events of kind k found no target.
+func (e *Engine) Skipped(k Kind) int64 { return e.counter.Get("skipped-" + k.String()) }
+
+func (e *Engine) apply(t Target, ev Event) bool {
+	s := t.Switch
+	cfg := s.Config()
+	bits := ev.Bits
+	if bits == 0 {
+		bits = cell.Word(1) << uint(e.rng.IntN(cfg.WordBits))
+	}
+	switch ev.Kind {
+	case Mem:
+		stage, addr := ev.Stage, ev.Addr
+		if stage == Any {
+			stage = e.rng.IntN(cfg.Stages)
+		}
+		if addr == Any {
+			// Pick a live target: a word that is fully written, still
+			// queued for reading, and currently clean — the regime where
+			// SEC-DED corrects the flip exactly once (and the read scrubs
+			// it). The random starting offset keeps the choice unbiased.
+			addr = -1
+			off := e.rng.IntN(cfg.Cells)
+			for j := 0; j < cfg.Cells; j++ {
+				a := (off + j) % cfg.Cells
+				if s.AddrStable(a) && s.MemoryClean(stage, a) {
+					addr = a
+					break
+				}
+			}
+			if addr < 0 {
+				return false
+			}
+		}
+		s.InjectMemoryFault(stage, addr, bits)
+		return true
+	case Stuck:
+		if ev.Stage < 0 || ev.Stage >= cfg.Stages {
+			return false
+		}
+		s.SetStageStuck(ev.Stage, !ev.Off)
+		return true
+	case Ctrl:
+		if ev.Stage < 0 || ev.Stage >= cfg.Stages {
+			return false
+		}
+		s.InjectControlFault(ev.Stage, ev.Op)
+		return true
+	case InReg:
+		if ev.In < 0 || ev.In >= cfg.Ports || ev.Word < 0 || ev.Word >= cfg.Stages {
+			return false
+		}
+		s.InjectInputRegisterFault(ev.In, ev.Word, bits)
+		return true
+	case LinkDrop:
+		if t.Links == nil || ev.In < 0 || ev.In >= len(t.Links) {
+			return false
+		}
+		return t.Links[ev.In].DropWord(ev.Word)
+	case LinkCorrupt:
+		if t.Links == nil || ev.In < 0 || ev.In >= len(t.Links) {
+			return false
+		}
+		return t.Links[ev.In].CorruptWord(ev.Word, bits)
+	}
+	return false
+}

@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/core"
+)
+
+// Options parameterizes a fault-injection run.
+type Options struct {
+	// Config is the switch under test (canonicalized and validated by
+	// core.New).
+	Config core.Config
+	// Plan is the fault schedule; nil means a fault-free run.
+	Plan *Plan
+	// Seed drives the traffic source and the engine's "any" resolution.
+	Seed uint64
+	// Cycles is the driven window; the run then drains in-flight cells.
+	Cycles int64
+	// Load is the offered load per input link in (0, 1].
+	Load float64
+	// LinkProtect wraps every input link in the CRC/retransmit protocol
+	// (Link); required for LinkDrop/LinkCorrupt events to have a target.
+	LinkProtect bool
+	// MaxRetries bounds retransmissions per cell (≤ 0 means the default
+	// of 4; use the Link type directly for a no-retry protocol).
+	MaxRetries int
+}
+
+// Report is the outcome of a fault-injection run.
+type Report struct {
+	// Cycles is the total simulated length including the drain tail.
+	Cycles int64
+	// Offered counts cells handed to the input links; Delivered cells that
+	// left the switch; Dropped cells lost for capacity reasons
+	// (drop-overrun + drop-bypass); LinkFailed cells abandoned by the link
+	// protocol; Resident cells still inside at the end (0 after a clean
+	// drain).
+	Offered, Delivered, Dropped, LinkFailed, Resident int64
+	// Corrupt counts delivered cells whose payload differed from the
+	// offered payload — the quantity the defense layers exist to keep at
+	// zero.
+	Corrupt int64
+	// LinkRetransmits counts NAK-triggered retransmissions across inputs.
+	LinkRetransmits int64
+	// Switch is a snapshot of the switch's counters ("ecc-corrected",
+	// "ecc-uncorrectable", "stage-bypass", "drop-bypass", …); Engine of
+	// the engine's applied-/skipped- tallies per fault kind.
+	Switch, Engine map[string]int64
+	// Health is the switch's final fault-tolerance state.
+	Health core.Health
+}
+
+// String renders the one-line summary pmsim prints.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"cycles=%d offered=%d delivered=%d dropped=%d linkfailed=%d corrupt=%d ecc-corrected=%d ecc-uncorrectable=%d bypassed=%v retransmits=%d",
+		r.Cycles, r.Offered, r.Delivered, r.Dropped, r.LinkFailed, r.Corrupt,
+		r.Switch["ecc-corrected"], r.Switch["ecc-uncorrectable"], r.Health.Bypassed, r.LinkRetransmits)
+}
+
+// Conserved checks the cell-conservation invariant: every offered cell is
+// delivered, dropped by the switch, abandoned by its link, or still
+// resident. It returns nil when the books balance.
+func (r *Report) Conserved() error {
+	if r.Delivered+r.Dropped+r.LinkFailed+r.Resident != r.Offered {
+		return fmt.Errorf("fault: conservation violated: offered %d ≠ delivered %d + dropped %d + linkfailed %d + resident %d",
+			r.Offered, r.Delivered, r.Dropped, r.LinkFailed, r.Resident)
+	}
+	return nil
+}
+
+// Run drives a switch under traffic while a fault plan unfolds, then
+// drains and audits the books. The error reports harness-level failures
+// (bad config, drain stall); fault consequences (corruption, drops,
+// bypasses) are data in the Report, not errors.
+func Run(o Options) (*Report, error) {
+	s, err := core.New(o.Config)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.Config()
+	n, k := cfg.Ports, cfg.Stages
+	if o.Load <= 0 || o.Load > 1 {
+		return nil, fmt.Errorf("fault: load %v out of (0,1]", o.Load)
+	}
+	plan := o.Plan
+	if plan == nil {
+		plan = &Plan{}
+	}
+	engine := NewEngine(plan, o.Seed^0x9e3779b97f4a7c15)
+	target := Target{Switch: s}
+	retries := o.MaxRetries
+	if retries <= 0 {
+		retries = 4
+	}
+	var links []*Link
+	if o.LinkProtect {
+		links = make([]*Link, n)
+		for i := range links {
+			links[i] = NewLink(k, cfg.WordBits, retries)
+		}
+		target.Links = links
+	}
+
+	rep := &Report{}
+	var seq uint64
+	sums := make(map[uint64]uint64) // seq → checksum of the offered cell
+	collect := func() {
+		for _, d := range s.Drain() {
+			rep.Delivered++
+			want, ok := sums[d.Cell.Seq]
+			if !ok || d.Cell.Checksum() != want {
+				rep.Corrupt++
+			}
+			delete(sums, d.Cell.Seq)
+		}
+	}
+
+	// The source: each idle input link starts a cell with the idle-cycle
+	// probability that makes the long-run link utilization equal Load
+	// (the same construction as traffic.CellStream's Bernoulli mode).
+	rng := rand.New(rand.NewPCG(o.Seed, 0xa0761d6478bd642f))
+	q := o.Load / (float64(k)*(1-o.Load) + o.Load)
+	busy := make([]int, n) // direct mode: cycles the link stays mid-cell
+	heads := make([]*cell.Cell, n)
+	offer := func(i int) *cell.Cell {
+		if rng.Float64() >= q {
+			return nil
+		}
+		seq++
+		c := cell.New(seq, i, rng.IntN(n), k, cfg.WordBits)
+		sums[seq] = c.Checksum()
+		rep.Offered++
+		return c
+	}
+
+	for c := int64(0); c < o.Cycles; c++ {
+		engine.Step(target, c)
+		for i := 0; i < n; i++ {
+			if o.LinkProtect {
+				heads[i] = links[i].Tick(c)
+				if links[i].Idle() {
+					if nc := offer(i); nc != nil {
+						links[i].Offer(nc, c)
+					}
+				}
+			} else {
+				heads[i] = nil
+				if busy[i] > 0 {
+					busy[i]--
+					continue
+				}
+				if nc := offer(i); nc != nil {
+					heads[i] = nc
+					busy[i] = k - 1
+				}
+			}
+		}
+		s.Tick(heads)
+		collect()
+	}
+
+	// Drain: stop offering, run the links dry, then let the switch's
+	// buffer and egress pipelines empty. The bound covers a full buffer
+	// funneled through one output at the degraded half-rate cadence, plus
+	// the worst-case link backoff tail.
+	linksBusy := func() bool {
+		for _, l := range links {
+			if !l.Idle() {
+				return true
+			}
+		}
+		return false
+	}
+	drainBound := int64((cfg.Cells+2)*k*4) + 4*int64(k)<<uint(retries+1)
+	c := o.Cycles
+	for end := o.Cycles + drainBound; c < end && (s.Resident() > 0 || linksBusy()); c++ {
+		engine.Step(target, c)
+		for i := 0; i < n; i++ {
+			heads[i] = nil
+			if o.LinkProtect {
+				heads[i] = links[i].Tick(c)
+			}
+		}
+		s.Tick(heads)
+		collect()
+	}
+
+	rep.Cycles = c
+	rep.Resident = int64(s.Resident())
+	rep.Dropped = s.Counters().Get("drop-overrun") + s.Counters().Get("drop-bypass")
+	for _, l := range links {
+		rep.LinkRetransmits += l.Retransmits
+		rep.LinkFailed += l.Failed
+	}
+	rep.Switch = s.Counters().Snapshot()
+	rep.Engine = engine.Counters().Snapshot()
+	rep.Health = s.Health()
+	if s.Resident() > 0 || linksBusy() {
+		return rep, fmt.Errorf("fault: drain stalled after %d cycles with %d cells resident", drainBound, s.Resident())
+	}
+	if err := rep.Conserved(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"pipemem/internal/cell"
+)
+
+// Link models a CRC-protected input link in front of the switch: the third
+// defense layer. A cell transfer is word-serial (one word per cycle, K
+// cycles per cell) with a CRC-16 trailer; the receiver buffers the whole
+// cell and checks the CRC at the tail. On a mismatch — or a word lost
+// outright — it NAKs, and the sender retransmits after an exponential
+// backoff (2, 4, 8, … cycles), up to MaxRetries retransmissions before the
+// cell is abandoned ("link failed"). The validated cell is handed to the
+// switch as an ordinary head, so the link adds K cycles of store-and-check
+// latency and the switch itself is oblivious to the protocol.
+//
+// CRC-16 leaves a 2⁻¹⁶ escape probability per corrupted transfer; an
+// escaped cell is delivered with its corrupted payload and the end-to-end
+// integrity check downstream flags it — corruption is never silent.
+type Link struct {
+	cellWords  int
+	wordBits   int
+	maxRetries int
+
+	sending  *cell.Cell  // cell being transferred, nil when idle
+	wire     []cell.Word // receiver's buffer of the in-flight copy
+	lost     []bool      // words dropped on the wire this attempt
+	crc      uint16      // trailer computed over the clean words at send time
+	pos      int         // words transferred so far this attempt
+	attempts int         // retransmissions used for the current cell
+	resumeAt int64       // first cycle of the next (re)transmission
+
+	// Retransmits counts NAK-triggered retransmissions; Failed counts
+	// cells abandoned after exhausting MaxRetries; Delivered counts cells
+	// handed to the switch.
+	Retransmits, Failed, Delivered int64
+}
+
+// NewLink returns an idle link carrying cells of cellWords words of
+// wordBits bits, giving each cell maxRetries retransmissions (≥ 0; a
+// negative value means 4, a default that outlasts any plausible burst).
+func NewLink(cellWords, wordBits, maxRetries int) *Link {
+	if maxRetries < 0 {
+		maxRetries = 4
+	}
+	return &Link{
+		cellWords:  cellWords,
+		wordBits:   wordBits,
+		maxRetries: maxRetries,
+		wire:       make([]cell.Word, cellWords),
+		lost:       make([]bool, cellWords),
+	}
+}
+
+// Idle reports that no transfer is in progress and a new cell may be
+// offered.
+func (l *Link) Idle() bool { return l.sending == nil }
+
+// Offer starts transferring c; the first word goes on the wire at the next
+// Tick. Offering to a busy link panics: sources must check Idle.
+func (l *Link) Offer(c *cell.Cell, cycle int64) {
+	if l.sending != nil {
+		panic("fault: Offer on a busy link")
+	}
+	l.sending = c
+	l.beginAttempt(cycle)
+	l.attempts = 0
+}
+
+// beginAttempt resets the wire for a (re)transmission starting at cycle.
+func (l *Link) beginAttempt(cycle int64) {
+	copy(l.wire, l.sending.Words)
+	for i := range l.lost {
+		l.lost[i] = false
+	}
+	l.crc = cell.CRC16(l.sending.Words)
+	l.pos = 0
+	l.resumeAt = cycle
+}
+
+// Tick advances the link one cycle. When the tail word's CRC check passes
+// it returns the received cell, to be injected into the switch as this
+// cycle's head on the corresponding input; otherwise it returns nil.
+func (l *Link) Tick(cycle int64) *cell.Cell {
+	if l.sending == nil || cycle < l.resumeAt {
+		return nil
+	}
+	l.pos++
+	if l.pos < l.cellWords {
+		return nil
+	}
+	// Tail cycle: the receiver checks the trailer.
+	ok := cell.CRC16(l.wire) == l.crc
+	for _, lostWord := range l.lost {
+		if lostWord {
+			ok = false
+		}
+	}
+	if ok {
+		// Deliver what the wire carried: if a corruption slipped past the
+		// CRC (a 2⁻¹⁶ collision) the corrupted payload goes through and the
+		// end-to-end integrity check downstream catches it.
+		got := l.sending.Clone()
+		copy(got.Words, l.wire)
+		l.sending = nil
+		l.Delivered++
+		return got
+	}
+	// NAK: retransmit after exponential backoff, or give up.
+	l.attempts++
+	if l.attempts > l.maxRetries {
+		l.sending = nil
+		l.Failed++
+		return nil
+	}
+	l.Retransmits++
+	backoff := int64(1) << uint(l.attempts)
+	l.beginAttempt(cycle + 1 + backoff)
+	return nil
+}
+
+// active reports that words of the current attempt are on the wire.
+func (l *Link) active() bool { return l.sending != nil && l.pos > 0 }
+
+// CorruptWord XORs mask into word `word` of the transfer in flight
+// (Any = the word put on the wire this cycle). It reports whether a
+// transfer was actually hit.
+func (l *Link) CorruptWord(word int, mask cell.Word) bool {
+	if !l.active() {
+		return false
+	}
+	if word == Any {
+		word = l.pos - 1
+	}
+	if word < 0 || word >= l.cellWords {
+		return false
+	}
+	if mask == 0 {
+		mask = 1
+	}
+	l.wire[word] ^= mask.Mask(l.wordBits)
+	return true
+}
+
+// DropWord marks word `word` of the transfer in flight as lost on the wire
+// (Any = the word put on the wire this cycle). It reports whether a
+// transfer was actually hit.
+func (l *Link) DropWord(word int) bool {
+	if !l.active() {
+		return false
+	}
+	if word == Any {
+		word = l.pos - 1
+	}
+	if word < 0 || word >= l.cellWords {
+		return false
+	}
+	l.lost[word] = true
+	return true
+}

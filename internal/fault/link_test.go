@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"testing"
+
+	"pipemem/internal/cell"
+)
+
+// drive ticks the link until it yields a cell or gives up, returning the
+// delivered cell (nil if the transfer failed) and the cycle after the
+// last tick.
+func drive(l *Link, from int64, bound int) (*cell.Cell, int64) {
+	c := from
+	for i := 0; i < bound; i++ {
+		got := l.Tick(c)
+		c++
+		if got != nil || l.Idle() {
+			return got, c
+		}
+	}
+	return nil, c
+}
+
+// TestLinkCleanTransfer: an unperturbed transfer takes exactly K cycles
+// and delivers the payload verbatim.
+func TestLinkCleanTransfer(t *testing.T) {
+	const k = 8
+	l := NewLink(k, 16, -1)
+	c := cell.New(1, 0, 1, k, 16)
+	l.Offer(c, 0)
+	got, at := drive(l, 0, 100)
+	if got == nil {
+		t.Fatal("clean transfer failed")
+	}
+	if at != k {
+		t.Fatalf("delivery after %d cycles, want %d", at, k)
+	}
+	if !got.Equal(c) {
+		t.Fatal("payload mangled on a clean link")
+	}
+	if l.Retransmits != 0 || l.Failed != 0 || l.Delivered != 1 {
+		t.Fatalf("counters: retransmits=%d failed=%d delivered=%d", l.Retransmits, l.Failed, l.Delivered)
+	}
+}
+
+// TestLinkRetransmitOnCorruption: one corrupted word triggers exactly one
+// retransmission and the cell still arrives intact.
+func TestLinkRetransmitOnCorruption(t *testing.T) {
+	const k = 8
+	l := NewLink(k, 16, -1)
+	c := cell.New(2, 0, 1, k, 16)
+	l.Offer(c, 0)
+	l.Tick(0) // word 0 on the wire
+	if !l.CorruptWord(Any, 0x10) {
+		t.Fatal("corruption found no transfer in flight")
+	}
+	got, _ := drive(l, 1, 1000)
+	if got == nil {
+		t.Fatal("transfer failed despite retries available")
+	}
+	if !got.Equal(c) {
+		t.Fatal("delivered payload corrupted — CRC failed to catch the flip")
+	}
+	if l.Retransmits != 1 {
+		t.Fatalf("retransmits = %d, want 1", l.Retransmits)
+	}
+}
+
+// TestLinkDropRetransmit: a lost word is equivalent to corruption — NAK
+// and retransmit.
+func TestLinkDropRetransmit(t *testing.T) {
+	const k = 4
+	l := NewLink(k, 16, -1)
+	c := cell.New(3, 0, 1, k, 16)
+	l.Offer(c, 0)
+	l.Tick(0)
+	l.Tick(1)
+	if !l.DropWord(1) {
+		t.Fatal("drop found no transfer in flight")
+	}
+	got, _ := drive(l, 2, 1000)
+	if got == nil || !got.Equal(c) {
+		t.Fatal("cell not recovered after a word drop")
+	}
+	if l.Retransmits != 1 {
+		t.Fatalf("retransmits = %d, want 1", l.Retransmits)
+	}
+}
+
+// TestLinkBoundedRetries: corrupting every attempt exhausts MaxRetries and
+// the cell is abandoned, not delivered corrupted and not retried forever.
+func TestLinkBoundedRetries(t *testing.T) {
+	const k, retries = 4, 3
+	l := NewLink(k, 16, retries)
+	c := cell.New(4, 0, 1, k, 16)
+	l.Offer(c, 0)
+	cyc := int64(0)
+	for i := 0; i < 10_000 && !l.Idle(); i++ {
+		got := l.Tick(cyc)
+		if got != nil {
+			t.Fatal("corrupted transfer delivered")
+		}
+		l.CorruptWord(Any, 1) // hit whatever word is in flight
+		cyc++
+	}
+	if !l.Idle() {
+		t.Fatal("link never gave up")
+	}
+	if l.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", l.Failed)
+	}
+	if l.Retransmits != retries {
+		t.Fatalf("retransmits = %d, want %d", l.Retransmits, retries)
+	}
+}
+
+// TestLinkBackoffSpacing: the gap before retransmission k is 2^k cycles
+// (exponential backoff), so a persistent burst on the wire is outwaited.
+func TestLinkBackoffSpacing(t *testing.T) {
+	const k = 4
+	l := NewLink(k, 16, -1)
+	c := cell.New(5, 0, 1, k, 16)
+	l.Offer(c, 0)
+	// First attempt: words at cycles 0..3, corrupted; NAK at cycle 3.
+	for cyc := int64(0); cyc < k; cyc++ {
+		l.Tick(cyc)
+		l.CorruptWord(Any, 1)
+	}
+	if l.Retransmits != 1 {
+		t.Fatalf("retransmits = %d, want 1 after first NAK", l.Retransmits)
+	}
+	// Backoff 2^1 = 2: the wire is silent at cycles 4 and 5, the second
+	// attempt runs clean at cycles 6..9.
+	for cyc := int64(k); cyc < k+2; cyc++ {
+		if l.Tick(cyc) != nil || l.active() {
+			t.Fatalf("link transmitted during backoff at cycle %d", cyc)
+		}
+	}
+	got, at := drive(l, k+2, 100)
+	if got == nil || !got.Equal(c) {
+		t.Fatal("second attempt failed")
+	}
+	if want := int64(k + 2 + k); at != want {
+		t.Fatalf("delivery at cycle %d, want %d", at, want)
+	}
+}

@@ -81,12 +81,8 @@ func TestCappedConservation(t *testing.T) {
 	for s := 0; s < 5_000; s++ {
 		g.Step(arrivals)
 		a.Step(arrivals)
-		m := a.Metrics()
-		if m.Offered != m.Accepted+m.Dropped {
-			t.Fatalf("step %d: offered %d != accepted %d + dropped %d", s, m.Offered, m.Accepted, m.Dropped)
-		}
-		if m.Accepted != m.Departed+int64(a.Resident()) {
-			t.Fatalf("step %d: accepted %d != departed %d + resident %d", s, m.Accepted, m.Departed, a.Resident())
+		if err := Conserve(a); err != nil {
+			t.Fatalf("step %d: %v", s, err)
 		}
 	}
 }
@@ -111,6 +107,9 @@ func TestLossToAccounting(t *testing.T) {
 	}
 	if m.LossTo(99) != 0 {
 		t.Fatal("out-of-range LossTo should be 0")
+	}
+	if err := Conserve(a); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -140,5 +139,8 @@ func TestOccupancyMatchesAnalytic(t *testing.T) {
 	want := analytic.SharedBufferOccupancy(n, p) - n*p
 	if got < want*0.9 || got > want*1.1 {
 		t.Fatalf("mean post-departure occupancy %v, analytic n·p·W = %v", got, want)
+	}
+	if err := Conserve(a); err != nil {
+		t.Fatal(err)
 	}
 }

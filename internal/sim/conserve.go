@@ -1,0 +1,22 @@
+package sim
+
+import "fmt"
+
+// Conserve verifies the cell-conservation invariant on an architecture at
+// any point in a run: every offered cell was either accepted or dropped,
+// and every accepted cell has either departed or is still resident. Cells
+// already buffered when measurement started are credited to the arrival
+// side, so the identity holds across a StartMeasurement reset. Run checks
+// it after every simulation; step-level tests call it directly.
+func Conserve(a Arch) error {
+	m := a.Metrics()
+	if m.Offered != m.Accepted+m.Dropped {
+		return fmt.Errorf("sim: %s: offered %d != accepted %d + dropped %d",
+			a.Name(), m.Offered, m.Accepted, m.Dropped)
+	}
+	if m.Accepted+m.residentStart != m.Departed+int64(a.Resident()) {
+		return fmt.Errorf("sim: %s: accepted %d + carried-over %d != departed %d + resident %d",
+			a.Name(), m.Accepted, m.residentStart, m.Departed, a.Resident())
+	}
+	return nil
+}

@@ -65,8 +65,10 @@ type Metrics struct {
 	// OfferedTo and DroppedTo count per destination (lazily sized), for
 	// per-class loss attribution (hotspot experiments).
 	OfferedTo, DroppedTo []int64
-	// measureStart is the slot measurement began.
-	measureStart int64
+	// measureStart is the slot measurement began; residentStart the cells
+	// buffered at that moment (carried-over work for Conserve).
+	measureStart  int64
+	residentStart int64
 }
 
 func newMetrics() *Metrics {
@@ -80,6 +82,7 @@ func (m *Metrics) StartMeasurement() {
 	m.OfferedTo, m.DroppedTo = nil, nil
 	m.Latency = stats.NewHist(4096)
 	m.measureStart = m.Slot
+	m.residentStart = 0
 }
 
 func (m *Metrics) arrival(dst int, accepted bool) {
@@ -169,7 +172,8 @@ func (r Result) String() string {
 
 // Run drives arch with gen for warmup slots (discarded) followed by
 // measured slots, and returns the summary. It panics if gen and arch
-// disagree on the port count (a programming error).
+// disagree on the port count or if the run violates cell conservation
+// (Conserve) — both programming errors.
 func Run(arch Arch, gen *traffic.Generator, warmup, measured int64) Result {
 	if gen.N() != arch.N() {
 		panic(fmt.Sprintf("sim: generator has %d ports, arch %d", gen.N(), arch.N()))
@@ -180,11 +184,15 @@ func Run(arch Arch, gen *traffic.Generator, warmup, measured int64) Result {
 		arch.Step(arrivals)
 	}
 	arch.Metrics().StartMeasurement()
+	arch.Metrics().residentStart = int64(arch.Resident())
 	for s := int64(0); s < measured; s++ {
 		gen.Step(arrivals)
 		arch.Step(arrivals)
 	}
 	m := arch.Metrics()
+	if err := Conserve(arch); err != nil {
+		panic(err) // a model that loses or invents cells is a programming error
+	}
 	return Result{
 		Arch:        arch.Name(),
 		N:           arch.N(),

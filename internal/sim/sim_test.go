@@ -35,7 +35,8 @@ func allArchs(n int) []Arch {
 
 // TestConservation checks, for every architecture, that cells are neither
 // created nor destroyed: offered = accepted + dropped and
-// accepted = departed + resident, at every step.
+// accepted = departed + resident, at every step (the shared Conserve
+// helper; Run re-checks it at the end of every simulation).
 func TestConservation(t *testing.T) {
 	const n = 8
 	for _, a := range allArchs(n) {
@@ -44,14 +45,8 @@ func TestConservation(t *testing.T) {
 		for s := 0; s < 5000; s++ {
 			g.Step(arrivals)
 			a.Step(arrivals)
-			m := a.Metrics()
-			if m.Offered != m.Accepted+m.Dropped {
-				t.Fatalf("%s step %d: offered %d != accepted %d + dropped %d",
-					a.Name(), s, m.Offered, m.Accepted, m.Dropped)
-			}
-			if m.Accepted != m.Departed+int64(a.Resident()) {
-				t.Fatalf("%s step %d: accepted %d != departed %d + resident %d",
-					a.Name(), s, m.Accepted, m.Departed, a.Resident())
+			if err := Conserve(a); err != nil {
+				t.Fatalf("step %d: %v", s, err)
 			}
 		}
 		if a.Metrics().Departed == 0 {
@@ -193,6 +188,9 @@ func TestInputSmoothingFrameMechanics(t *testing.T) {
 	}
 	if m.Departed != 2 {
 		t.Fatalf("departed %d, want 2", m.Departed)
+	}
+	if err := Conserve(a); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -165,6 +165,24 @@ func (c *Counter) Names() []string {
 	return names
 }
 
+// Snapshot returns a copy of all counts, for reports that outlive the
+// counter (never nil).
+func (c *Counter) Snapshot() map[string]int64 {
+	m := make(map[string]int64, len(c.counts))
+	for n, v := range c.counts {
+		m[n] = v
+	}
+	return m
+}
+
+// Merge folds another counter's tallies into c (parallel-run reduction,
+// matching Mean.Merge).
+func (c *Counter) Merge(o *Counter) {
+	for n, v := range o.counts {
+		c.Inc(n, v)
+	}
+}
+
 // Ratio returns Get(num)/Get(den), or 0 when the denominator is zero. It is
 // the canonical loss-probability and utilization accessor.
 func (c *Counter) Ratio(num, den string) float64 {

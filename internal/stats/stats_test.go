@@ -136,6 +136,28 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+func TestCounterSnapshotMerge(t *testing.T) {
+	var a, b Counter
+	if s := a.Snapshot(); s == nil || len(s) != 0 {
+		t.Fatalf("empty snapshot = %v, want non-nil empty map", s)
+	}
+	a.Inc("x", 3)
+	snap := a.Snapshot()
+	a.Inc("x", 1)
+	if snap["x"] != 3 {
+		t.Fatal("Snapshot must be a copy, not a view")
+	}
+	b.Inc("x", 10)
+	b.Inc("y", 2)
+	a.Merge(&b)
+	if a.Get("x") != 14 || a.Get("y") != 2 {
+		t.Fatalf("after merge: x=%d y=%d, want 14, 2", a.Get("x"), a.Get("y"))
+	}
+	if b.Get("x") != 10 {
+		t.Fatal("Merge must not mutate the source")
+	}
+}
+
 func TestBatchMeans(t *testing.T) {
 	b := NewBatchMeans(100)
 	if !math.IsInf(b.HalfWidth95(), 1) {

@@ -45,6 +45,7 @@ import (
 	"pipemem/internal/clos"
 	"pipemem/internal/core"
 	"pipemem/internal/fabric"
+	"pipemem/internal/fault"
 	"pipemem/internal/prizma"
 	"pipemem/internal/sar"
 	"pipemem/internal/sim"
@@ -130,6 +131,81 @@ func RunTraffic(s *Switch, cs *CellStream, cycles int64) (RunResult, error) {
 func RunDualTraffic(d *DualSwitch, cs *CellStream, cycles int64) (RunResult, error) {
 	return core.RunDualTraffic(d, cs, cycles)
 }
+
+// ---- Fault tolerance and fault injection ----
+
+// ErrBadConfig is the sentinel wrapped by every Config validation error;
+// test with errors.Is.
+var ErrBadConfig = core.ErrBadConfig
+
+// ErrBadPlan is the sentinel wrapped by every fault-plan parse error.
+var ErrBadPlan = fault.ErrBadPlan
+
+// Health is a snapshot of a Switch's fault-tolerance state: mapped-out
+// banks, degradation, usable capacity, and ECC counters. Poll it with
+// Switch.Health().
+type Health = core.Health
+
+// FaultPlan is a deterministic schedule of fault events.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one scheduled fault.
+type FaultEvent = fault.Event
+
+// FaultKind discriminates fault events.
+type FaultKind = fault.Kind
+
+// Fault kinds, and the wildcard target value.
+const (
+	FaultMem         = fault.Mem
+	FaultStuck       = fault.Stuck
+	FaultCtrl        = fault.Ctrl
+	FaultInReg       = fault.InReg
+	FaultLinkDrop    = fault.LinkDrop
+	FaultLinkCorrupt = fault.LinkCorrupt
+	FaultAny         = fault.Any
+)
+
+// ParseFaultPlan parses the "@cycle kind key=val…" plan text format.
+func ParseFaultPlan(text string) (*FaultPlan, error) { return fault.Parse(text) }
+
+// FaultRandomOptions parameterizes RandomFaultPlan.
+type FaultRandomOptions = fault.RandomOptions
+
+// RandomFaultPlan generates a seeded random plan (deterministic per seed).
+func RandomFaultPlan(seed uint64, o FaultRandomOptions) *FaultPlan { return fault.Random(seed, o) }
+
+// FaultEngine walks a plan and fires each event at its cycle.
+type FaultEngine = fault.Engine
+
+// FaultTarget is what an engine injects into.
+type FaultTarget = fault.Target
+
+// NewFaultEngine builds an engine over a plan; seed resolves "any" targets.
+func NewFaultEngine(p *FaultPlan, seed uint64) *FaultEngine { return fault.NewEngine(p, seed) }
+
+// FaultLink is the CRC-protected word-serial link with bounded
+// retransmission.
+type FaultLink = fault.Link
+
+// NewFaultLink builds a link for cells of cellWords words of wordBits bits
+// with the given retry budget (negative = default).
+func NewFaultLink(cellWords, wordBits, maxRetries int) *FaultLink {
+	return fault.NewLink(cellWords, wordBits, maxRetries)
+}
+
+// FaultRunOptions parameterizes a traffic-driven fault-injection run.
+type FaultRunOptions = fault.Options
+
+// FaultReport is the outcome of a fault-injection run.
+type FaultReport = fault.Report
+
+// RunFaults drives a switch under traffic while a fault plan unfolds,
+// then drains and audits cell conservation.
+func RunFaults(o FaultRunOptions) (*FaultReport, error) { return fault.Run(o) }
+
+// CRC16 is the CCITT checksum the link protocol appends to each cell.
+func CRC16(words []Word) uint16 { return cell.CRC16(words) }
 
 // ---- Baseline shared-buffer organizations ----
 
