@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz check
+.PHONY: build vet test race fuzz check bench bench-check
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,16 @@ fuzz:
 
 # The gate every change must pass; referenced from README.md.
 check: vet build race
+
+# Microbenchmark smoke: every benchmark (Tick hot path, experiment
+# shapes) a fixed number of iterations, with allocation counts.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100x ./...
+
+# Benchmark-regression gate: re-measure the standard pmbench points and
+# compare against the committed BENCH_1.json — allocations are gated
+# strictly (they are deterministic), cells/sec within a wide tolerance
+# (wall clock on shared hosts is noisy). The report is rewritten with
+# fresh results; the pre-PR baseline is carried forward.
+bench-check:
+	$(GO) run ./cmd/pmbench -json BENCH_1.json -check

@@ -1,0 +1,159 @@
+// Command pmbench measures the RTL hot path and gates performance
+// regressions.
+//
+// Default mode measures a fixed set of points (the same shapes as the
+// go-test microbenchmarks) serially, prints a table with the speedup over
+// the recorded baseline, and — with -json — writes a BENCH_<n>.json
+// report. With -check it first compares the fresh numbers against the
+// Results of the existing report and exits nonzero on a violation
+// (allocation growth, or a cells/sec drop beyond -tol).
+//
+// With -sweep it instead fans a load sweep across a worker pool
+// (internal/bench.Sweep) and prints utilization and latency per point —
+// a smoke test for the parallel sweep engine and a quick saturation
+// profile of the switch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipemem/internal/bench"
+	"pipemem/internal/core"
+	"pipemem/internal/traffic"
+)
+
+func points(cycles int64) []bench.Point {
+	return []bench.Point{
+		{
+			Label:   "tick-steady-8x8",
+			Config:  core.Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
+			Traffic: traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42},
+			Cycles:  cycles,
+		},
+		{
+			Label:   "tick-sat-8x8",
+			Config:  core.Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
+			Traffic: traffic.Config{Kind: traffic.Saturation, N: 8, Seed: 42},
+			Cycles:  cycles,
+		},
+		{
+			Label:   "tick-bern-16x16",
+			Config:  core.Config{Ports: 16, WordBits: 16, Cells: 512, CutThrough: true},
+			Traffic: traffic.Config{Kind: traffic.Bernoulli, N: 16, Load: 0.8, Seed: 42},
+			Cycles:  cycles,
+		},
+		{
+			Label:   "dual-perm-8x8",
+			Config:  core.Config{Ports: 8, WordBits: 16, Cells: 128, CutThrough: true},
+			Dual:    true,
+			Traffic: traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42},
+			Cycles:  cycles,
+		},
+	}
+}
+
+func main() {
+	var (
+		jsonPath = flag.String("json", "", "report file to read the baseline from and write results to")
+		check    = flag.Bool("check", false, "gate fresh numbers against the existing report's results")
+		tol      = flag.Float64("tol", 0.5, "relative cells/sec regression tolerated by -check (allocs are gated strictly)")
+		cycles   = flag.Int64("cycles", 200_000, "measured cycles per point")
+		warmup   = flag.Int64("warmup", 4096, "untimed warmup cycles per point")
+		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
+		sweep    = flag.Bool("sweep", false, "run a parallel load sweep instead of the regression points")
+	)
+	flag.Parse()
+
+	if *sweep {
+		if err := runSweep(*workers, *cycles); err != nil {
+			fmt.Fprintln(os.Stderr, "pmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var prev *bench.Report
+	if *jsonPath != "" {
+		if r, err := bench.Load(*jsonPath); err == nil {
+			prev = r
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "pmbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	cur := bench.NewReport()
+	cur.Tolerance = *tol
+	// Measurement is serial on purpose: concurrent points would contend
+	// for cores and corrupt each other's wall-clock rates.
+	for _, p := range points(*cycles) {
+		rec, err := bench.Measure(p, *warmup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmbench:", err)
+			os.Exit(1)
+		}
+		cur.Results[rec.Name] = rec
+	}
+
+	// The baseline is frozen at the first report and carried forward.
+	if prev != nil && len(prev.Baseline) > 0 {
+		cur.Baseline = prev.Baseline
+	} else {
+		cur.Baseline = cur.Results
+	}
+
+	fmt.Printf("%-16s %12s %10s %12s %8s\n", "point", "cells/sec", "ns/cycle", "allocs/tick", "vs base")
+	for _, p := range points(*cycles) {
+		rec := cur.Results[p.Label]
+		speedup := "-"
+		if b, ok := cur.Baseline[p.Label]; ok && b.CellsPerSec > 0 {
+			speedup = fmt.Sprintf("%.2fx", rec.CellsPerSec/b.CellsPerSec)
+		}
+		fmt.Printf("%-16s %12.0f %10.1f %12.3f %8s\n",
+			rec.Name, rec.CellsPerSec, rec.NsPerCycle, rec.AllocsPerTick, speedup)
+	}
+
+	if *check && prev != nil {
+		if bad := bench.Compare(prev, cur, *tol); len(bad) > 0 {
+			for _, v := range bad {
+				fmt.Fprintln(os.Stderr, "pmbench: REGRESSION:", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("pmbench: regression gate passed")
+	}
+
+	if *jsonPath != "" {
+		if err := cur.Write(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "pmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("pmbench: wrote", *jsonPath)
+	}
+}
+
+// runSweep exercises the parallel sweep engine: an 8×8 switch across a
+// load sweep, every point on its own worker.
+func runSweep(workers int, cycles int64) error {
+	var pts []bench.Point
+	for _, load := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0} {
+		pts = append(pts, bench.Point{
+			Label:   fmt.Sprintf("8x8 bernoulli load=%.2f", load),
+			Config:  core.Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
+			Traffic: traffic.Config{Kind: traffic.Bernoulli, N: 8, Load: load, Seed: 7},
+			Cycles:  cycles,
+		})
+	}
+	results, err := bench.Sweep(workers, pts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-26s %10s %10s %10s %10s\n", "point", "delivered", "util", "cutlat", "maxbuf")
+	for _, r := range results {
+		fmt.Printf("%-26s %10d %10.4f %10.2f %10d\n",
+			r.Point.Label, r.Run.Delivered, r.Run.Utilization, r.Run.MeanCutLatency, r.Run.MaxBuffered)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"pipemem/internal/analytic"
 	"pipemem/internal/arb"
+	"pipemem/internal/bench"
 	"pipemem/internal/cell"
 	"pipemem/internal/core"
 	"pipemem/internal/sim"
@@ -130,21 +131,27 @@ func within(got, want, tol float64) bool {
 func E1InputQueueSaturation(s Scale) (ExpResult, error) {
 	res := ExpResult{ID: "E1", Title: "Input-FIFO saturation", Ref: "§2.1 [KaHM87]"}
 	measured := s.slots(100_000, 1_000_000)
-	for _, n := range []int{2, 4, 8, 16, 32} {
+	// Each size is an independent simulation with its own generator, so
+	// the sweep fans across cores (bench.Map) without changing any value.
+	rows, err := bench.Map(0, []int{2, 4, 8, 16, 32}, func(_ int, n int) (ExpRow, error) {
 		a := sim.NewInputFIFO(n, 256, nil)
 		g, err := traffic.NewGenerator(traffic.Config{Kind: traffic.Saturation, N: n, Seed: 1001})
 		if err != nil {
-			return res, err
+			return ExpRow{}, err
 		}
 		r := sim.Run(a, g, measured/10, measured)
 		want := analytic.HOLSaturation(n)
-		res.Rows = append(res.Rows, ExpRow{
+		return ExpRow{
 			Label:    fmt.Sprintf("saturation throughput, n=%d", n),
 			Paper:    fmt.Sprintf("%.4f", want),
 			Measured: fmt.Sprintf("%.4f", r.Throughput),
 			OK:       within(r.Throughput, want, 0.03),
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	res.Notes = "paper values: exact [KaHM87] table for n ≤ 8, 2-√2 ≈ 0.5858 beyond"
 	return res, nil
 }
@@ -166,49 +173,59 @@ func E2WormholeSaturation(s Scale) (ExpResult, error) {
 		wantHi      float64
 		paper       string
 	}
-	for _, c := range []cfg{
+	rows, err := bench.Map(0, []cfg{
 		{"20-flit msgs, 16-flit buffers (quoted point)", terminals, 16, 20, 0.2, 0.47, "≈0.25 (torus, 1 lane)"},
 		{"4-flit msgs (bursts fit buffers)", terminals, 16, 4, 0.45, 1.0, "recovers"},
 		{"64-flit buffers (buffers exceed bursts)", terminals, 64, 20, 0.4, 1.0, "recovers"},
-	} {
+	}, func(_ int, c cfg) (ExpRow, error) {
 		w, err := wormhole.New(wormhole.Config{Terminals: c.n, BufferFlits: c.buf, MsgFlits: c.msg, Saturate: true, Seed: 77})
 		if err != nil {
-			return res, err
+			return ExpRow{}, err
 		}
 		r, err := wormhole.Run(w, warm, meas)
 		if err != nil {
-			return res, err
+			return ExpRow{}, err
 		}
-		res.Rows = append(res.Rows, ExpRow{
+		return ExpRow{
 			Label:    c.label,
 			Paper:    c.paper,
 			Measured: fmt.Sprintf("%.3f", r.Throughput),
 			OK:       r.Throughput >= c.wantLo && r.Throughput <= c.wantHi,
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	// The lane sweep of the cited figure: saturation must rise with the
-	// lane count at constant total storage.
-	var prev float64
-	for _, lanes := range []int{1, 2, 4} {
+	// lane count at constant total storage. The points simulate in
+	// parallel; the monotonicity comparison runs on the gathered values.
+	laneCounts := []int{1, 2, 4}
+	thr, err := bench.Map(0, laneCounts, func(_ int, lanes int) (float64, error) {
 		w, err := wormhole.NewLanes(wormhole.LaneConfig{
 			Terminals: terminals, BufferFlits: 16, MsgFlits: 20,
 			Lanes: lanes, Saturate: true, Seed: 78,
 		})
 		if err != nil {
-			return res, err
+			return 0, err
 		}
 		r, err := wormhole.RunLanes(w, warm, meas)
 		if err != nil {
-			return res, err
+			return 0, err
 		}
-		ok := lanes == 1 || r.Throughput > prev*1.02
+		return r.Throughput, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, lanes := range laneCounts {
+		ok := i == 0 || thr[i] > thr[i-1]*1.02
 		res.Rows = append(res.Rows, ExpRow{
 			Label:    fmt.Sprintf("%d lane(s), same 16-flit total storage", lanes),
 			Paper:    "saturation rises with lanes ([Dally90])",
-			Measured: fmt.Sprintf("%.3f", r.Throughput),
+			Measured: fmt.Sprintf("%.3f", thr[i]),
 			OK:       ok,
 		})
-		prev = r.Throughput
 	}
 	res.Notes = fmt.Sprintf("%d-terminal 2-ary butterfly of input-FIFO wormhole switches (DESIGN.md substitution for the torus)", terminals)
 	return res, nil
@@ -262,26 +279,32 @@ func E3BufferSizing(s Scale) (ExpResult, error) {
 	gcfg := traffic.Config{Kind: traffic.Bernoulli, N: n, Load: 0.8, Seed: 2002}
 	warm, meas := s.slots(5_000, 20_000), s.slots(120_000, 1_200_000)
 
-	shared, lossS, err := findBufferFor(func(b int) sim.Arch { return sim.NewSharedBuffer(n, b) },
-		gcfg, warm, meas, target, 16, 256)
+	// The four organizations bisect independently; each bisection is
+	// internally sequential, so the parallelism is across organizations.
+	type sizing struct {
+		build  func(b int) sim.Arch
+		lo, hi int
+	}
+	type sized struct {
+		b    int
+		loss float64
+	}
+	found, err := bench.Map(0, []sizing{
+		{func(b int) sim.Arch { return sim.NewSharedBuffer(n, b) }, 16, 256},
+		{func(b int) sim.Arch { return sim.NewOutputQueue(n, b) }, 2, 64},
+		{func(b int) sim.Arch { return sim.NewInputSmoothing(n, b) }, 8, 512},
+		{func(b int) sim.Arch { return sim.NewCrosspoint(n, b) }, 1, 16},
+	}, func(_ int, job sizing) (sized, error) {
+		b, loss, err := findBufferFor(job.build, gcfg, warm, meas, target, job.lo, job.hi)
+		return sized{b, loss}, err
+	})
 	if err != nil {
 		return res, err
 	}
-	outPort, lossO, err := findBufferFor(func(b int) sim.Arch { return sim.NewOutputQueue(n, b) },
-		gcfg, warm, meas, target, 2, 64)
-	if err != nil {
-		return res, err
-	}
-	smooth, lossI, err := findBufferFor(func(b int) sim.Arch { return sim.NewInputSmoothing(n, b) },
-		gcfg, warm, meas, target, 8, 512)
-	if err != nil {
-		return res, err
-	}
-	crossCap, lossX, err := findBufferFor(func(b int) sim.Arch { return sim.NewCrosspoint(n, b) },
-		gcfg, warm, meas, target, 1, 16)
-	if err != nil {
-		return res, err
-	}
+	shared, lossS := found[0].b, found[0].loss
+	outPort, lossO := found[1].b, found[1].loss
+	smooth, lossI := found[2].b, found[2].loss
+	crossCap, lossX := found[3].b, found[3].loss
 	outTotal := outPort * n
 	smoothTotal := smooth * n
 	crossTotal := crossCap * n * n
@@ -327,16 +350,16 @@ func E4LatencyVsLoad(s Scale) (ExpResult, error) {
 	res := ExpResult{ID: "E4", Title: "Latency vs load", Ref: "§2.2 [AOST93]"}
 	const n = 16
 	warm, meas := s.slots(20_000, 50_000), s.slots(150_000, 1_000_000)
-	for _, p := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+	rows, err := bench.Map(0, []float64{0.5, 0.6, 0.7, 0.8, 0.9}, func(_ int, p float64) (ExpRow, error) {
 		gcfg := traffic.Config{Kind: traffic.Bernoulli, N: n, Load: p, Seed: 3003}
 		g1, err := traffic.NewGenerator(gcfg)
 		if err != nil {
-			return res, err
+			return ExpRow{}, err
 		}
 		out := sim.Run(sim.NewOutputQueue(n, 0), g1, warm, meas)
 		g2, err := traffic.NewGenerator(gcfg)
 		if err != nil {
-			return res, err
+			return ExpRow{}, err
 		}
 		voq := sim.Run(sim.NewVOQ(n, 0, arb.NewISLIP(n, 1)), g2, warm, meas)
 		// Latencies in cell times; +1 converts wait to sojourn so the
@@ -346,13 +369,17 @@ func E4LatencyVsLoad(s Scale) (ExpResult, error) {
 		if p >= 0.6 {
 			ok = ratio >= 1.3 // "about twice", allow breadth
 		}
-		res.Rows = append(res.Rows, ExpRow{
+		return ExpRow{
 			Label:    fmt.Sprintf("sojourn ratio input/output at p=%.1f", p),
 			Paper:    "≈2× at 0.6–0.9",
 			Measured: fmt.Sprintf("%.2f (out %.2f, voq %.2f)", ratio, out.MeanLatency, voq.MeanLatency),
 			OK:       ok,
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	res.Notes = "VOQ uses single-iteration iSLIP, comparable to the schedulers of the cited study"
 	return res, nil
 }
@@ -374,16 +401,18 @@ func E5StaggeredInitiation(s Scale) (ExpResult, error) {
 	res := ExpResult{ID: "E5", Title: "Staggered-initiation delay", Ref: "§3.4"}
 	const n = 8
 	cycles := s.slots(400_000, 4_000_000)
-	for _, p := range []float64{0.1, 0.2, 0.4} {
+	perLoad, err := bench.Map(0, []float64{0.1, 0.2, 0.4}, func(_ int, p float64) ([]ExpRow, error) {
 		sw, err := core.New(core.Config{Ports: n, WordBits: 16, Cells: 512, CutThrough: true})
 		if err != nil {
-			return res, err
+			return nil, err
 		}
 		k := sw.Config().Stages
 		cs, err := traffic.NewCellStream(traffic.Config{Kind: traffic.Bernoulli, N: n, Load: p, Seed: 4004}, k)
 		if err != nil {
-			return res, err
+			return nil, err
 		}
+		pool := cell.NewPool(k)
+		sw.SetDrainRecycle(true)
 		heads := make([]int, n)
 		hc := make([]*cell.Cell, n)
 		var seq uint64
@@ -395,7 +424,7 @@ func E5StaggeredInitiation(s Scale) (ExpResult, error) {
 				hc[i] = nil
 				if heads[i] != traffic.NoArrival {
 					seq++
-					hc[i] = cell.New(seq, i, heads[i], k, 16)
+					hc[i] = pool.New(seq, i, heads[i], 16)
 				}
 			}
 			if nh > 0 {
@@ -405,23 +434,33 @@ func E5StaggeredInitiation(s Scale) (ExpResult, error) {
 				headCount += int64(nh)
 			}
 			sw.Tick(hc)
-			sw.Drain()
+			for _, d := range sw.Drain() {
+				pool.Put(d.Expected)
+			}
 		}
 		want := analytic.StaggeredInitiationDelay(p, n)
 		headModel := collisionSum / float64(headCount)
 		slotWait := sw.InitDelay().Mean()
-		res.Rows = append(res.Rows, ExpRow{
-			Label:    fmt.Sprintf("§3.4 head-collision delay, p=%.1f", p),
-			Paper:    fmt.Sprintf("%.4f cycles", want),
-			Measured: fmt.Sprintf("%.4f cycles", headModel),
-			OK:       within(headModel, want, 0.10),
-		})
-		res.Rows = append(res.Rows, ExpRow{
-			Label:    fmt.Sprintf("RTL stage-0 slot wait, p=%.1f", p),
-			Paper:    "negligible (≈ (p/4)(n-1)/n + read contention)",
-			Measured: fmt.Sprintf("%.4f cycles (%.3f of a cell time)", slotWait, slotWait/float64(k)),
-			OK:       slotWait < 0.25 && slotWait >= 0.5*want,
-		})
+		return []ExpRow{
+			{
+				Label:    fmt.Sprintf("§3.4 head-collision delay, p=%.1f", p),
+				Paper:    fmt.Sprintf("%.4f cycles", want),
+				Measured: fmt.Sprintf("%.4f cycles", headModel),
+				OK:       within(headModel, want, 0.10),
+			},
+			{
+				Label:    fmt.Sprintf("RTL stage-0 slot wait, p=%.1f", p),
+				Paper:    "negligible (≈ (p/4)(n-1)/n + read contention)",
+				Measured: fmt.Sprintf("%.4f cycles (%.3f of a cell time)", slotWait, slotWait/float64(k)),
+				OK:       slotWait < 0.25 && slotWait >= 0.5*want,
+			},
+		}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, rows := range perLoad {
+		res.Rows = append(res.Rows, rows...)
 	}
 	res.Notes = "the closed form counts head-vs-head collisions only; the live switch also queues writes behind prioritized read waves, roughly doubling the (still negligible) wait at moderate load"
 	return res, nil

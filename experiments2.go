@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pipemem/internal/area"
+	"pipemem/internal/bench"
 	"pipemem/internal/cell"
 	"pipemem/internal/core"
 	"pipemem/internal/prizma"
@@ -335,26 +336,30 @@ func E13TechScaling(Scale) (ExpResult, error) {
 func E14HazardFreedom(s Scale) (ExpResult, error) {
 	res := ExpResult{ID: "E14", Title: "Hazard freedom without double buffering", Ref: "§3.2"}
 	cycles := s.slots(30_000, 300_000)
-	for _, n := range []int{2, 4, 8, 16} {
+	rows, err := bench.Map(0, []int{2, 4, 8, 16}, func(_ int, n int) (ExpRow, error) {
 		sw, err := core.New(core.Config{Ports: n, WordBits: 16, Cells: 8 * n, CutThrough: true})
 		if err != nil {
-			return res, err
+			return ExpRow{}, err
 		}
 		cs, err := traffic.NewCellStream(traffic.Config{Kind: traffic.Permutation, N: n, Load: 1, Seed: 8008}, sw.Config().Stages)
 		if err != nil {
-			return res, err
+			return ExpRow{}, err
 		}
 		r, err := core.RunTraffic(sw, cs, cycles)
 		if err != nil {
-			return res, err
+			return ExpRow{}, err
 		}
-		res.Rows = append(res.Rows, ExpRow{
+		return ExpRow{
 			Label:    fmt.Sprintf("back-to-back full load, n=%d: corrupt/dropped", n),
 			Paper:    "0 / 0",
 			Measured: fmt.Sprintf("%d / %d over %d cells", r.Corrupt, r.Dropped, r.Delivered),
 			OK:       r.Corrupt == 0 && r.Dropped == 0 && r.Delivered > 0,
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	// Adversarial single-stream: one input, back-to-back cells to one
 	// output — write wave chases arrival wave with zero slack every cell.
 	sw, err := core.New(core.Config{Ports: 2, WordBits: 16, Cells: 4, CutThrough: true})

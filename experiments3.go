@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pipemem/internal/area"
+	"pipemem/internal/bench"
 	"pipemem/internal/clos"
 	"pipemem/internal/core"
 	"pipemem/internal/fabric"
@@ -33,23 +34,24 @@ func ExtensionExperiments() []Experiment {
 func X1LinkPipelining(s Scale) (ExpResult, error) {
 	res := ExpResult{ID: "X1", Title: "Link pipelining", Ref: "§4.3"}
 	cycles := s.slots(30_000, 200_000)
-	base := int64(-1)
-	for _, r := range []int{0, 1, 2, 4} {
+	depths := []int{0, 1, 2, 4}
+	runs, err := bench.Map(0, depths, func(_ int, r int) (core.RunResult, error) {
 		sw, err := core.New(core.Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true, LinkPipeline: r})
 		if err != nil {
-			return res, err
+			return core.RunResult{}, err
 		}
 		cs, err := traffic.NewCellStream(traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 9009}, sw.Config().Stages)
 		if err != nil {
-			return res, err
+			return core.RunResult{}, err
 		}
-		rr, err := core.RunTraffic(sw, cs, cycles)
-		if err != nil {
-			return res, err
-		}
-		if r == 0 {
-			base = rr.MinCutLatency
-		}
+		return core.RunTraffic(sw, cs, cycles)
+	})
+	if err != nil {
+		return res, err
+	}
+	base := runs[0].MinCutLatency
+	for i, r := range depths {
+		rr := runs[i]
 		res.Rows = append(res.Rows, ExpRow{
 			Label:    fmt.Sprintf("R=%d: min latency / util / drops", r),
 			Paper:    fmt.Sprintf("base+%d cycles / unchanged / 0", 2*r),
@@ -189,17 +191,20 @@ func X4Clos(s Scale) (ExpResult, error) {
 	res := ExpResult{ID: "X4", Title: "Clos middle-stage sizing", Ref: "§1/§2"}
 	warm, meas := s.slots(5_000, 20_000), s.slots(40_000, 200_000)
 	const radix = 4
-	var prev float64
-	for _, m := range []int{1, 2, 3, 4} {
+	middles := []int{1, 2, 3, 4}
+	cres, err := bench.Map(0, middles, func(_ int, m int) (clos.Result, error) {
 		f, err := clos.New(clos.Config{Radix: radix, Middles: m, WordBits: 16, SwitchCells: 32, Credits: 4, CutThrough: true})
 		if err != nil {
-			return res, err
+			return clos.Result{}, err
 		}
-		r, err := clos.Run(f, traffic.Config{Kind: traffic.Saturation, Seed: 3131}, warm, meas)
-		if err != nil {
-			return res, err
-		}
-		ok := r.InteriorDrops == 0 && r.Corrupt == 0 && (m == 1 || r.Throughput > prev)
+		return clos.Run(f, traffic.Config{Kind: traffic.Saturation, Seed: 3131}, warm, meas)
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, m := range middles {
+		r := cres[i]
+		ok := r.InteriorDrops == 0 && r.Corrupt == 0 && (m == 1 || r.Throughput > cres[i-1].Throughput)
 		if m == 1 {
 			ok = ok && r.Throughput < 0.35 // bottlenecked near 1/4
 		}
@@ -209,7 +214,6 @@ func X4Clos(s Scale) (ExpResult, error) {
 			Measured: fmt.Sprintf("%.3f (interior drops %d)", r.Throughput, r.InteriorDrops),
 			OK:       ok,
 		})
-		prev = r.Throughput
 	}
 	// Load balance at full middle stage.
 	f, err := clos.New(clos.Config{Radix: radix, WordBits: 16, SwitchCells: 32, Credits: 4, CutThrough: true})

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pipemem/internal/core"
+	"pipemem/internal/traffic"
+)
+
+// TestMapOrder: results come back in input order for every worker count.
+func TestMapOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i * 3
+	}
+	for _, workers := range []int{0, 1, 2, 7, 100, 1000} {
+		got, err := Map(workers, items, func(i, item int) (int, error) {
+			return i*1000 + item, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*1000+items[i] {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestMapError: every item is attempted, and the reported error is the
+// lowest-indexed failure, wrapped with its index.
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := make([]bool, 10)
+	_, err := Map(4, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, func(i, item int) (int, error) {
+		ran[i] = true
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("item %d: %w", i, boom)
+		}
+		return item, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not wrapped: %v", err)
+	}
+	if !strings.Contains(err.Error(), "point 3") {
+		t.Fatalf("want lowest-indexed failure (point 3), got %v", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("item %d was skipped after an earlier failure", i)
+		}
+	}
+}
+
+// TestMapEmpty: no items, no workers spawned, no error.
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(8, nil, func(i, item int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestSweepDeterministic: a sweep's measured values are identical no
+// matter how many workers simulate it — every point owns its RNG.
+func TestSweepDeterministic(t *testing.T) {
+	var pts []Point
+	for seed := uint64(1); seed <= 4; seed++ {
+		pts = append(pts, Point{
+			Label:   fmt.Sprintf("seed=%d", seed),
+			Config:  core.Config{Ports: 4, WordBits: 16, Cells: 32, CutThrough: true},
+			Traffic: traffic.Config{Kind: traffic.Bernoulli, N: 4, Load: 0.8, Seed: seed},
+			Cycles:  2000,
+		})
+	}
+	pts = append(pts, Point{
+		Label:   "dual",
+		Config:  core.Config{Ports: 4, WordBits: 16, Cells: 32, CutThrough: true},
+		Dual:    true,
+		Traffic: traffic.Config{Kind: traffic.Bernoulli, N: 4, Load: 0.8, Seed: 9},
+		Cycles:  2000,
+	})
+	serial, err := Sweep(1, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(4, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel sweep diverged from serial:\n%v\nvs\n%v", parallel, serial)
+	}
+	for _, r := range serial {
+		if r.Run.Delivered == 0 {
+			t.Fatalf("%s delivered nothing", r.Point.Label)
+		}
+	}
+}
+
+// TestSweepError: a bad point surfaces its label and does not poison the
+// other points' slots.
+func TestSweepError(t *testing.T) {
+	pts := []Point{
+		{
+			Label:   "good",
+			Config:  core.Config{Ports: 2, WordBits: 16, Cells: 8, CutThrough: true},
+			Traffic: traffic.Config{Kind: traffic.Bernoulli, N: 2, Load: 0.5, Seed: 1},
+			Cycles:  500,
+		},
+		{
+			Label:   "bad",
+			Config:  core.Config{Ports: -3},
+			Traffic: traffic.Config{Kind: traffic.Bernoulli, N: 2, Load: 0.5, Seed: 1},
+			Cycles:  500,
+		},
+	}
+	results, err := Sweep(2, pts)
+	if err == nil {
+		t.Fatal("want error from bad point")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error does not name the point: %v", err)
+	}
+	if results[0].Run.Delivered == 0 {
+		t.Fatal("good point's result was lost")
+	}
+}
+
+// TestReportRoundTrip: Write then Load reproduces the report.
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	r := NewReport()
+	r.Results["p"] = Record{Name: "p", CellsPerSec: 1e6, NsPerCycle: 300, Cycles: 1000, Delivered: 500}
+	r.Baseline = map[string]Record{"p": {Name: "p", CellsPerSec: 5e5}}
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", got, r)
+	}
+}
+
+// TestCompare: the gate trips on allocation growth and on cells/sec drops
+// beyond the tolerance, and stays quiet otherwise.
+func TestCompare(t *testing.T) {
+	prev := NewReport()
+	prev.Results["a"] = Record{Name: "a", CellsPerSec: 1000, AllocsPerTick: 0}
+	prev.Results["b"] = Record{Name: "b", CellsPerSec: 1000, AllocsPerTick: 2}
+	prev.Results["only-prev"] = Record{Name: "only-prev", CellsPerSec: 1}
+
+	cur := NewReport()
+	cur.Results["a"] = Record{Name: "a", CellsPerSec: 950, AllocsPerTick: 0}
+	cur.Results["b"] = Record{Name: "b", CellsPerSec: 990, AllocsPerTick: 2}
+	if bad := Compare(prev, cur, 0.1); len(bad) != 0 {
+		t.Fatalf("clean comparison flagged: %v", bad)
+	}
+
+	cur.Results["a"] = Record{Name: "a", CellsPerSec: 850, AllocsPerTick: 0}
+	bad := Compare(prev, cur, 0.1)
+	if len(bad) != 1 || !strings.Contains(bad[0], "a:") {
+		t.Fatalf("want one cells/sec violation for a, got %v", bad)
+	}
+
+	cur.Results["a"] = Record{Name: "a", CellsPerSec: 1000, AllocsPerTick: 1}
+	bad = Compare(prev, cur, 0.1)
+	if len(bad) != 1 || !strings.Contains(bad[0], "allocs/tick") {
+		t.Fatalf("want one allocs violation, got %v", bad)
+	}
+}
+
+// TestMeasureSteadyStateAllocFree: the headline acceptance property — the
+// pooled steady-state Tick path performs zero heap allocations per cycle.
+func TestMeasureSteadyStateAllocFree(t *testing.T) {
+	rec, err := Measure(Point{
+		Label:   "tick-steady-8x8",
+		Config:  core.Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
+		Traffic: traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42},
+		Cycles:  20000,
+	}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.AllocsPerTick != 0 {
+		t.Fatalf("steady-state Tick allocates: %.4f allocs/tick (%.1f B/tick)",
+			rec.AllocsPerTick, rec.BytesPerTick)
+	}
+	if rec.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

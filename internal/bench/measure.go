@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/core"
+	"pipemem/internal/traffic"
+)
+
+// Ticker is the per-cycle surface shared by both switch organizations.
+type Ticker interface {
+	Tick(heads []*cell.Cell)
+	Drain() []core.Departure
+	SetDrainRecycle(on bool)
+	Config() core.Config
+}
+
+// Measure drives one point with the pooled injection path for warmup
+// cycles (untimed, to fill the pools and reach steady state) and then for
+// the point's Cycles, recording wall-clock rate and per-cycle heap
+// allocations. Unlike RunPoint it does not verify departures or drain the
+// switch at the end — it measures the steady state, not a complete run.
+func Measure(p Point, warmup int64) (Record, error) {
+	var t Ticker
+	var err error
+	if p.Dual {
+		t, err = core.NewDual(p.Config)
+	} else {
+		t, err = core.New(p.Config)
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	cfg := t.Config()
+	k := cfg.Stages
+	cs, err := traffic.NewCellStream(p.Traffic, k)
+	if err != nil {
+		return Record{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	pool := cell.NewPool(k)
+	t.SetDrainRecycle(true)
+	heads := make([]int, cfg.Ports)
+	hc := make([]*cell.Cell, cfg.Ports)
+	var seq uint64
+	var delivered int64
+	tick := func() {
+		cs.Heads(heads)
+		for j := range hc {
+			hc[j] = nil
+			if heads[j] != traffic.NoArrival {
+				seq++
+				hc[j] = pool.New(seq, j, heads[j], cfg.WordBits)
+			}
+		}
+		t.Tick(hc)
+		for _, d := range t.Drain() {
+			pool.Put(d.Expected)
+			delivered++
+		}
+	}
+	for c := int64(0); c < warmup; c++ {
+		tick()
+	}
+	delivered = 0
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for c := int64(0); c < p.Cycles; c++ {
+		tick()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	cy := float64(p.Cycles)
+	rec := Record{
+		Name:          p.Label,
+		CellsPerSec:   float64(delivered) / elapsed.Seconds(),
+		NsPerCycle:    float64(elapsed.Nanoseconds()) / cy,
+		AllocsPerTick: float64(m1.Mallocs-m0.Mallocs) / cy,
+		BytesPerTick:  float64(m1.TotalAlloc-m0.TotalAlloc) / cy,
+		Cycles:        p.Cycles,
+		Delivered:     delivered,
+	}
+	return rec, nil
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// Record is one measured benchmark point of a regression report.
+type Record struct {
+	// Name identifies the point ("tick-steady-8x8").
+	Name string `json:"name"`
+	// CellsPerSec is delivered cells per wall-clock second; NsPerCycle is
+	// wall-clock nanoseconds per simulated cycle.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	NsPerCycle  float64 `json:"ns_per_cycle"`
+	// AllocsPerTick and BytesPerTick are heap allocations (count, bytes)
+	// per simulated cycle over the measured window. These are
+	// deterministic — the steady-state Tick path must hold them at zero —
+	// so the regression gate applies them strictly, unlike the wall-clock
+	// rates.
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+	BytesPerTick  float64 `json:"bytes_per_tick"`
+	// Cycles, Delivered and Utilization summarize the measured window.
+	Cycles      int64   `json:"cycles"`
+	Delivered   int64   `json:"delivered"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Report is the on-disk BENCH_<n>.json schema. Baseline holds reference
+// numbers frozen when the file was first written (for this repository:
+// the pre-overhaul allocating hot path) and is carried forward verbatim
+// by later runs; Results holds the most recent measurement.
+type Report struct {
+	Schema    int    `json:"schema"`
+	CreatedAt string `json:"created_at,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// Tolerance is the relative cells/sec slack the Compare gate applied
+	// when the file was last checked (informational).
+	Tolerance float64           `json:"tolerance,omitempty"`
+	Baseline  map[string]Record `json:"baseline,omitempty"`
+	Results   map[string]Record `json:"results"`
+}
+
+// SchemaVersion is the current Report schema.
+const SchemaVersion = 1
+
+// NewReport returns an empty report stamped with the build environment.
+func NewReport() *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Results:   map[string]Record{},
+	}
+}
+
+// Load reads a report from path.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema %d, want %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Write stores the report at path, pretty-printed for diffability.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Compare gates cur against prev and returns a list of human-readable
+// violations (empty means the gate passes).
+//
+// Two different standards apply. Allocation counts are machine-independent,
+// so any growth beyond rounding noise is a violation. Wall-clock rates
+// drift with host load and CPU generation, so cells/sec regressions are
+// tolerated up to the relative tol (e.g. 0.5 allows a halving before the
+// gate trips — wide enough for shared CI hosts, tight enough to catch an
+// accidental return to the allocating hot path, which costs well over
+// 2×). Points present in only one report are ignored.
+func Compare(prev, cur *Report, tol float64) []string {
+	var bad []string
+	names := make([]string, 0, len(prev.Results))
+	for name := range prev.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := prev.Results[name]
+		c, ok := cur.Results[name]
+		if !ok {
+			continue
+		}
+		if c.AllocsPerTick > p.AllocsPerTick+0.01 {
+			bad = append(bad, fmt.Sprintf("%s: allocs/tick %.3f, was %.3f", name, c.AllocsPerTick, p.AllocsPerTick))
+		}
+		if floor := p.CellsPerSec * (1 - tol); c.CellsPerSec < floor {
+			bad = append(bad, fmt.Sprintf("%s: %.0f cells/sec, below %.0f (recorded %.0f, tol %.0f%%)",
+				name, c.CellsPerSec, floor, p.CellsPerSec, tol*100))
+		}
+	}
+	return bad
+}

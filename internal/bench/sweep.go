@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipemem/internal/core"
+	"pipemem/internal/traffic"
+)
+
+// Point is one simulation of a sweep: a switch configuration driven by a
+// traffic pattern for a number of cycles. Each point owns its RNG (the
+// traffic seed), so a sweep's measured values are independent of worker
+// count and scheduling order.
+type Point struct {
+	// Label names the point in reports ("8x8 load=0.9 seed=3").
+	Label string
+	// Config is the switch configuration; Dual selects the §3.5
+	// half-quantum organization instead of the full-quantum switch.
+	Config core.Config
+	Dual   bool
+	// Traffic drives the switch for Cycles cycles (plus the drain tail).
+	Traffic traffic.Config
+	Cycles  int64
+}
+
+// Result pairs a point with its run summary.
+type Result struct {
+	Point Point
+	Run   core.RunResult
+}
+
+// RunPoint simulates one point to completion.
+func RunPoint(p Point) (Result, error) {
+	stages := func(cfg core.Config) int { return cfg.Canonical().Stages }
+	if p.Dual {
+		d, err := core.NewDual(p.Config)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %w", p.Label, err)
+		}
+		cs, err := traffic.NewCellStream(p.Traffic, d.Config().Stages)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %w", p.Label, err)
+		}
+		run, err := core.RunDualTraffic(d, cs, p.Cycles)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %w", p.Label, err)
+		}
+		return Result{Point: p, Run: run}, nil
+	}
+	s, err := core.New(p.Config)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	cs, err := traffic.NewCellStream(p.Traffic, stages(p.Config))
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	run, err := core.RunTraffic(s, cs, p.Cycles)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	return Result{Point: p, Run: run}, nil
+}
+
+// Sweep simulates every point on a worker pool (workers ≤ 0 uses
+// GOMAXPROCS) and returns results in point order.
+func Sweep(workers int, pts []Point) ([]Result, error) {
+	return Map(workers, pts, func(_ int, p Point) (Result, error) {
+		return RunPoint(p)
+	})
+}

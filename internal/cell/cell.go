@@ -109,15 +109,8 @@ func (c *Cell) String() string {
 // deterministically from (seq, src, dst), masked to width bits. The first
 // word encodes the destination in its low bits, mimicking a routing header.
 func New(seq uint64, src, dst, words, width int) *Cell {
-	c := &Cell{Seq: seq, Src: src, Dst: dst, Words: make([]Word, words)}
-	state := seq*0x9e3779b97f4a7c15 + uint64(src)*0xbf58476d1ce4e5b9 + uint64(dst)*0x94d049bb133111eb
-	for i := range c.Words {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		c.Words[i] = Word(state).Mask(width)
-	}
-	c.Words[0] = Word(uint64(dst)).Mask(width)
+	c := &Cell{}
+	Fill(c, seq, src, dst, words, width)
 	return c
 }
 

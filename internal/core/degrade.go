@@ -271,7 +271,7 @@ func (s *Switch) InjectControlFault(st int, op Op) {
 	if st < 0 || st >= s.k {
 		return
 	}
-	s.ctrl[st] = op
+	s.ctrl[s.ctrlSlot(s.cycle, st)] = op
 }
 
 // InjectInputRegisterFault XORs mask into input in's register for word

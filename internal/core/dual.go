@@ -25,7 +25,7 @@ type DualSwitch struct {
 	banks [2]*bank
 
 	inReg    [][]cell.Word // [input][k]
-	inflight []*arrival
+	inflight []arrival
 
 	free   [2]*fifo.FreeList
 	queues *fifo.MultiQueue // per output; node = bank*cells + addr
@@ -43,6 +43,13 @@ type DualSwitch struct {
 	counter   stats.Counter
 	initDelay stats.Mean
 	cutLat    *stats.Hist
+
+	// Hot-path recycling, mirroring Switch (see switch.go): pooled
+	// reassembly records and observed cells, double-buffered Drain.
+	reasmFree []*reasm
+	cellFree  []*cell.Cell
+	doneOut   []Departure
+	recycle   bool
 }
 
 // bank is one of the two pipelined memories.
@@ -76,7 +83,7 @@ func NewDual(cfg Config) (*DualSwitch, error) {
 	d := &DualSwitch{
 		cfg: cfg, n: n, k: k,
 		inReg:    make([][]cell.Word, n),
-		inflight: make([]*arrival, n),
+		inflight: make([]arrival, n),
 		queues:   fifo.NewMultiQueue(n, 2*cfg.Cells),
 		linkFree: make([]int64, n),
 		egress:   make([]*fifo.Ring[*reasm], n),
@@ -116,11 +123,54 @@ func (d *DualSwitch) CutLatency() *stats.Hist { return d.cutLat }
 // Buffered returns cells resident in either bank's queues.
 func (d *DualSwitch) Buffered() int { return d.queues.Total() }
 
-// Drain returns the departures completed since the last call.
+// Drain returns the departures completed since the last call. Under
+// recycle mode (SetDrainRecycle) the returned slice and its Cell values
+// are valid only until the next call; see Switch.Drain for the contract.
 func (d *DualSwitch) Drain() []Departure {
+	if !d.recycle {
+		out := d.done
+		d.done = nil
+		return out
+	}
+	for i := range d.doneOut {
+		if c := d.doneOut[i].Cell; c != nil {
+			d.cellFree = append(d.cellFree, c)
+		}
+		d.doneOut[i] = Departure{}
+	}
 	out := d.done
-	d.done = nil
+	d.done = d.doneOut[:0]
+	d.doneOut = out
 	return out
+}
+
+// SetDrainRecycle toggles Drain's double-buffered recycling mode; see
+// Switch.SetDrainRecycle.
+func (d *DualSwitch) SetDrainRecycle(on bool) {
+	d.recycle = on
+	if !on {
+		d.doneOut = nil
+	}
+}
+
+func (d *DualSwitch) getReasm() *reasm {
+	if n := len(d.reasmFree); n > 0 {
+		r := d.reasmFree[n-1]
+		d.reasmFree[n-1] = nil
+		d.reasmFree = d.reasmFree[:n-1]
+		return r
+	}
+	return &reasm{words: make([]cell.Word, 0, d.k)}
+}
+
+func (d *DualSwitch) getCell() *cell.Cell {
+	if n := len(d.cellFree); n > 0 {
+		c := d.cellFree[n-1]
+		d.cellFree[n-1] = nil
+		d.cellFree = d.cellFree[:n-1]
+		return c
+	}
+	return &cell.Cell{Words: make([]cell.Word, 0, d.k)}
 }
 
 // node packs (bank, addr) into a MultiQueue node index.
@@ -194,7 +244,8 @@ func (d *DualSwitch) Tick(heads []*cell.Cell) {
 
 	// Ingress.
 	for i := 0; i < d.n; i++ {
-		if a := d.inflight[i]; a != nil {
+		a := &d.inflight[i]
+		if a.active {
 			if j := c - a.head; j > 0 && j < int64(d.k) {
 				d.inReg[i][j] = a.c.Words[j].Mask(d.cfg.WordBits)
 			}
@@ -206,17 +257,17 @@ func (d *DualSwitch) Tick(heads []*cell.Cell) {
 		if len(nc.Words) != d.k {
 			panic(fmt.Sprintf("core: cell of %d words injected into half-quantum switch of %d-word cells", len(nc.Words), d.k))
 		}
-		if old := d.inflight[i]; old != nil {
-			if c-old.head < int64(d.k) {
+		if a.active {
+			if c-a.head < int64(d.k) {
 				panic(fmt.Sprintf("core: head injected mid-cell on input %d", i))
 			}
-			if !old.written {
+			if !a.written {
 				d.counter.Inc("drop-overrun", 1)
 			}
 		}
 		d.counter.Inc("offered", 1)
 		nc.Enqueue = c
-		d.inflight[i] = &arrival{c: nc, head: c}
+		*a = arrival{c: nc, head: c, active: true}
 		d.inReg[i][0] = nc.Words[0].Mask(d.cfg.WordBits)
 	}
 
@@ -258,8 +309,8 @@ func (d *DualSwitch) pickWrite(c int64, forbidden int) (bankIdx int, op Op, ok b
 	var bestHead int64
 	for j := 0; j < d.n; j++ {
 		i := (d.writeRR + j) % d.n
-		a := d.inflight[i]
-		if a == nil || a.written || c <= a.head {
+		a := &d.inflight[i]
+		if !a.active || a.written || c <= a.head {
 			continue
 		}
 		if best == -1 || a.head < bestHead {
@@ -285,7 +336,7 @@ func (d *DualSwitch) pickWrite(c int64, forbidden int) (bankIdx int, op Op, ok b
 	if !got {
 		return -1, Op{}, false
 	}
-	a := d.inflight[best]
+	a := &d.inflight[best]
 	a.written = true
 	d.counter.Inc("accepted", 1)
 	d.initDelay.Add(float64(c - a.head - 1))
@@ -307,8 +358,11 @@ func (d *DualSwitch) pickWrite(c int64, forbidden int) (bankIdx int, op Op, ok b
 
 func (d *DualSwitch) startTransmit(o int, dsc *desc, c int64) {
 	d.linkFree[o] = c + int64(d.k)
-	dd := *dsc
-	d.egress[o].Push(&reasm{d: &dd, words: make([]cell.Word, 0, d.k)})
+	r := d.getReasm()
+	r.d = *dsc
+	r.words = r.words[:0]
+	r.start = 0
+	d.egress[o].Push(r)
 }
 
 func (d *DualSwitch) deliver(o int, w cell.Word, c int64) {
@@ -324,7 +378,11 @@ func (d *DualSwitch) deliver(o int, w cell.Word, c int64) {
 		return
 	}
 	d.egress[o].Pop()
-	got := &cell.Cell{Seq: r.d.c.Seq, Src: r.d.c.Src, Dst: r.d.c.Dst, Enqueue: r.d.head, Words: r.words}
+	got := d.getCell()
+	got.Seq, got.Src, got.Dst, got.VC = r.d.c.Seq, r.d.c.Src, r.d.c.Dst, 0
+	got.Copies = nil
+	got.Enqueue = r.d.head
+	got.Words = append(got.Words[:0], r.words...)
 	d.counter.Inc("delivered", 1)
 	if !got.Equal(r.d.c) {
 		d.counter.Inc("corrupt", 1)
@@ -335,6 +393,7 @@ func (d *DualSwitch) deliver(o int, w cell.Word, c int64) {
 		HeadIn: r.d.head, HeadOut: r.start, TailOut: c,
 		InitDelay: r.d.writeStart - r.d.head - 1,
 	})
+	d.reasmFree = append(d.reasmFree, r)
 }
 
 // RunDualTraffic drives a DualSwitch as RunTraffic drives a Switch.
@@ -342,6 +401,9 @@ func RunDualTraffic(d *DualSwitch, cs *traffic.CellStream, cycles int64) (RunRes
 	n, k := d.n, d.k
 	heads := make([]int, n)
 	hcells := make([]*cell.Cell, n)
+	pool := cell.NewPool(k)
+	d.SetDrainRecycle(true)
+	defer d.SetDrainRecycle(false)
 	var seq uint64
 	var res RunResult
 	busyWords := int64(0)
@@ -358,6 +420,7 @@ func RunDualTraffic(d *DualSwitch, cs *traffic.CellStream, cycles int64) (RunRes
 			if minLat < 0 || lat < minLat {
 				minLat = lat
 			}
+			pool.Put(dep.Expected)
 		}
 		if b := d.Buffered(); b > res.MaxBuffered {
 			res.MaxBuffered = b
@@ -370,7 +433,7 @@ func RunDualTraffic(d *DualSwitch, cs *traffic.CellStream, cycles int64) (RunRes
 			hcells[i] = nil
 			if heads[i] != traffic.NoArrival {
 				seq++
-				hcells[i] = cell.New(seq, i, heads[i], k, d.cfg.WordBits)
+				hcells[i] = pool.New(seq, i, heads[i], d.cfg.WordBits)
 				res.Offered++
 			}
 		}
@@ -378,19 +441,24 @@ func RunDualTraffic(d *DualSwitch, cs *traffic.CellStream, cycles int64) (RunRes
 		collect()
 	}
 	drainBound := int64((2*d.cfg.Cells + 2) * k * 2)
+	total := cycles
 	for c := int64(0); c < drainBound && d.busy(); c++ {
 		d.Tick(nil)
 		collect()
+		total++
 	}
 	res.Cycles = d.cycle
 	res.Dropped = d.counter.Get("drop-overrun")
 	res.MeanCutLatency = d.cutLat.Mean()
 	res.MinCutLatency = minLat
 	res.MeanInitDelay = d.initDelay.Mean()
-	res.Utilization = float64(busyWords) / float64(cycles*int64(n))
+	res.CutLatencyOverflow = d.cutLat.Overflow()
+	// As in RunTraffic: normalize by the full simulated span so drain-tail
+	// departures cannot push utilization past 1.0.
+	res.Utilization = float64(busyWords) / float64(total*int64(n))
 	pending := int64(d.Buffered())
-	for _, a := range d.inflight {
-		if a != nil && !a.written {
+	for i := range d.inflight {
+		if a := &d.inflight[i]; a.active && !a.written {
 			pending++
 		}
 	}
@@ -411,8 +479,8 @@ func (d *DualSwitch) busy() bool {
 	if d.Buffered() > 0 {
 		return true
 	}
-	for _, a := range d.inflight {
-		if a != nil && !a.written {
+	for i := range d.inflight {
+		if a := &d.inflight[i]; a.active && !a.written {
 			return true
 		}
 	}

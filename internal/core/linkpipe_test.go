@@ -111,3 +111,73 @@ func TestTransmitCellHook(t *testing.T) {
 		t.Fatalf("head on link at %d, hook start %d (want start+1)", deps[0].HeadOut, events[0].start)
 	}
 }
+
+// TestLinkPipelineConservation drives a pipelined-link switch through
+// saturation overload and a full drain, checking on every cycle that
+// cells crossing the §4.3 delay line are neither lost nor double-counted:
+// delayCount matches the cells actually sitting in the line, and
+// offered == delivered + dropped + Resident() holds at every instant.
+func TestLinkPipelineConservation(t *testing.T) {
+	const (
+		n      = 4
+		r      = 3
+		driven = 2000
+	)
+	s := mustSwitch(t, Config{Ports: n, WordBits: 16, Cells: 12, CutThrough: true, LinkPipeline: r})
+	k := s.Config().Stages
+	cs := stream(t, traffic.Config{Kind: traffic.Saturation, N: n, Seed: 21}, k)
+
+	heads := make([]int, n)
+	hcells := make([]*cell.Cell, n)
+	var seq uint64
+	var offered, delivered int64
+	check := func(c int) {
+		t.Helper()
+		inLine := 0
+		for _, slot := range s.inDelay {
+			for _, h := range slot {
+				if h != nil {
+					inLine++
+				}
+			}
+		}
+		if inLine != s.delayCount {
+			t.Fatalf("cycle %d: delayCount %d, but %d cells in the delay line", c, s.delayCount, inLine)
+		}
+		dropped := s.counter.Get("drop-overrun") + s.counter.Get("drop-bypass")
+		if got := delivered + dropped + int64(s.Resident()); got != offered {
+			t.Fatalf("cycle %d: conservation violated: offered %d != delivered %d + dropped %d + resident %d",
+				c, offered, delivered, dropped, s.Resident())
+		}
+	}
+
+	for c := 0; c < driven; c++ {
+		cs.Heads(heads)
+		for i := range hcells {
+			hcells[i] = nil
+			if heads[i] != traffic.NoArrival {
+				seq++
+				hcells[i] = cell.New(seq, i, heads[i], k, 16)
+				offered++
+			}
+		}
+		s.Tick(hcells)
+		delivered += int64(len(s.Drain()))
+		check(c)
+	}
+	for c := 0; s.Resident() > 0 && c < (12+2)*k*4; c++ {
+		s.Tick(nil)
+		delivered += int64(len(s.Drain()))
+		check(driven + c)
+	}
+	if s.Resident() != 0 {
+		t.Fatalf("%d cells still resident after drain", s.Resident())
+	}
+	if s.delayCount != 0 {
+		t.Fatalf("delay line not empty after drain: delayCount %d", s.delayCount)
+	}
+	dropped := s.counter.Get("drop-overrun") + s.counter.Get("drop-bypass")
+	if delivered == 0 || dropped == 0 {
+		t.Fatalf("overload scenario too weak: delivered %d, dropped %d", delivered, dropped)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/traffic"
+)
+
+// benchTick drives a switch for b.N cycles with the pooled injection path
+// (cell.Pool + SetDrainRecycle) that RunTraffic uses. ns/op is ns/cycle;
+// allocs/op must be 0 in steady state; cells/sec is reported as a rate
+// metric.
+func benchTick(b *testing.B, cfg Config, tcfg traffic.Config) {
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := s.Config().Stages
+	cs, err := traffic.NewCellStream(tcfg, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := cell.NewPool(k)
+	s.SetDrainRecycle(true)
+	heads := make([]int, s.Config().Ports)
+	hc := make([]*cell.Cell, s.Config().Ports)
+	var seq uint64
+	delivered := 0
+	tick := func() {
+		cs.Heads(heads)
+		for j := range hc {
+			hc[j] = nil
+			if heads[j] != traffic.NoArrival {
+				seq++
+				hc[j] = pool.New(seq, j, heads[j], cfg.WordBits)
+			}
+		}
+		s.Tick(hc)
+		for _, d := range s.Drain() {
+			pool.Put(d.Expected)
+			delivered++
+		}
+	}
+	// Warm the pools so the measured window is steady state.
+	for i := 0; i < 4*cfg.Cells; i++ {
+		tick()
+	}
+	delivered = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(delivered)/b.Elapsed().Seconds(), "cells/sec")
+}
+
+// BenchmarkTickSteadyState is the headline microbenchmark: an 8×8 switch
+// at full admissible load (permutation traffic, the E5/E9-shaped RTL
+// saturation run).
+func BenchmarkTickSteadyState(b *testing.B) {
+	benchTick(b,
+		Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
+		traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42})
+}
+
+// BenchmarkTickSaturation overloads the same switch with uniform
+// saturation traffic (HOL-free shared buffer under maximum pressure).
+func BenchmarkTickSaturation(b *testing.B) {
+	benchTick(b,
+		Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
+		traffic.Config{Kind: traffic.Saturation, N: 8, Seed: 42})
+}
+
+// BenchmarkTickBernoulli16 exercises a larger switch at 0.8 load.
+func BenchmarkTickBernoulli16(b *testing.B) {
+	benchTick(b,
+		Config{Ports: 16, WordBits: 16, Cells: 512, CutThrough: true},
+		traffic.Config{Kind: traffic.Bernoulli, N: 16, Load: 0.8, Seed: 42})
+}
+
+// BenchmarkRunTraffic measures the full RunTraffic driver (stream
+// decode, injection, verification) per cycle.
+func BenchmarkRunTraffic(b *testing.B) {
+	s, err := New(Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := traffic.NewCellStream(traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42}, s.Config().Stages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	res, err := RunTraffic(s, cs, int64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.Delivered)/b.Elapsed().Seconds(), "cells/sec")
+}
+
+// BenchmarkDualTickSteadyState drives the §3.5 half-quantum organization
+// with the pooled path.
+func BenchmarkDualTickSteadyState(b *testing.B) {
+	cfg := Config{Ports: 8, WordBits: 16, Cells: 128, CutThrough: true}
+	d, err := NewDual(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := d.Config().Stages
+	cs, err := traffic.NewCellStream(traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42}, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := cell.NewPool(k)
+	d.SetDrainRecycle(true)
+	heads := make([]int, 8)
+	hc := make([]*cell.Cell, 8)
+	var seq uint64
+	delivered := 0
+	tick := func() {
+		cs.Heads(heads)
+		for j := range hc {
+			hc[j] = nil
+			if heads[j] != traffic.NoArrival {
+				seq++
+				hc[j] = pool.New(seq, j, heads[j], cfg.WordBits)
+			}
+		}
+		d.Tick(hc)
+		for _, dep := range d.Drain() {
+			pool.Put(dep.Expected)
+			delivered++
+		}
+	}
+	for i := 0; i < 4*cfg.Cells; i++ {
+		tick()
+	}
+	delivered = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(delivered)/b.Elapsed().Seconds(), "cells/sec")
+}

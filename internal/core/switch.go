@@ -86,12 +86,15 @@ type outWord struct {
 	valid    bool
 }
 
-// arrival tracks a cell currently occupying an input register row.
+// arrival tracks a cell currently occupying an input register row. It is
+// stored by value in a per-input slice (no per-cell allocation); active
+// marks rows that have held a cell at all.
 type arrival struct {
 	c    *cell.Cell
 	head int64 // cycle the head word was latched
 	// written reports that the cell's write wave has been initiated.
 	written bool
+	active  bool
 }
 
 // desc is a buffered cell's descriptor: what the address-management
@@ -127,9 +130,12 @@ type Departure struct {
 	VC int
 }
 
-// reasm is the per-output reassembly state for departures in flight.
+// reasm is the per-output reassembly state for departures in flight. The
+// descriptor is embedded by value and the word buffer is recycled through
+// the owning switch's pool, so steady-state transmission allocates
+// nothing.
 type reasm struct {
-	d     *desc
+	d     desc
 	words []cell.Word
 	start int64 // cycle of head word on the link
 }
@@ -145,9 +151,15 @@ type Switch struct {
 	mem    [][]cell.Word // [stage][address]
 	inReg  [][]cell.Word // [input][stage]
 	outReg []outWord     // [stage]
-	ctrl   []Op          // [stage]: op executed at that stage this cycle
+	// ctrl is the pipelined control path stored as a ring indexed by wave
+	// initiation cycle: slot c0%k holds the op initiated at cycle c0, and
+	// stage st executes slot (c-st)%k at cycle c. This is the same
+	// "stage s+1 repeats stage s's operation next cycle" schedule of §3.3
+	// without physically shifting a control word per stage per cycle.
+	// ctrlAt resolves the stage view.
+	ctrl []Op // [initiation cycle % k]
 
-	inflight []*arrival // per input
+	inflight []arrival // per input
 
 	free   *fifo.FreeList
 	queues *fifo.MultiQueue // per (output, VC), of descriptor nodes
@@ -166,9 +178,28 @@ type Switch struct {
 	writeRR   int // tie-break pointer over inputs (EDF first)
 
 	egress       []*fifo.Ring[*reasm] // per output: cells being transmitted
+	rxHead       []*reasm             // per output: cached egress front
+	loaded       []int                // stages whose outReg was loaded this cycle
 	done         []Departure
 	tracer       func(TraceEvent)
 	driveScratch []int // per stage: output link driven this cycle (trace)
+
+	// Hot-path recycling. reasmFree and cellFree pool the reassembly
+	// records and the reassembled ("observed") cells deliver builds;
+	// records return to the pool as soon as their departure is booked,
+	// observed cells only under recycle mode (SetDrainRecycle), where
+	// Drain double-buffers its backing array (done/doneOut) and reclaims
+	// the previously handed-out batch. cOffered…cDropOverrun are hot
+	// counter slots (stats.Counter.Hot) bumped without a map lookup.
+	reasmFree []*reasm
+	cellFree  []*cell.Cell
+	doneOut   []Departure
+	recycle   bool
+	// pendingWrites counts input rows holding a cell whose write wave has
+	// not been initiated (active && !written): pickWrite skips its scan
+	// when zero.
+	pendingWrites int
+	cOffered, cAccepted, cDelivered, cCorrupt, cDropOverrun *int64
 
 	// gate, when set, must return true for a transmission to start on an
 	// output (credit-based flow control); vcGate refines it per virtual
@@ -206,9 +237,10 @@ type Switch struct {
 	// heads that entered the switch boundary R cycles ago and reach the
 	// input registers this cycle. delayCount tracks cells in flight on
 	// the pipelined wires for conservation accounting.
-	inDelay    [][]*cell.Cell
-	delayCount int
-	counter    stats.Counter
+	inDelay      [][]*cell.Cell
+	delayScratch []*cell.Cell // reused heads vector for the delayed wave
+	delayCount   int
+	counter      stats.Counter
 	// initDelay accumulates §3.4's staggered-initiation delay.
 	initDelay stats.Mean
 	// cutLatency is head-in to head-out in cycles.
@@ -230,7 +262,7 @@ func New(cfg Config) (*Switch, error) {
 		inReg:        make([][]cell.Word, n),
 		outReg:       make([]outWord, k),
 		ctrl:         make([]Op, k),
-		inflight:     make([]*arrival, n),
+		inflight:     make([]arrival, n),
 		free:         fifo.NewFreeList(cfg.Cells),
 		queues:       fifo.NewMultiQueue(n*cfg.VCs, cfg.Cells*n),
 		nodes:        make([]desc, cfg.Cells*n),
@@ -239,6 +271,8 @@ func New(cfg Config) (*Switch, error) {
 		linkFree:     make([]int64, n),
 		vcRR:         make([]int, n),
 		egress:       make([]*fifo.Ring[*reasm], n),
+		rxHead:       make([]*reasm, n),
+		loaded:       make([]int, 0, k),
 		cutLatency:   stats.NewHist(4096),
 		stageErr:     make([]int, k),
 		stageDown:    make([]bool, k),
@@ -261,11 +295,26 @@ func New(cfg Config) (*Switch, error) {
 	for o := range s.egress {
 		s.egress[o] = fifo.NewRing[*reasm](0)
 	}
+	s.cOffered = s.counter.Hot("offered")
+	s.cAccepted = s.counter.Hot("accepted")
+	s.cDelivered = s.counter.Hot("delivered")
+	s.cCorrupt = s.counter.Hot("corrupt")
+	s.cDropOverrun = s.counter.Hot("drop-overrun")
 	return s, nil
 }
 
 // Config returns the effective configuration.
 func (s *Switch) Config() Config { return s.cfg }
+
+// ctrlSlot returns the ring index of the control word stage st executes
+// at cycle c (the wave initiated at cycle c-st).
+func (s *Switch) ctrlSlot(c int64, st int) int {
+	i := int((c - int64(st)) % int64(s.k))
+	if i < 0 {
+		i += s.k
+	}
+	return i
+}
 
 // qidx maps an (output, vc) pair to its descriptor-queue index.
 func (s *Switch) qidx(out, vc int) int { return out*s.cfg.VCs + vc }
@@ -324,6 +373,9 @@ func (s *Switch) SetVCGate(gate func(out, vc int) bool) { s.vcGate = gate }
 // per VC; under backlog, VC i receives weights[i] transmissions per WRR
 // frame. Passing nil restores plain round-robin.
 func (s *Switch) SetVCWeights(out int, weights []int) error {
+	if out < 0 || out >= s.n {
+		return fmt.Errorf("%w: VC weights for output %d of an %d-port switch", ErrBadConfig, out, s.n)
+	}
 	if weights == nil {
 		if s.vcWeights != nil {
 			s.vcWeights[out] = nil
@@ -409,10 +461,67 @@ func (s *Switch) SetTransmitCellHook(f func(out int, c *cell.Cell, startCycle in
 }
 
 // Drain returns the departures completed since the last call.
+//
+// By default every call hands ownership of a freshly allocated slice (and
+// freshly reassembled Cells) to the caller. Under recycle mode
+// (SetDrainRecycle) the returned slice and the Departure.Cell values it
+// references are valid only until the next Drain call: the switch then
+// reclaims both the backing array and the reassembled cells, making
+// steady-state operation allocation-free. Departure.Expected — the cell
+// the caller injected — is never touched by the switch.
 func (s *Switch) Drain() []Departure {
-	d := s.done
-	s.done = nil
-	return d
+	if !s.recycle {
+		d := s.done
+		s.done = nil
+		return d
+	}
+	// Reclaim the batch handed out by the previous call: the caller's
+	// access window has closed, so its reassembled cells and backing
+	// array become this cycle's spares.
+	for i := range s.doneOut {
+		if c := s.doneOut[i].Cell; c != nil {
+			s.cellFree = append(s.cellFree, c)
+		}
+		s.doneOut[i] = Departure{}
+	}
+	out := s.done
+	s.done = s.doneOut[:0]
+	s.doneOut = out
+	return out
+}
+
+// SetDrainRecycle switches Drain between allocate-per-batch (off, the
+// default) and double-buffered recycling (on); see Drain for the
+// ownership contract. RunTraffic and the benchmark drivers enable it;
+// callers that retain departures across Drain calls must leave it off.
+func (s *Switch) SetDrainRecycle(on bool) {
+	s.recycle = on
+	if !on {
+		s.doneOut = nil
+	}
+}
+
+// getReasm takes a reassembly record from the pool (or allocates one).
+func (s *Switch) getReasm() *reasm {
+	if n := len(s.reasmFree); n > 0 {
+		r := s.reasmFree[n-1]
+		s.reasmFree[n-1] = nil
+		s.reasmFree = s.reasmFree[:n-1]
+		return r
+	}
+	return &reasm{words: make([]cell.Word, 0, s.k)}
+}
+
+// getCell takes a reassembled-cell shell from the pool (or allocates
+// one). The caller overwrites every field.
+func (s *Switch) getCell() *cell.Cell {
+	if n := len(s.cellFree); n > 0 {
+		c := s.cellFree[n-1]
+		s.cellFree[n-1] = nil
+		s.cellFree = s.cellFree[:n-1]
+		return c
+	}
+	return &cell.Cell{Words: make([]cell.Word, 0, s.k)}
 }
 
 // Tick advances the switch one clock cycle. heads[i], when non-nil, is a
@@ -425,26 +534,32 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 
 	// §4.3 link pipelining: heads spend LinkPipeline cycles crossing the
 	// pipelined input wires before reaching the input registers. The
-	// delay line is transparent to all switch logic below.
+	// delay line is transparent to all switch logic below. Slot storage
+	// and the delayed-heads vector are preallocated and swapped in place.
 	if r := s.cfg.LinkPipeline; r > 0 {
 		if s.inDelay == nil {
 			s.inDelay = make([][]*cell.Cell, r)
-		}
-		slot := int(c % int64(r))
-		delayed := s.inDelay[slot]
-		var entering []*cell.Cell
-		if heads != nil {
-			for _, h := range heads {
-				if h != nil {
-					entering = append([]*cell.Cell(nil), heads...)
-					s.delayCount += countCells(heads)
-					break
-				}
+			for i := range s.inDelay {
+				s.inDelay[i] = make([]*cell.Cell, s.n)
 			}
+			s.delayScratch = make([]*cell.Cell, s.n)
 		}
-		s.inDelay[slot] = entering
-		heads = delayed
-		s.delayCount -= countCells(heads)
+		slot := s.inDelay[c%int64(r)]
+		for i := 0; i < s.n; i++ {
+			var h *cell.Cell
+			if heads != nil {
+				h = heads[i]
+			}
+			slot[i], h = h, slot[i] // store entering, extract R-cycle-old
+			if slot[i] != nil {
+				s.delayCount++
+			}
+			if h != nil {
+				s.delayCount--
+			}
+			s.delayScratch[i] = h
+		}
+		heads = s.delayScratch
 	}
 
 	// Phase 1 — egress: output registers loaded in the previous cycle
@@ -458,54 +573,88 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 			s.driveScratch[st] = -1
 		}
 	}
-	for st := range s.outReg {
-		r := &s.outReg[st]
-		if r.valid && r.loadedAt == c-1 {
-			s.deliver(r.out, r.word, c)
-			if s.driveScratch != nil {
-				s.driveScratch[st] = r.out
-			}
-			r.valid = false
+	// s.loaded lists exactly the stages whose output register was loaded
+	// last cycle; every one of them drives its link now. The word lands in
+	// the cached reassembly record; the k-th word completes a departure.
+	for _, st := range s.loaded {
+		rg := &s.outReg[st]
+		o := rg.out
+		r := s.rxHead[o]
+		if r == nil {
+			panic(fmt.Sprintf("core: word on output %d with no departure in flight", o))
 		}
+		if len(r.words) == 0 {
+			r.start = c
+		}
+		r.words = append(r.words, rg.word)
+		if len(r.words) >= s.k {
+			s.finishDeparture(o, r, c)
+		}
+		if s.driveScratch != nil {
+			s.driveScratch[st] = o
+		}
+		rg.valid = false
 	}
+	s.loaded = s.loaded[:0]
 
 	// Phase 2 — arbitration: choose at most one new wave for stage M0.
-	s.ctrl[0] = s.arbitrate(c)
+	// The slot being claimed last held the wave initiated k cycles ago,
+	// which completed its stage-(k-1) operation in the previous cycle.
+	base := int(c % int64(s.k))
+	s.ctrl[base] = s.arbitrate(c)
 
 	if s.tracer != nil {
 		s.emitTrace(c, heads)
 	}
 
-	// Phase 3 — execute every stage's operation for this cycle. Reads and
-	// writes go through the fault-tolerance layer (degrade.go): ECC
-	// encode/check-correct and the bypass remap of mapped-out banks. A
-	// write-through taps the data bus directly, so the RAM plays no part
-	// in the departing word (§3.3).
+	// Phases 3+4 — execute: stage st performs the op of the wave initiated
+	// at cycle c-st ("stage s+1 repeats stage s's operation next cycle",
+	// §3.3); the ring indexing replaces the per-stage control-word shift.
+	// Reads and writes go through the fault-tolerance layer (degrade.go)
+	// only when it can act — ECC armed, a stuck-at fault injected, or a
+	// bypass active — and hit the RAM directly otherwise. A write-through
+	// taps the data bus directly, so the RAM plays no part in the
+	// departing word (§3.3).
+	fastMem := s.eccMem == nil && s.stuck == nil && !s.halved
+	idx := base
 	for st := 0; st < s.k; st++ {
-		op := s.ctrl[st]
+		op := s.ctrl[idx]
+		if idx--; idx < 0 {
+			idx = s.k - 1
+		}
 		switch op.Kind {
 		case OpWrite:
-			s.writeWord(st, op.Addr, op.Remap, s.inReg[op.In][st])
+			if fastMem {
+				s.mem[st][op.Addr] = s.inReg[op.In][st]
+			} else {
+				s.writeWord(st, op.Addr, op.Remap, s.inReg[op.In][st])
+			}
 		case OpRead:
-			s.outReg[st] = outWord{word: s.readWord(st, op.Addr, op.Remap), out: op.Out, loadedAt: c, valid: true}
+			var w cell.Word
+			if fastMem {
+				w = s.mem[st][op.Addr]
+			} else {
+				w = s.readWord(st, op.Addr, op.Remap)
+			}
+			s.outReg[st] = outWord{word: w, out: op.Out, loadedAt: c, valid: true}
+			s.loaded = append(s.loaded, st)
 		case OpWriteThrough:
 			w := s.inReg[op.In][st]
-			s.writeWord(st, op.Addr, op.Remap, w)
+			if fastMem {
+				s.mem[st][op.Addr] = w
+			} else {
+				s.writeWord(st, op.Addr, op.Remap, w)
+			}
 			s.outReg[st] = outWord{word: w, out: op.Out, loadedAt: c, valid: true}
+			s.loaded = append(s.loaded, st)
 		}
 	}
-
-	// Phase 4 — the control pipeline shifts: stage s+1 repeats stage s's
-	// operation next cycle (§3.3).
-	for st := s.k - 1; st >= 1; st-- {
-		s.ctrl[st] = s.ctrl[st-1]
-	}
-	s.ctrl[0] = Op{}
 
 	// Phase 5 — ingress: arriving words are latched into the input
 	// registers at the end of the cycle.
 	for i := 0; i < s.n; i++ {
-		if a := s.inflight[i]; a != nil {
+		a := &s.inflight[i]
+		if a.active {
 			if j := c - a.head; j > 0 && j < int64(s.k) {
 				s.inReg[i][j] = a.c.Words[j].Mask(s.cfg.WordBits)
 			}
@@ -520,20 +669,22 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 		if nc.Dst < 0 || nc.Dst >= s.n {
 			panic(fmt.Sprintf("core: cell destination %d out of range", nc.Dst))
 		}
-		if old := s.inflight[i]; old != nil {
-			if c-old.head < int64(s.k) {
-				panic(fmt.Sprintf("core: head injected mid-cell on input %d (previous head at cycle %d, now %d)", i, old.head, c))
+		if a.active {
+			if c-a.head < int64(s.k) {
+				panic(fmt.Sprintf("core: head injected mid-cell on input %d (previous head at cycle %d, now %d)", i, a.head, c))
 			}
-			if !old.written {
+			if !a.written {
 				// The previous cell never obtained a write wave (buffer
 				// exhausted for its whole residency): its words are now
 				// being overwritten and it is lost.
-				s.counter.Inc("drop-overrun", 1)
+				*s.cDropOverrun++
+				s.pendingWrites--
 			}
 		}
-		s.counter.Inc("offered", 1)
+		s.pendingWrites++
+		*s.cOffered++
 		nc.Enqueue = c
-		s.inflight[i] = &arrival{c: nc, head: c}
+		*a = arrival{c: nc, head: c, active: true}
 		s.inReg[i][0] = nc.Words[0].Mask(s.cfg.WordBits)
 	}
 
@@ -561,44 +712,68 @@ func (s *Switch) arbitrate(c int64) Op {
 	if s.halved && c-s.lastInit < 2 {
 		return Op{}
 	}
-	op := s.pickOp(c)
-	if op.Kind != OpNone {
+	// Reads first (outgoing links must not idle), then the most urgent
+	// pending write, upgraded to a write-through when cut-through applies;
+	// NoReadPriority flips the order.
+	var op Op
+	var ok bool
+	if !s.cfg.NoReadPriority {
+		if op, ok = s.pickRead(c); !ok {
+			op, ok = s.pickWrite(c)
+		}
+	} else {
+		if op, ok = s.pickWrite(c); !ok {
+			op, ok = s.pickRead(c)
+		}
+	}
+	if ok {
 		s.lastInit = c
 		op.Remap = s.halved
 	}
 	return op
 }
 
-// pickOp chooses the wave to initiate: reads first (outgoing links must
-// not idle), then the most urgent pending write, upgraded to a
-// write-through when cut-through applies.
-func (s *Switch) pickOp(c int64) Op {
-	if !s.cfg.NoReadPriority {
-		if op, ok := s.pickRead(c); ok {
-			return op
-		}
-	}
-	if op, ok := s.pickWrite(c); ok {
-		return op
-	}
-	if s.cfg.NoReadPriority {
-		if op, ok := s.pickRead(c); ok {
-			return op
-		}
-	}
-	return Op{}
-}
-
 // pickRead selects an idle outgoing link with an eligible head-of-queue
 // cell, round-robin.
 func (s *Switch) pickRead(c int64) (Op, bool) {
-	for j := 0; j < s.n; j++ {
-		o := (s.readRR + j) % s.n
+	if s.queues.Total() == 0 {
+		// Nothing buffered anywhere: no read wave can be initiated. (With
+		// cut-through under admissible load this is the common case — most
+		// cells depart via write-through and never touch the queues.)
+		return Op{}, false
+	}
+	for j, o := 0, s.readRR; j < s.n; j, o = j+1, o+1 {
+		if o >= s.n {
+			o -= s.n
+		}
 		if s.linkFree[o] > c {
 			continue
 		}
 		if s.gate != nil && !s.gate(o) {
 			continue
+		}
+		// Single-VC fast path: with one virtual channel, no VC gate and
+		// no WRR weights, the only candidate is the output's front
+		// descriptor — skip the pickVC machinery.
+		if s.cfg.VCs == 1 && s.vcGate == nil && (s.vcWeights == nil || s.vcWeights[o] == nil) {
+			node, ok := s.queues.Front(o) // qidx(o, 0) == o
+			if !ok {
+				continue
+			}
+			d := &s.nodes[node]
+			if !s.cfg.CutThrough && c < d.writeStart+int64(s.k) {
+				continue
+			}
+			s.queues.Pop(o)
+			s.readRR = (o + 1) % s.n
+			s.startTransmit(o, d, c)
+			addr := d.addr
+			s.nfree.Put(node)
+			s.refcnt[addr]--
+			if s.refcnt[addr] == 0 {
+				s.free.Put(addr)
+			}
+			return Op{Kind: OpRead, Out: o, Addr: addr}, true
 		}
 		// Serve the output's virtual channels round-robin (or WRR when
 		// weights are configured, [KaSC91]): a VC with a closed gate or
@@ -641,12 +816,17 @@ func (s *Switch) pickRead(c int64) (Op, bool) {
 // pickWrite selects the pending arrival with the earliest head cycle
 // (earliest deadline first), tie-broken round-robin.
 func (s *Switch) pickWrite(c int64) (Op, bool) {
+	if s.pendingWrites == 0 {
+		return Op{}, false
+	}
 	best := -1
 	var bestHead int64
-	for j := 0; j < s.n; j++ {
-		i := (s.writeRR + j) % s.n
-		a := s.inflight[i]
-		if a == nil || a.written || c <= a.head {
+	for j, i := 0, s.writeRR; j < s.n; j, i = j+1, i+1 {
+		if i >= s.n {
+			i -= s.n
+		}
+		a := &s.inflight[i]
+		if !a.active || a.written || c <= a.head {
 			continue // no pending cell, or its head arrived only this cycle
 		}
 		if best == -1 || a.head < bestHead {
@@ -656,7 +836,7 @@ func (s *Switch) pickWrite(c int64) (Op, bool) {
 	if best == -1 {
 		return Op{}, false
 	}
-	a := s.inflight[best]
+	a := &s.inflight[best]
 	addr, ok := s.free.Get()
 	if !ok {
 		// Buffer exhausted: the cell stays pending and retries; if it is
@@ -665,8 +845,9 @@ func (s *Switch) pickWrite(c int64) (Op, bool) {
 		return Op{}, false
 	}
 	a.written = true
+	s.pendingWrites--
 	s.writeStartAt[addr] = c
-	s.counter.Inc("accepted", 1)
+	*s.cAccepted++
 	s.initDelay.Add(float64(c - a.head - 1))
 	s.writeRR = (best + 1) % s.n
 	vc := a.c.VC
@@ -689,10 +870,9 @@ func (s *Switch) pickWrite(c int64) (Op, bool) {
 	}
 
 	// Enqueue one descriptor per destination; the payload is stored once
-	// (multicast economy of the shared buffer).
-	dsts := append([]int{dst}, a.c.Copies...)
-	s.refcnt[addr] = len(dsts)
-	for _, o := range dsts {
+	// (multicast economy of the shared buffer). Unicast cells — the hot
+	// case — take the single-destination path with no scratch slice.
+	enqueue := func(o int) {
 		if o < 0 || o >= s.n {
 			panic(fmt.Sprintf("core: multicast copy to output %d out of range", o))
 		}
@@ -703,6 +883,11 @@ func (s *Switch) pickWrite(c int64) (Op, bool) {
 		s.nodes[node] = d
 		s.queues.Push(s.qidx(o, vc), node)
 	}
+	s.refcnt[addr] = 1 + len(a.c.Copies)
+	enqueue(dst)
+	for _, o := range a.c.Copies {
+		enqueue(o)
+	}
 	return Op{Kind: OpWrite, In: best, Addr: addr}, true
 }
 
@@ -711,8 +896,14 @@ func (s *Switch) pickWrite(c int64) (Op, bool) {
 // reassembly of the departing cell.
 func (s *Switch) startTransmit(o int, d *desc, c int64) {
 	s.linkFree[o] = c + int64(s.k)
-	dd := *d
-	s.egress[o].Push(&reasm{d: &dd, words: make([]cell.Word, 0, s.k)})
+	r := s.getReasm()
+	r.d = *d
+	r.words = r.words[:0]
+	r.start = 0
+	s.egress[o].Push(r)
+	if s.egress[o].Len() == 1 {
+		s.rxHead[o] = r
+	}
 	if s.onTransmit != nil {
 		s.onTransmit(o)
 	}
@@ -721,24 +912,24 @@ func (s *Switch) startTransmit(o int, d *desc, c int64) {
 	}
 }
 
-// deliver observes one word on outgoing link o at cycle c.
-func (s *Switch) deliver(o int, w cell.Word, c int64) {
-	r, ok := s.egress[o].Front()
-	if !ok {
-		panic(fmt.Sprintf("core: word on output %d with no departure in flight", o))
-	}
-	if len(r.words) == 0 {
-		r.start = c
-	}
-	r.words = append(r.words, w)
-	if len(r.words) < s.k {
-		return
-	}
+// finishDeparture books the departure whose last word was observed on
+// outgoing link o at cycle c; r is the output's reassembly record, now
+// holding all K words.
+func (s *Switch) finishDeparture(o int, r *reasm, c int64) {
 	s.egress[o].Pop()
-	got := &cell.Cell{
-		Seq: r.d.c.Seq, Src: r.d.c.Src, Dst: r.d.c.Dst, VC: r.d.c.VC,
-		Enqueue: r.d.head, Words: r.words,
+	if next, ok := s.egress[o].Front(); ok {
+		s.rxHead[o] = next
+	} else {
+		s.rxHead[o] = nil
 	}
+	// The observed cell swaps its word buffer with the record's (both stay
+	// at capacity K) so the record can return to the pool immediately; the
+	// cell itself is reclaimed by the next Drain under recycle mode.
+	got := s.getCell()
+	got.Seq, got.Src, got.Dst, got.VC = r.d.c.Seq, r.d.c.Src, r.d.c.Dst, r.d.c.VC
+	got.Copies = nil
+	got.Enqueue = r.d.head
+	got.Words, r.words = r.words, got.Words[:0]
 	// With §4.3 link pipelining, timestamps are reported at the switch
 	// boundary: the head entered LinkPipeline cycles before it reached
 	// the input registers and leaves LinkPipeline cycles after the
@@ -754,10 +945,11 @@ func (s *Switch) deliver(o int, w cell.Word, c int64) {
 		InitDelay: r.d.writeStart - r.d.head - 1,
 		VC:        r.d.vc,
 	}
-	s.counter.Inc("delivered", 1)
+	*s.cDelivered++
 	if !got.Equal(r.d.c) {
-		s.counter.Inc("corrupt", 1)
+		*s.cCorrupt++
 	}
 	s.cutLatency.Add(dep.HeadOut - dep.HeadIn)
 	s.done = append(s.done, dep)
+	s.reasmFree = append(s.reasmFree, r)
 }

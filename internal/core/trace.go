@@ -71,9 +71,13 @@ func (e TraceEvent) String() string {
 // ingress phase (InLatch is derived from the in-flight state plus the
 // heads being injected this cycle).
 func (s *Switch) emitTrace(c int64, heads []*cell.Cell) {
+	ctrl := make([]Op, s.k)
+	for st := range ctrl {
+		ctrl[st] = s.ctrl[s.ctrlSlot(c, st)]
+	}
 	e := TraceEvent{
 		Cycle:    c,
-		Ctrl:     append([]Op(nil), s.ctrl...),
+		Ctrl:     ctrl,
 		InLatch:  make([]int, s.n),
 		OutDrive: append([]int(nil), s.driveScratch...),
 	}
@@ -89,7 +93,7 @@ func (s *Switch) emitTrace(c int64, heads []*cell.Cell) {
 			e.InLatch[i] = 0
 			continue
 		}
-		if a := s.inflight[i]; a != nil {
+		if a := &s.inflight[i]; a.active {
 			if j := c - a.head; j > 0 && j < int64(s.k) {
 				e.InLatch[i] = int(j)
 			}

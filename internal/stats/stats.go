@@ -98,6 +98,18 @@ func (h *Hist) Add(v int64) {
 // N returns the total sample count.
 func (h *Hist) N() int64 { return h.total }
 
+// Overflow returns the number of samples ≥ Limit that fell into the
+// overflow bucket: their exact values are not resolved (Count and
+// Quantile see them only as "at the overflow boundary"), though Mean and
+// Max still account for their true magnitudes. Reports should surface a
+// nonzero overflow count rather than silently quoting truncated
+// distribution statistics.
+func (h *Hist) Overflow() int64 { return h.overflow }
+
+// Limit returns the first unresolved value: samples in 0..Limit-1 are
+// counted individually, samples ≥ Limit land in the overflow bucket.
+func (h *Hist) Limit() int { return len(h.buckets) }
+
 // Mean returns the mean of all samples (including overflowed values, which
 // contribute their true magnitude to the mean).
 func (h *Hist) Mean() float64 {
@@ -120,7 +132,10 @@ func (h *Hist) Count(v int64) int64 {
 }
 
 // Quantile returns the smallest resolved value x such that at least q of
-// the samples are ≤ x. Overflowed samples count as the overflow boundary.
+// the samples are ≤ x. Overflowed samples count as the overflow boundary:
+// when the requested quantile falls among them the result saturates at
+// Limit, an underestimate of the true quantile. Callers should check
+// Overflow before trusting upper quantiles.
 func (h *Hist) Quantile(q float64) int64 {
 	if h.total == 0 {
 		return 0
@@ -140,12 +155,42 @@ func (h *Hist) Quantile(q float64) int64 {
 }
 
 // Counter tallies named integer events (arrivals, departures, drops…).
+// Events incremented on a simulator's per-cycle hot path can be promoted
+// to hot slots (Hot): a live *int64 the caller bumps directly, skipping
+// the map hash while remaining visible to Get/Names/Snapshot/Merge.
 type Counter struct {
 	counts map[string]int64
+	hot    map[string]*int64
+}
+
+// Hot registers (or retrieves) a hot slot for name and returns a live
+// pointer to its count. Any tally name already accumulated via Inc is
+// folded into the slot. Incrementing through the pointer is equivalent to
+// Inc(name, 1) but costs a single memory add.
+func (c *Counter) Hot(name string) *int64 {
+	if c.hot == nil {
+		c.hot = make(map[string]*int64)
+	}
+	if p, ok := c.hot[name]; ok {
+		return p
+	}
+	p := new(int64)
+	if c.counts != nil {
+		*p = c.counts[name]
+		delete(c.counts, name)
+	}
+	c.hot[name] = p
+	return p
 }
 
 // Inc adds delta to the named event count.
 func (c *Counter) Inc(name string, delta int64) {
+	if c.hot != nil {
+		if p, ok := c.hot[name]; ok {
+			*p += delta
+			return
+		}
+	}
 	if c.counts == nil {
 		c.counts = make(map[string]int64)
 	}
@@ -153,24 +198,44 @@ func (c *Counter) Inc(name string, delta int64) {
 }
 
 // Get returns the count for name (0 if never incremented).
-func (c *Counter) Get(name string) int64 { return c.counts[name] }
+func (c *Counter) Get(name string) int64 {
+	if c.hot != nil {
+		if p, ok := c.hot[name]; ok {
+			return *p
+		}
+	}
+	return c.counts[name]
+}
 
-// Names returns all event names in sorted order.
+// Names returns all event names with a nonzero count (or any cold tally),
+// in sorted order. Hot slots still at zero are omitted so registering a
+// slot is not observable in reports.
 func (c *Counter) Names() []string {
-	names := make([]string, 0, len(c.counts))
+	names := make([]string, 0, len(c.counts)+len(c.hot))
 	for n := range c.counts {
 		names = append(names, n)
+	}
+	for n, p := range c.hot {
+		if *p != 0 {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names
 }
 
 // Snapshot returns a copy of all counts, for reports that outlive the
-// counter (never nil).
+// counter (never nil). Hot slots still at zero are omitted, matching
+// Names.
 func (c *Counter) Snapshot() map[string]int64 {
-	m := make(map[string]int64, len(c.counts))
+	m := make(map[string]int64, len(c.counts)+len(c.hot))
 	for n, v := range c.counts {
 		m[n] = v
+	}
+	for n, p := range c.hot {
+		if *p != 0 {
+			m[n] = *p
+		}
 	}
 	return m
 }
@@ -180,6 +245,11 @@ func (c *Counter) Snapshot() map[string]int64 {
 func (c *Counter) Merge(o *Counter) {
 	for n, v := range o.counts {
 		c.Inc(n, v)
+	}
+	for n, p := range o.hot {
+		if *p != 0 {
+			c.Inc(n, *p)
+		}
 	}
 }
 

@@ -191,3 +191,42 @@ func TestBatchMeansPanicsOnBadSize(t *testing.T) {
 	}()
 	NewBatchMeans(0)
 }
+
+// TestHistOverflowBoundary pins the overflow boundary exactly: Limit-1 is
+// the last individually-resolved value, Limit the first overflowed one.
+// Mean and Max keep the true magnitudes; Count and Quantile saturate.
+func TestHistOverflowBoundary(t *testing.T) {
+	h := NewHist(4)
+	if h.Limit() != 4 {
+		t.Fatalf("Limit() = %d, want 4", h.Limit())
+	}
+	h.Add(3)   // last resolved value
+	h.Add(4)   // first overflow value
+	h.Add(100) // deep overflow
+	if h.Overflow() != 2 {
+		t.Fatalf("Overflow() = %d, want 2", h.Overflow())
+	}
+	if h.N() != 3 {
+		t.Fatalf("N() = %d, want 3", h.N())
+	}
+	if h.Count(3) != 1 {
+		t.Fatalf("Count(3) = %d, want 1", h.Count(3))
+	}
+	if h.Count(4) != 2 || h.Count(100) != 2 {
+		t.Fatalf("beyond-range Count must return the overflow bucket: %d, %d", h.Count(4), h.Count(100))
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max() = %d, want true magnitude 100", h.Max())
+	}
+	if want := (3 + 4 + 100) / 3.0; h.Mean() != want {
+		t.Fatalf("Mean() = %v, want %v", h.Mean(), want)
+	}
+	// Upper quantiles saturate at the limit — an underestimate, which is
+	// why Overflow must be surfaced alongside them.
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("Quantile(1) = %d, want saturation at Limit 4", q)
+	}
+	if q := h.Quantile(0.33); q != 3 {
+		t.Fatalf("Quantile(0.33) = %d, want 3", q)
+	}
+}

@@ -287,7 +287,7 @@ func NewCellStream(cfg Config, cellLen int) (*CellStream, error) {
 		return nil, err
 	}
 	if cfg.Kind == Bursty || cfg.Kind == Hotspot {
-		return nil, fmt.Errorf("traffic: CellStream supports Bernoulli, Saturation and Permutation kinds, got %v", cfg.Kind)
+		return nil, fmt.Errorf("traffic: CellStream supports Bernoulli, Saturation, Permutation and Trace kinds, got %v", cfg.Kind)
 	}
 	if cellLen < 1 {
 		return nil, fmt.Errorf("traffic: cell length %d, need ≥ 1", cellLen)
@@ -321,6 +321,19 @@ func (s *CellStream) Heads(dst []int) int {
 		start := false
 		perm := false
 		switch s.cfg.Kind {
+		case Trace:
+			// One schedule slot per cell time and per input: an entry
+			// either starts a cell or leaves the link idle for a full
+			// cell time, mirroring Generator's slot-level semantics.
+			if slot := int(s.sent[i]); slot < len(s.cfg.Schedule) {
+				s.sent[i]++
+				s.busy[i] = s.cellLen - 1
+				if d := s.cfg.Schedule[slot][i]; d != NoArrival {
+					dst[i] = d
+					n++
+				}
+			}
+			continue
 		case Saturation:
 			start = true
 		case Permutation:

@@ -241,3 +241,38 @@ func TestCellStreamDestinationsInRangeQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCellStreamTrace: NewCellStream accepted Trace configs but Heads
+// never produced their arrivals — the stream was silently empty. Each
+// schedule slot must now occupy one cell time per input, emitting the
+// scheduled head or a full idle cell time.
+func TestCellStreamTrace(t *testing.T) {
+	const cellLen = 4
+	cs, err := NewCellStream(Config{Kind: Trace, N: 2, Schedule: [][]int{
+		{1, NoArrival},
+		{NoArrival, 0},
+		{0, 1},
+	}}, cellLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, 2)
+	var got [][2]int
+	for c := 0; c < 4*cellLen; c++ {
+		cs.Heads(dst)
+		got = append(got, [2]int{dst[0], dst[1]})
+	}
+	for c, heads := range got {
+		slot, phase := c/cellLen, c%cellLen
+		want := [2]int{NoArrival, NoArrival}
+		if phase == 0 && slot < 3 {
+			want = [2]int{
+				[]int{1, NoArrival, 0}[slot],
+				[]int{NoArrival, 0, 1}[slot],
+			}
+		}
+		if heads != want {
+			t.Fatalf("cycle %d: heads %v, want %v", c, heads, want)
+		}
+	}
+}
