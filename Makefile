@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz check bench bench-check
+.PHONY: build vet test race fuzz check bench bench-check obs-overhead
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,15 @@ check: vet build race
 # shapes) a fixed number of iterations, with allocation counts.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100x ./...
+
+# Observability overhead gate: the deterministic zero-alloc assertions
+# (Tick must stay at 0 allocs/op with observability disabled AND with
+# metrics enabled), the exporter golden files, and the opt-in wall-clock
+# budget (enabled metrics ≥ 90% of disabled cells/sec on the 8×8 point).
+obs-overhead:
+	$(GO) test ./internal/core -run 'TestTickZeroAlloc'
+	$(GO) test ./internal/obs -run 'Golden'
+	PIPEMEM_OBS_OVERHEAD=1 $(GO) test ./internal/bench -run TestObsOverheadBudget -v
 
 # Benchmark-regression gate: re-measure the standard pmbench points and
 # compare against the committed BENCH_1.json — allocations are gated

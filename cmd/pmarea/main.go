@@ -11,8 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"pipemem/internal/area"
+	"pipemem/internal/obs"
 )
 
 func main() {
@@ -22,8 +24,19 @@ func main() {
 		banks  = flag.Int("banks", 256, "PRIZMA bank count M")
 		hIn    = flag.Int("hin", 80, "fig. 9: cells per input buffer")
 		hShare = flag.Int("hshared", 86, "fig. 9: total shared-buffer cells")
+		pprofA = flag.String("pprof", "", "serve runtime metrics and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		addr, stop, err := obs.ServeDebug(*pprofA, obs.NewRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmarea:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pmarea: debug server on http://%s\n", addr)
+		defer stop()
+	}
 
 	fmt.Println("== Telegraphos II floorplan (§4.2, fig. 6) ==")
 	fmt.Print(area.TelegraphosII())

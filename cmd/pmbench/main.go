@@ -12,6 +12,11 @@
 // (internal/bench.Sweep) and prints utilization and latency per point —
 // a smoke test for the parallel sweep engine and a quick saturation
 // profile of the switch.
+//
+// -metrics prints a Prometheus-style snapshot of the sweep engine's own
+// metrics (points completed, cut-latency-overflow runs) after the run;
+// -pprof ADDR serves /metrics and /debug/pprof while running — scrape it
+// mid-sweep for live progress.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"pipemem/internal/bench"
 	"pipemem/internal/core"
+	"pipemem/internal/obs"
 	"pipemem/internal/traffic"
 )
 
@@ -63,8 +69,28 @@ func main() {
 		warmup   = flag.Int64("warmup", 4096, "untimed warmup cycles per point")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 		sweep    = flag.Bool("sweep", false, "run a parallel load sweep instead of the regression points")
+		metrics  = flag.Bool("metrics", false, "print a Prometheus-style snapshot of the sweep-engine metrics after the run")
+		pprofA   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics || *pprofA != "" {
+		reg = obs.NewRegistry()
+		bench.RegisterMetrics(reg)
+		if *pprofA != "" {
+			addr, stop, err := obs.ServeDebug(*pprofA, reg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "pmbench: debug server on http://%s\n", addr)
+			defer stop()
+		}
+		if *metrics {
+			defer func() { _ = reg.WritePrometheus(os.Stdout) }()
+		}
+	}
 
 	if *sweep {
 		if err := runSweep(*workers, *cycles); err != nil {

@@ -27,7 +27,20 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	ext := flag.Bool("ext", false, "also run the X1–X3 extension experiments (beyond the paper)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	pprofA := flag.String("pprof", "", "serve runtime metrics and /debug/pprof on this address while running")
 	flag.Parse()
+
+	// Full-scale experiment batches run for minutes; the debug server lets
+	// a profiler attach and a scraper watch heap/GC gauges mid-run.
+	if *pprofA != "" {
+		addr, stop, err := pipemem.ServeDebug(*pprofA, pipemem.NewMetricsRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pmexp: debug server on http://%s\n", addr)
+		defer stop()
+	}
 
 	scale := pipemem.Quick
 	if *full {

@@ -8,6 +8,14 @@
 //	pmrtl -n 2 -cells 8 -load 0.6 -cycles 40 -trace    # fig. 5 view
 //	pmrtl -dual -n 8 -perm                             # §3.5 half quantum
 //	pmrtl -model t3                                    # Telegraphos III
+//
+// Observability (pipelined organization only): -metrics prints a
+// Prometheus-style snapshot after the result, -tracejson FILE writes the
+// fig. 5 per-cycle records and the typed wave/stall events as one JSONL
+// stream, -trace-sample N keeps 1 in N typed events, and -pprof ADDR
+// serves /metrics plus /debug/pprof while running:
+//
+//	pmrtl -n 8 -load 0.9 -metrics -tracejson trace.jsonl
 package main
 
 import (
@@ -35,8 +43,20 @@ func main() {
 		vcd    = flag.String("vcd", "", "write the trace as a VCD waveform to this file (GTKWave etc.)")
 		vcs    = flag.Int("vcs", 1, "virtual channels per output link ([KVES95])")
 		model  = flag.String("model", "", "Telegraphos prototype instead of -n/-w/-cells: t1|t2|t3")
+
+		metrics     = flag.Bool("metrics", false, "print a Prometheus-style metrics snapshot after the run")
+		metricsJSON = flag.Bool("metrics-json", false, "with -metrics: JSON snapshot instead of text exposition")
+		traceJSON   = flag.String("tracejson", "", "write fig. 5 records and typed events as JSONL to this file")
+		traceSample = flag.Int("trace-sample", 1, "keep 1 in N typed trace events")
+		pprofAddr   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	observe := *metrics || *metricsJSON || *traceJSON != "" || *pprofAddr != ""
+	if observe && (*dual || *org != "pipelined") {
+		fmt.Fprintln(os.Stderr, "pmrtl: -metrics/-tracejson/-pprof require the pipelined organization")
+		os.Exit(2)
+	}
 
 	cfg := pipemem.Config{Ports: *n, WordBits: *words, Cells: *cells, CutThrough: !*nocut, VCs: *vcs}
 	var clockNs float64
@@ -130,6 +150,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var (
+		reg    *pipemem.MetricsRegistry
+		sink   *pipemem.JSONLSink
+		tracer *pipemem.EventTracer
+	)
+	if observe {
+		reg = pipemem.NewMetricsRegistry()
+		obsv := pipemem.NewObserver(reg, cfg.Ports)
+		var ts pipemem.TraceSink
+		if *traceJSON != "" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fatal(err)
+			}
+			sink = pipemem.NewJSONLSink(f)
+			ts = sink
+		}
+		tracer = pipemem.NewEventTracer(ts, 0, *traceSample)
+		tracer.Register(reg)
+		obsv.Tracer = tracer
+		sw.SetObserver(obsv)
+		if *pprofAddr != "" {
+			addr, stop, err := pipemem.ServeDebug(*pprofAddr, reg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "pmrtl: debug server on http://%s\n", addr)
+			defer stop()
+		}
+	}
 	var vcdDone func() error
 	switch {
 	case *vcd != "":
@@ -149,6 +199,10 @@ func main() {
 			}
 			return f.Close()
 		}
+	case sink != nil:
+		// Route the fig. 5 per-cycle records onto the same JSONL stream
+		// as the typed events.
+		sw.SetTracer(pipemem.JSONTracer(sink))
 	case *trace:
 		sw.SetTracer(func(e pipemem.TraceEvent) { fmt.Println(e) })
 	}
@@ -170,6 +224,21 @@ func main() {
 	if clockNs > 0 {
 		fmt.Printf("at %.1f ns/cycle: %.0f Mb/s per link sustained (util %.3f × %d b / %.1f ns)\n",
 			clockNs, res.Utilization*float64(cfg.WordBits)/clockNs*1000, res.Utilization, cfg.WordBits, clockNs)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal(err)
+		}
+		if sink != nil {
+			fmt.Fprintf(os.Stderr, "pmrtl: %d JSONL records written to %s\n", sink.Lines(), *traceJSON)
+		}
+	}
+	if *metrics || *metricsJSON {
+		if *metricsJSON {
+			_ = reg.WriteJSON(os.Stdout)
+		} else {
+			_ = reg.WritePrometheus(os.Stdout)
+		}
 	}
 }
 

@@ -22,6 +22,20 @@
 // The plan format is one event per line: "@<cycle> <kind> key=val…"
 // (kinds: mem, stuck, ctrl, inreg, linkdrop, linkcorrupt); "random"
 // generates a seeded random plan, "-" reads standard input.
+//
+// With -metrics and/or -trace, pmsim instead drives the cycle-accurate
+// pipelined memory switch with the observability layer attached: -metrics
+// prints a Prometheus-style snapshot of the run's metrics (wave
+// initiations, cut-throughs, stalls, queue depths, buffer high-water
+// mark, drops, latency histograms) after the result line, and -trace
+// writes the structured JSONL event stream:
+//
+//	pmsim -metrics -trace out.jsonl -n 8 -buf 256 -load 0.9 -slots 100000
+//	pmsim -metrics -metrics-json                # JSON snapshot instead
+//	pmsim -faultplan random -ecc -metrics       # observe a fault run
+//
+// -pprof ADDR serves /metrics, /metrics.json and /debug/pprof/ (with
+// periodic runtime heap/GC/goroutine gauges) on ADDR while running.
 package main
 
 import (
@@ -35,7 +49,7 @@ import (
 
 func main() {
 	var (
-		arch     = flag.String("arch", "shared", "architecture: input-fifo|voq|output|shared|shared-capped|crosspoint|block-crosspoint|smoothing|speedup")
+		arch     = flag.String("arch", "shared", "architecture: input-fifo|voq|output|shared|shared-capped|crosspoint|block-crosspoint|smoothing|speedup|rtl")
 		n        = flag.Int("n", 16, "switch size (n×n)")
 		load     = flag.Float64("load", 0.8, "offered load per input in (0,1]")
 		saturate = flag.Bool("saturate", false, "saturation mode (backlogged inputs)")
@@ -57,10 +71,27 @@ func main() {
 		linkprot  = flag.Bool("linkprotect", false, "fault run: CRC/retransmit protocol on the input links")
 		retries   = flag.Int("retries", 0, "fault run: link retransmission budget (0 = default)")
 		events    = flag.Int("events", 200, "fault run: event count for -faultplan random")
+
+		metrics     = flag.Bool("metrics", false, "observed RTL run: print a Prometheus-style metrics snapshot after the run")
+		metricsJSON = flag.Bool("metrics-json", false, "with -metrics: print the JSON snapshot instead of the text exposition")
+		traceOut    = flag.String("trace", "", "observed RTL run: write the structured JSONL event trace to this file")
+		traceSample = flag.Int("trace-sample", 1, "keep 1 in N trace events (bounds trace overhead)")
+		pprofAddr   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *slots / 10
+	}
+
+	observe := *metrics || *metricsJSON || *traceOut != "" || *pprofAddr != ""
+	var ob *observed
+	if observe {
+		var err error
+		if ob, err = newObserved(*n, *traceOut, *traceSample, *pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "pmsim:", err)
+			os.Exit(1)
+		}
+		defer ob.finish(*metrics || *metricsJSON, *metricsJSON)
 	}
 
 	if *faultplan != "" {
@@ -68,7 +99,17 @@ func main() {
 			n: *n, buf: *buf, load: *load, cycles: *slots, seed: *seed,
 			ecc: *ecc || *bypass > 0, bypass: *bypass,
 			linkprotect: *linkprot, retries: *retries, events: *events,
+			obs: ob,
 		})
+		return
+	}
+
+	// -metrics/-trace (or -arch rtl) select the cycle-accurate pipelined
+	// switch (the observability layer lives in the RTL model, not the
+	// slot-level §2 simulators).
+	if observe || *arch == "rtl" {
+		runObserved(ob, rtlOpts{n: *n, buf: *buf, load: *load, cycles: *slots,
+			seed: *seed, saturate: *saturate, bursty: *bursty, hotFrac: *hotFrac})
 		return
 	}
 
@@ -129,6 +170,110 @@ func main() {
 	run(*load)
 }
 
+// observed bundles the run's observability plumbing: the registry and
+// observer, the optional JSONL trace sink, and the optional debug server.
+type observed struct {
+	reg      *pipemem.MetricsRegistry
+	observer *pipemem.Observer
+	sink     *pipemem.JSONLSink
+	tracer   *pipemem.EventTracer
+	stop     func()
+}
+
+// newObserved builds the registry/observer (sized for an n-port switch),
+// opens the JSONL trace file when requested, and starts the debug server
+// when pprofAddr is set.
+func newObserved(n int, traceOut string, sample int, pprofAddr string) (*observed, error) {
+	ob := &observed{reg: pipemem.NewMetricsRegistry()}
+	ob.observer = pipemem.NewObserver(ob.reg, n)
+	// A typed-nil *JSONLSink must not reach the TraceSink interface (the
+	// tracer would call methods on it), so assign only when present.
+	var sink pipemem.TraceSink
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, err
+		}
+		ob.sink = pipemem.NewJSONLSink(f)
+		sink = ob.sink
+	}
+	ob.tracer = pipemem.NewEventTracer(sink, 0, sample)
+	ob.tracer.Register(ob.reg)
+	ob.observer.Tracer = ob.tracer
+	if pprofAddr != "" {
+		addr, stop, err := pipemem.ServeDebug(pprofAddr, ob.reg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "pmsim: debug server on http://%s (metrics, metrics.json, debug/pprof)\n", addr)
+		ob.stop = stop
+	}
+	return ob, nil
+}
+
+// finish flushes the trace sink, stops the debug server, and prints the
+// metrics snapshot when asked.
+func (ob *observed) finish(printMetrics, asJSON bool) {
+	if err := ob.tracer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim: trace:", err)
+	}
+	if ob.stop != nil {
+		ob.stop()
+	}
+	if printMetrics {
+		if asJSON {
+			_ = ob.reg.WriteJSON(os.Stdout)
+		} else {
+			_ = ob.reg.WritePrometheus(os.Stdout)
+		}
+	}
+}
+
+type rtlOpts struct {
+	n, buf   int
+	load     float64
+	cycles   int64
+	seed     uint64
+	saturate bool
+	bursty   float64
+	hotFrac  float64
+}
+
+// runObserved drives the cycle-accurate pipelined switch, with the
+// observer installed when one was requested (ob may be nil for a plain
+// -arch rtl run), and prints the run result; the deferred finish in main
+// emits the metrics snapshot.
+func runObserved(ob *observed, o rtlOpts) {
+	sw, err := pipemem.New(pipemem.Config{Ports: o.n, WordBits: 16, Cells: o.buf, CutThrough: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+	if ob != nil {
+		sw.SetObserver(ob.observer)
+	}
+	tcfg := pipemem.TrafficConfig{Kind: pipemem.Bernoulli, N: o.n, Load: o.load, Seed: o.seed}
+	switch {
+	case o.saturate:
+		tcfg.Kind = pipemem.Saturation
+	case o.bursty > 0:
+		tcfg.Kind, tcfg.BurstLen = pipemem.Bursty, o.bursty
+	case o.hotFrac > 0:
+		tcfg.Kind, tcfg.HotFrac = pipemem.Hotspot, o.hotFrac
+	}
+	cs, err := pipemem.NewCellStream(tcfg, sw.Config().Stages)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+	res, err := pipemem.RunTraffic(sw, cs, o.cycles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+}
+
 type faultOpts struct {
 	n, buf      int
 	load        float64
@@ -139,6 +284,7 @@ type faultOpts struct {
 	linkprotect bool
 	retries     int
 	events      int
+	obs         *observed
 }
 
 // runFaultPlan drives the cycle-accurate switch under a fault schedule and
@@ -149,6 +295,10 @@ func runFaultPlan(src string, o faultOpts) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmsim:", err)
 		os.Exit(1)
+	}
+	var observer *pipemem.Observer
+	if o.obs != nil {
+		observer = o.obs.observer
 	}
 	rep, err := pipemem.RunFaults(pipemem.FaultRunOptions{
 		Config: pipemem.Config{
@@ -161,6 +311,7 @@ func runFaultPlan(src string, o faultOpts) {
 		Load:        o.load,
 		LinkProtect: o.linkprotect,
 		MaxRetries:  o.retries,
+		Observer:    observer,
 	})
 	if rep != nil {
 		fmt.Println(rep)

@@ -38,6 +38,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 	if workers <= 1 {
 		for i := range items {
 			results[i], errs[i] = fn(i, items[i])
+			pointDone()
 		}
 		return results, firstErr(errs)
 	}
@@ -53,6 +54,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 					return
 				}
 				results[i], errs[i] = fn(i, items[i])
+				pointDone()
 			}
 		}()
 	}

@@ -7,6 +7,7 @@ import (
 
 	"pipemem/internal/cell"
 	"pipemem/internal/core"
+	"pipemem/internal/stats"
 	"pipemem/internal/traffic"
 )
 
@@ -24,12 +25,24 @@ type Ticker interface {
 // allocations. Unlike RunPoint it does not verify departures or drain the
 // switch at the end — it measures the steady state, not a complete run.
 func Measure(p Point, warmup int64) (Record, error) {
+	return MeasureObserved(p, warmup, nil)
+}
+
+// MeasureObserved is Measure with an observer installed on the switch
+// before the warmup — the harness behind the enabled-metrics overhead
+// benchmark (make obs-overhead). Observers apply only to the
+// full-quantum organization; a Dual point ignores obs.
+func MeasureObserved(p Point, warmup int64, obs *core.Observer) (Record, error) {
 	var t Ticker
 	var err error
 	if p.Dual {
 		t, err = core.NewDual(p.Config)
 	} else {
-		t, err = core.New(p.Config)
+		s, serr := core.New(p.Config)
+		if serr == nil && obs != nil {
+			s.SetObserver(obs)
+		}
+		t, err = s, serr
 	}
 	if err != nil {
 		return Record{}, fmt.Errorf("%s: %w", p.Label, err)
@@ -83,6 +96,12 @@ func Measure(p Point, warmup int64) (Record, error) {
 		BytesPerTick:  float64(m1.TotalAlloc-m0.TotalAlloc) / cy,
 		Cycles:        p.Cycles,
 		Delivered:     delivered,
+	}
+	// Both organizations expose the cut-latency histogram; surface its
+	// overflow so truncated-quantile runs are visible in the report.
+	if h, ok := t.(interface{ CutLatency() *stats.Hist }); ok {
+		rec.CutLatencyOverflow = h.CutLatency().Overflow()
+		overflowRun(rec.CutLatencyOverflow)
 	}
 	return rec, nil
 }

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"sync/atomic"
+
+	"pipemem/internal/obs"
+)
+
+// Metrics are the sweep engine's observability slots: Map bumps Points
+// once per completed item (sweep progress a scraper can watch mid-run),
+// and RunPoint/Measure bump OverflowRuns for every run whose cut-latency
+// histogram overflowed — the runs whose quantile reports are truncated
+// (RunResult.CutLatencyOverflow).
+type Metrics struct {
+	Points       *obs.Counter
+	OverflowRuns *obs.Counter
+}
+
+// active is read by Map workers concurrently with SetMetrics, hence the
+// atomic pointer.
+var active atomic.Pointer[Metrics]
+
+// RegisterMetrics registers the sweep engine's metrics on reg and
+// activates them for subsequent Map/Sweep/Measure calls. Passing the
+// result to SetMetrics(nil) deactivates them again.
+func RegisterMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		Points:       reg.Counter("pipemem_bench_points_total", "Sweep points completed by the worker pool."),
+		OverflowRuns: reg.Counter("pipemem_bench_cutlat_overflow_runs_total", "Runs whose cut-latency histogram overflowed (truncated quantiles)."),
+	}
+	SetMetrics(m)
+	return m
+}
+
+// SetMetrics activates (or, with nil, deactivates) sweep metrics.
+func SetMetrics(m *Metrics) { active.Store(m) }
+
+// pointDone records one completed Map item.
+func pointDone() {
+	if m := active.Load(); m != nil {
+		m.Points.Inc()
+	}
+}
+
+// overflowRun records one run whose cut-latency histogram overflowed.
+func overflowRun(overflow int64) {
+	if overflow <= 0 {
+		return
+	}
+	if m := active.Load(); m != nil {
+		m.OverflowRuns.Inc()
+	}
+}

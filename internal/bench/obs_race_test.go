@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"pipemem/internal/obs"
+)
+
+// TestRegistryConcurrentWithMap hammers one registry from the Map worker
+// pool while a reader snapshots it continuously — the scrape-during-sweep
+// scenario the debug server creates. Run under -race this doubles as the
+// data-race proof for the whole metrics surface; the assertions check the
+// reader-visible invariants: counters are monotonic across snapshots, and
+// a histogram snapshot never shows a counted sample missing from every
+// bucket (raw bucket total ≥ count).
+func TestRegistryConcurrentWithMap(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := RegisterMetrics(reg)
+	defer SetMetrics(nil)
+	ops := reg.Counter("bench_test_ops_total", "")
+	depth := reg.Gauge("bench_test_depth", "")
+	peak := reg.Gauge("bench_test_peak", "")
+	hist := reg.Histogram("bench_test_hist", "", obs.ExpBounds(1, 2, 8))
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var lastOps, lastPoints int64
+		for {
+			snap := reg.Snapshot()
+			if v := snap.Counters["bench_test_ops_total"]; v < lastOps {
+				t.Errorf("ops counter went backwards: %d after %d", v, lastOps)
+				return
+			} else {
+				lastOps = v
+			}
+			if v := snap.Counters["pipemem_bench_points_total"]; v < lastPoints {
+				t.Errorf("points counter went backwards: %d after %d", v, lastPoints)
+				return
+			} else {
+				lastPoints = v
+			}
+			h := snap.Histograms["bench_test_hist"]
+			if n := len(h.Buckets); n > 0 && h.Buckets[n-1].N < h.Count {
+				t.Errorf("torn histogram snapshot: bucket total %d < count %d", h.Buckets[n-1].N, h.Count)
+				return
+			}
+			// Exercise the text exporter under fire as well.
+			_ = reg.WritePrometheus(io.Discard)
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	const items, perItem = 512, 200
+	work := make([]int, items)
+	_, err := Map(0, work, func(i int, _ int) (struct{}, error) {
+		for j := 0; j < perItem; j++ {
+			ops.Inc()
+			depth.Set(int64(j))
+			peak.SetMax(int64(i))
+			hist.Observe(int64(j % 300))
+		}
+		return struct{}{}, nil
+	})
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ops.Value(); got != items*perItem {
+		t.Fatalf("ops = %d, want %d", got, items*perItem)
+	}
+	if got := m.Points.Value(); got != items {
+		t.Fatalf("points = %d, want %d", got, items)
+	}
+	if got := hist.Count(); got != items*perItem {
+		t.Fatalf("histogram count = %d, want %d", got, items*perItem)
+	}
+	if got := peak.Value(); got != items-1 {
+		t.Fatalf("peak = %d, want %d", got, items-1)
+	}
+}

@@ -27,6 +27,11 @@ type Record struct {
 	Cycles      int64   `json:"cycles"`
 	Delivered   int64   `json:"delivered"`
 	Utilization float64 `json:"utilization"`
+	// CutLatencyOverflow counts departures of the measured window whose
+	// head latency overflowed the cut-latency histogram: nonzero means
+	// the point's latency quantiles are truncated (see
+	// core.RunResult.CutLatencyOverflow).
+	CutLatencyOverflow int64 `json:"cutlat_overflow,omitempty"`
 }
 
 // Report is the on-disk BENCH_<n>.json schema. Baseline holds reference

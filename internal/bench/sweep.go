@@ -45,6 +45,7 @@ func RunPoint(p Point) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("%s: %w", p.Label, err)
 		}
+		overflowRun(run.CutLatencyOverflow)
 		return Result{Point: p, Run: run}, nil
 	}
 	s, err := core.New(p.Config)
@@ -59,6 +60,7 @@ func RunPoint(p Point) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("%s: %w", p.Label, err)
 	}
+	overflowRun(run.CutLatencyOverflow)
 	return Result{Point: p, Run: run}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pipemem/internal/cell"
+	"pipemem/internal/obs"
 )
 
 // Faulty-stage bypass and graceful degradation.
@@ -146,6 +147,9 @@ func (s *Switch) readWord(st, addr int, remap bool) cell.Word {
 	switch status {
 	case eccCorrected:
 		s.counter.Inc("ecc-corrected", 1)
+		if s.obs != nil {
+			s.obs.ECCCorrected.Inc()
+		}
 		if s.stuck == nil || !s.stuck[b] {
 			s.mem[b][a] = dec
 			s.eccMem[b][a] = eccEncode(dec, s.cfg.WordBits)
@@ -153,10 +157,16 @@ func (s *Switch) readWord(st, addr int, remap bool) cell.Word {
 		if _, vs := eccDecode(s.senseWord(b, a), s.eccMem[b][a], s.cfg.WordBits); vs != eccClean {
 			s.counter.Inc("ecc-hard", 1)
 			s.stageErr[b]++
+			if s.obs != nil {
+				s.obs.ECCHard.Inc()
+			}
 		}
 	case eccUncorrectable:
 		s.counter.Inc("ecc-uncorrectable", 1)
 		s.stageErr[b]++
+		if s.obs != nil {
+			s.obs.ECCUncorrectable.Inc()
+		}
 	}
 	return dec
 }
@@ -170,6 +180,10 @@ func (s *Switch) mapOutBank(b int) {
 	}
 	s.stageDown[b] = true
 	s.counter.Inc("stage-bypass", 1)
+	if o := s.obs; o != nil {
+		o.StageBypass.Inc()
+		o.Tracer.Emit(obs.Event{Kind: obs.EvBypass, Cycle: s.cycle, In: -1, Out: -1, Addr: int32(b)})
+	}
 	if s.stageDown[s.partner(b)] || s.cfg.Cells < 2 {
 		s.failed = true
 	}
@@ -187,6 +201,9 @@ func (s *Switch) mapOutBank(b int) {
 			}
 			addr := s.nodes[node].addr
 			s.counter.Inc("drop-bypass", 1)
+			if s.obs != nil {
+				s.obs.DropBypass.Inc()
+			}
 			s.nfree.Put(node)
 			s.refcnt[addr]--
 			if s.refcnt[addr] == 0 {

@@ -4,17 +4,21 @@ import (
 	"testing"
 
 	"pipemem/internal/cell"
+	"pipemem/internal/obs"
 	"pipemem/internal/traffic"
 )
 
 // benchTick drives a switch for b.N cycles with the pooled injection path
 // (cell.Pool + SetDrainRecycle) that RunTraffic uses. ns/op is ns/cycle;
 // allocs/op must be 0 in steady state; cells/sec is reported as a rate
-// metric.
-func benchTick(b *testing.B, cfg Config, tcfg traffic.Config) {
+// metric. A non-nil observer is installed before the warmup.
+func benchTick(b *testing.B, cfg Config, tcfg traffic.Config, o ...*Observer) {
 	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if len(o) > 0 && o[0] != nil {
+		s.SetObserver(o[0])
 	}
 	k := s.Config().Stages
 	cs, err := traffic.NewCellStream(tcfg, k)
@@ -63,6 +67,30 @@ func BenchmarkTickSteadyState(b *testing.B) {
 	benchTick(b,
 		Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
 		traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42})
+}
+
+// BenchmarkTickSteadyStateMetrics is the same point with the metrics
+// observer installed (no tracer) — compare against
+// BenchmarkTickSteadyState for the enabled-metrics overhead (budget: ≤10%
+// cells/sec, 0 allocs/op; gated by `make obs-overhead`).
+func BenchmarkTickSteadyStateMetrics(b *testing.B) {
+	benchTick(b,
+		Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
+		traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42},
+		NewObserver(obs.NewRegistry(), 8))
+}
+
+// BenchmarkTickSteadyStateObserved adds the ring tracer at sampling 1 —
+// the full-rate trace cost (every wave, stall and departure emits an
+// event). This is the worst case; production tracing bounds it with the
+// -trace-sample knob.
+func BenchmarkTickSteadyStateObserved(b *testing.B) {
+	o := NewObserver(obs.NewRegistry(), 8)
+	o.Tracer = obs.NewTracer(nil, 0, 1)
+	benchTick(b,
+		Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
+		traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42},
+		o)
 }
 
 // BenchmarkTickSaturation overloads the same switch with uniform

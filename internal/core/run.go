@@ -109,6 +109,7 @@ func RunTraffic(s *Switch, cs *traffic.CellStream, cycles int64) (RunResult, err
 		total++
 	}
 	res.Cycles = s.cycle
+	s.SyncObserver() // final occupancy-gauge publish (decimated in Tick)
 	res.Dropped = s.counter.Get("drop-overrun") + s.counter.Get("drop-bypass")
 	res.MeanCutLatency = s.cutLatency.Mean()
 	res.MinCutLatency = minLat

@@ -5,6 +5,7 @@ import (
 
 	"pipemem/internal/cell"
 	"pipemem/internal/fifo"
+	"pipemem/internal/obs"
 	"pipemem/internal/stats"
 )
 
@@ -183,6 +184,16 @@ type Switch struct {
 	done         []Departure
 	tracer       func(TraceEvent)
 	driveScratch []int // per stage: output link driven this cycle (trace)
+	// obs is the observability layer (observe.go): nil — the default —
+	// costs one pointer test per Tick and keeps the hot path 0 allocs/op.
+	// obsPeak caches the published high-water mark so the per-cycle check
+	// is a plain compare, not an atomic; obsLocal and the histogram
+	// shadows buffer the hot counters between decimated flushes.
+	obs          *Observer
+	obsPeak      int64
+	obsLocal     obsTally
+	obsCutLat    *obs.HistShadow
+	obsInitDelay *obs.HistShadow
 
 	// Hot-path recycling. reasmFree and cellFree pool the reassembly
 	// records and the reassembled ("observed") cells deliver builds;
@@ -603,6 +614,9 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 	base := int(c % int64(s.k))
 	s.ctrl[base] = s.arbitrate(c)
 
+	if s.obs != nil {
+		s.observeCycle(c, s.ctrl[base])
+	}
 	if s.tracer != nil {
 		s.emitTrace(c, heads)
 	}
@@ -679,6 +693,9 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 				// being overwritten and it is lost.
 				*s.cDropOverrun++
 				s.pendingWrites--
+				if s.obs != nil {
+					s.obs.DropOverrun.Inc()
+				}
 			}
 		}
 		s.pendingWrites++
@@ -849,6 +866,7 @@ func (s *Switch) pickWrite(c int64) (Op, bool) {
 	s.writeStartAt[addr] = c
 	*s.cAccepted++
 	s.initDelay.Add(float64(c - a.head - 1))
+	s.obsInitDelay.Observe(c - a.head - 1)
 	s.writeRR = (best + 1) % s.n
 	vc := a.c.VC
 	if vc < 0 || vc >= s.cfg.VCs {
@@ -949,7 +967,15 @@ func (s *Switch) finishDeparture(o int, r *reasm, c int64) {
 	if !got.Equal(r.d.c) {
 		*s.cCorrupt++
 	}
-	s.cutLatency.Add(dep.HeadOut - dep.HeadIn)
+	lat := dep.HeadOut - dep.HeadIn
+	s.cutLatency.Add(lat)
+	if o := s.obs; o != nil {
+		s.obsLocal.delivered++
+		s.obsCutLat.Observe(lat)
+		if o.Tracer != nil {
+			o.Tracer.Emit(obs.Event{Kind: obs.EvWaveEnd, Cycle: c, In: -1, Out: int32(dep.Output), Addr: -1, V: lat})
+		}
+	}
 	s.done = append(s.done, dep)
 	s.reasmFree = append(s.reasmFree, r)
 }

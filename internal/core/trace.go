@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"pipemem/internal/cell"
+	"pipemem/internal/obs"
 )
 
 // TraceEvent is a per-cycle snapshot of the control signals and datapath
@@ -64,6 +66,70 @@ func (e TraceEvent) String() string {
 		b.WriteString(" -")
 	}
 	return b.String()
+}
+
+// AppendJSON appends the event's compact JSON encoding to buf and
+// returns the extended slice — the machine-readable form of the fig. 5
+// line, implementing obs.JSONAppender so the control trace rides the
+// same JSONL stream as the typed event taxonomy:
+//
+//	{"cycle":12,"ctrl":[{"op":"W","in":1,"addr":3},{"op":"-"}],
+//	 "in_latch":[0,-1],"out_drive":[-1,0]}
+func (e TraceEvent) AppendJSON(buf []byte) []byte {
+	b := append(buf, `{"cycle":`...)
+	b = strconv.AppendInt(b, e.Cycle, 10)
+	b = append(b, `,"ctrl":[`...)
+	for st, op := range e.Ctrl {
+		if st > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"op":"`...)
+		b = append(b, op.Kind.String()...)
+		b = append(b, '"')
+		switch op.Kind {
+		case OpWrite:
+			b = append(b, `,"in":`...)
+			b = strconv.AppendInt(b, int64(op.In), 10)
+		case OpRead:
+			b = append(b, `,"out":`...)
+			b = strconv.AppendInt(b, int64(op.Out), 10)
+		case OpWriteThrough:
+			b = append(b, `,"in":`...)
+			b = strconv.AppendInt(b, int64(op.In), 10)
+			b = append(b, `,"out":`...)
+			b = strconv.AppendInt(b, int64(op.Out), 10)
+		}
+		if op.Kind != OpNone {
+			b = append(b, `,"addr":`...)
+			b = strconv.AppendInt(b, int64(op.Addr), 10)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, `],"in_latch":[`...)
+	for i, v := range e.InLatch {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	b = append(b, `],"out_drive":[`...)
+	for i, v := range e.OutDrive {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return append(b, ']', '}')
+}
+
+// MarshalJSON implements json.Marshaler via AppendJSON.
+func (e TraceEvent) MarshalJSON() ([]byte, error) { return e.AppendJSON(nil), nil }
+
+// JSONTracer returns a SetTracer callback that encodes every per-cycle
+// TraceEvent as one JSONL record on sink — the machine-readable
+// replacement for printing TraceEvent.String lines.
+func JSONTracer(sink *obs.JSONLSink) func(TraceEvent) {
+	return func(e TraceEvent) { sink.Record(e) }
 }
 
 // emitTrace assembles and dispatches this cycle's TraceEvent. It runs

@@ -27,6 +27,11 @@ type Options struct {
 	// MaxRetries bounds retransmissions per cell (≤ 0 means the default
 	// of 4; use the Link type directly for a no-retry protocol).
 	MaxRetries int
+	// Observer, when non-nil, is installed on the switch under test so
+	// the run's wave, drop, ECC and bypass activity lands in its metrics
+	// registry and event tracer; the input links mirror their CRC
+	// retransmissions and failures into it as well.
+	Observer *core.Observer
 }
 
 // Report is the outcome of a fault-injection run.
@@ -96,11 +101,17 @@ func Run(o Options) (*Report, error) {
 	if retries <= 0 {
 		retries = 4
 	}
+	if o.Observer != nil {
+		s.SetObserver(o.Observer)
+	}
 	var links []*Link
 	if o.LinkProtect {
 		links = make([]*Link, n)
 		for i := range links {
 			links[i] = NewLink(k, cfg.WordBits, retries)
+			if o.Observer != nil {
+				links[i].Observe(o.Observer.LinkRetransmits, o.Observer.LinkFailed, o.Observer.Tracer, i)
+			}
 		}
 		target.Links = links
 	}

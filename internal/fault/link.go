@@ -2,6 +2,7 @@ package fault
 
 import (
 	"pipemem/internal/cell"
+	"pipemem/internal/obs"
 )
 
 // Link models a CRC-protected input link in front of the switch: the third
@@ -34,6 +35,23 @@ type Link struct {
 	// cells abandoned after exhausting MaxRetries; Delivered counts cells
 	// handed to the switch.
 	Retransmits, Failed, Delivered int64
+
+	// Observability (Observe): mirrored registry counters and the typed
+	// event trace, all nil-safe and nil by default.
+	obsRetransmits *obs.Counter
+	obsFailed      *obs.Counter
+	tracer         *obs.Tracer
+	input          int32
+}
+
+// Observe mirrors the link's protocol activity into registry counters and
+// emits EvCRCRetransmit events on tracer (any argument may be nil).
+// input labels the events with the link's input index.
+func (l *Link) Observe(retransmits, failed *obs.Counter, tracer *obs.Tracer, input int) {
+	l.obsRetransmits = retransmits
+	l.obsFailed = failed
+	l.tracer = tracer
+	l.input = int32(input)
 }
 
 // NewLink returns an idle link carrying cells of cellWords words of
@@ -111,9 +129,13 @@ func (l *Link) Tick(cycle int64) *cell.Cell {
 	if l.attempts > l.maxRetries {
 		l.sending = nil
 		l.Failed++
+		l.obsFailed.Inc()
 		return nil
 	}
 	l.Retransmits++
+	l.obsRetransmits.Inc()
+	l.tracer.Emit(obs.Event{Kind: obs.EvCRCRetransmit, Cycle: cycle,
+		In: l.input, Out: -1, Addr: -1, V: int64(l.attempts)})
 	backoff := int64(1) << uint(l.attempts)
 	l.beginAttempt(cycle + 1 + backoff)
 	return nil

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Profiling hooks for the long-running commands: an opt-in debug HTTP
+// server carrying net/http/pprof plus the registry's exporters, and
+// periodic runtime (heap/GC/goroutine) gauges.
+
+// RuntimeGauges publishes process-level runtime health: heap usage, GC
+// activity, and goroutine count. Collect samples the runtime into the
+// gauges; Start does so periodically on a background goroutine.
+type RuntimeGauges struct {
+	HeapAlloc   *Gauge // bytes of live heap
+	HeapObjects *Gauge // live heap objects
+	TotalAlloc  *Gauge // cumulative allocated bytes
+	NumGC       *Gauge // completed GC cycles
+	PauseNs     *Gauge // cumulative GC pause nanoseconds
+	Goroutines  *Gauge // current goroutine count
+}
+
+// NewRuntimeGauges registers the runtime gauges on reg and samples them
+// once so the first scrape is populated.
+func NewRuntimeGauges(reg *Registry) *RuntimeGauges {
+	g := &RuntimeGauges{
+		HeapAlloc:   reg.Gauge("pipemem_runtime_heap_alloc_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc)."),
+		HeapObjects: reg.Gauge("pipemem_runtime_heap_objects", "Live heap objects."),
+		TotalAlloc:  reg.Gauge("pipemem_runtime_total_alloc_bytes", "Cumulative bytes allocated."),
+		NumGC:       reg.Gauge("pipemem_runtime_gc_cycles", "Completed GC cycles."),
+		PauseNs:     reg.Gauge("pipemem_runtime_gc_pause_ns", "Cumulative GC stop-the-world pause (ns)."),
+		Goroutines:  reg.Gauge("pipemem_runtime_goroutines", "Current goroutine count."),
+	}
+	g.Collect()
+	return g
+}
+
+// Collect samples the runtime into the gauges. ReadMemStats stops the
+// world briefly; call it at a bounded cadence, not per cycle.
+func (g *RuntimeGauges) Collect() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	g.HeapAlloc.Set(int64(m.HeapAlloc))
+	g.HeapObjects.Set(int64(m.HeapObjects))
+	g.TotalAlloc.Set(int64(m.TotalAlloc))
+	g.NumGC.Set(int64(m.NumGC))
+	g.PauseNs.Set(int64(m.PauseTotalNs))
+	g.Goroutines.Set(int64(runtime.NumGoroutine()))
+}
+
+// Start collects every interval (≤ 0 means 1s) on a background goroutine
+// until the returned stop function is called.
+func (g *RuntimeGauges) Start(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				g.Collect()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var closed bool
+	return func() {
+		if !closed {
+			closed = true
+			close(done)
+		}
+	}
+}
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics       — Prometheus text exposition
+//	/metrics.json  — JSON snapshot
+//	/debug/pprof/  — net/http/pprof profiles
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug server on addr (e.g. "localhost:6060") with
+// the registry's exporters, pprof, and periodic runtime gauges. It
+// returns the bound address and a stop function. The server runs until
+// stopped; failures after startup are silent (it is a diagnostic
+// surface, not a data path).
+func ServeDebug(addr string, reg *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	rg := NewRuntimeGauges(reg)
+	stopGauges := rg.Start(time.Second)
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() {
+		stopGauges()
+		_ = srv.Close()
+	}
+	return ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exporters: the Prometheus text exposition format and a JSON snapshot.
+// Both walk the registry in sorted-name order, so successive exports of
+// the same registry diff cleanly and golden tests are stable.
+
+// escapeHelp escapes a HELP string per the Prometheus text format
+// (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, gauge vectors as one sample per indexed label, histograms as
+// cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value())
+		case kindGaugeVec:
+			if _, err = fmt.Fprintf(w, "# TYPE %s gauge\n", m.name); err != nil {
+				return err
+			}
+			for i := range m.vec.slots {
+				if _, err = fmt.Fprintf(w, "%s{%s=\"%d\"} %d\n",
+					m.name, escapeLabel(m.vec.label), i, m.vec.slots[i].Value()); err != nil {
+					return err
+				}
+			}
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+				return err
+			}
+			s := m.hist.Snapshot()
+			for _, b := range s.Buckets {
+				le := "+Inf"
+				if !b.Inf {
+					le = fmt.Sprintf("%d", b.Le)
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", m.name, le, b.N); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", m.name, s.Sum, m.name, s.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot is a point-in-time copy of every registered metric; the JSON
+// snapshot API marshals it. Map keys sort deterministically under
+// encoding/json, so snapshots are diff- and golden-stable.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	GaugeVecs  map[string][]int64      `json:"gauge_vecs,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			if s.Counters == nil {
+				s.Counters = map[string]int64{}
+			}
+			s.Counters[m.name] = m.counter.Value()
+		case kindGauge:
+			if s.Gauges == nil {
+				s.Gauges = map[string]int64{}
+			}
+			s.Gauges[m.name] = m.gauge.Value()
+		case kindGaugeVec:
+			if s.GaugeVecs == nil {
+				s.GaugeVecs = map[string][]int64{}
+			}
+			vals := make([]int64, len(m.vec.slots))
+			for i := range m.vec.slots {
+				vals[i] = m.vec.slots[i].Value()
+			}
+			s.GaugeVecs[m.name] = vals
+		case kindHistogram:
+			if s.Histograms == nil {
+				s.Histograms = map[string]HistSnapshot{}
+			}
+			s.Histograms[m.name] = m.hist.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON — the facade's JSON
+// snapshot API.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

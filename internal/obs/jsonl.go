@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// JSONLSink encodes events as one JSON object per line (JSON Lines) on a
+// buffered writer. Encoding is hand-rolled into a reused byte buffer —
+// no reflection, no per-event allocation once the buffer has grown to
+// line size — because tracing at sampling 1 fires on every wave of a
+// multi-million-cycle run.
+//
+// Record lines come in two shapes, discriminated by the first key:
+//
+//	{"ev":"cut-through","cycle":12,"in":1,"out":3,"addr":7}
+//	{"cycle":12,"ctrl":[...],...}   — a raw record (Record), e.g. the
+//	                                  fig. 5 per-cycle TraceEvent
+//
+// so a single stream can carry both the typed event taxonomy and richer
+// per-cycle records.
+type JSONLSink struct {
+	w   *bufio.Writer
+	c   io.Closer
+	buf []byte
+	err error
+	// Lines counts records written (events + raw records).
+	lines int64
+}
+
+// NewJSONLSink wraps w. If w is also an io.Closer, Close closes it after
+// flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// JSONAppender is a record that can append its compact JSON encoding to a
+// buffer — the allocation-conscious analogue of json.Marshaler used for
+// raw records (core.TraceEvent implements it).
+type JSONAppender interface {
+	AppendJSON(buf []byte) []byte
+}
+
+// Event writes one typed event line.
+func (s *JSONLSink) Event(e Event) {
+	if s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, `{"ev":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","cycle":`...)
+	b = strconv.AppendInt(b, e.Cycle, 10)
+	if e.In >= 0 {
+		b = append(b, `,"in":`...)
+		b = strconv.AppendInt(b, int64(e.In), 10)
+	}
+	if e.Out >= 0 {
+		b = append(b, `,"out":`...)
+		b = strconv.AppendInt(b, int64(e.Out), 10)
+	}
+	if e.Addr >= 0 {
+		b = append(b, `,"addr":`...)
+		b = strconv.AppendInt(b, int64(e.Addr), 10)
+	}
+	switch e.Kind {
+	case EvWaveEnd:
+		b = append(b, `,"latency":`...)
+		b = strconv.AppendInt(b, e.V, 10)
+	case EvStall:
+		b = append(b, `,"pending":`...)
+		b = strconv.AppendInt(b, e.V, 10)
+	case EvCRCRetransmit:
+		b = append(b, `,"attempt":`...)
+		b = strconv.AppendInt(b, e.V, 10)
+	default:
+		if e.V != 0 {
+			b = append(b, `,"v":`...)
+			b = strconv.AppendInt(b, e.V, 10)
+		}
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	s.write(b)
+}
+
+// Record writes one raw record line via the record's own appender — the
+// path the fig. 5 per-cycle TraceEvent takes, so the control trace and
+// the typed events share one machine-readable stream.
+func (s *JSONLSink) Record(v JSONAppender) {
+	if s.err != nil {
+		return
+	}
+	b := v.AppendJSON(s.buf[:0])
+	b = append(b, '\n')
+	s.buf = b
+	s.write(b)
+}
+
+func (s *JSONLSink) write(b []byte) {
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	s.lines++
+}
+
+// Lines returns the number of records written so far.
+func (s *JSONLSink) Lines() int64 { return s.lines }
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// Close flushes the buffer and closes the underlying writer when it is a
+// Closer. The first write error (if any) is returned.
+func (s *JSONLSink) Close() error {
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}

@@ -41,11 +41,13 @@ import (
 	"pipemem/internal/analytic"
 	"pipemem/internal/arb"
 	"pipemem/internal/area"
+	"pipemem/internal/bench"
 	"pipemem/internal/cell"
 	"pipemem/internal/clos"
 	"pipemem/internal/core"
 	"pipemem/internal/fabric"
 	"pipemem/internal/fault"
+	"pipemem/internal/obs"
 	"pipemem/internal/prizma"
 	"pipemem/internal/sar"
 	"pipemem/internal/sim"
@@ -131,6 +133,101 @@ func RunTraffic(s *Switch, cs *CellStream, cycles int64) (RunResult, error) {
 func RunDualTraffic(d *DualSwitch, cs *CellStream, cycles int64) (RunResult, error) {
 	return core.RunDualTraffic(d, cs, cycles)
 }
+
+// ---- Observability (metrics registry, event tracing, profiling) ----
+
+// MetricsRegistry is the allocation-free metrics registry: metrics are
+// pre-registered at setup time and updated through live pointers (atomic
+// counters/gauges/histograms, no map lookup on the hot path). Export with
+// WritePrometheus (text exposition), WriteJSON / Snapshot (JSON API), or
+// serve both with ServeDebug.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Metric primitives; see obs.Counter, obs.Gauge, obs.Histogram.
+type (
+	MetricCounter   = obs.Counter
+	MetricGauge     = obs.Gauge
+	MetricGaugeVec  = obs.GaugeVec
+	MetricHistogram = obs.Histogram
+)
+
+// Observer bundles the switch's pre-registered metric slots (wave
+// initiations, cut-throughs, stalls, queue depths, buffer high-water
+// mark, drops, ECC/bypass activity, latency histograms) and an optional
+// event tracer. Install with Switch.SetObserver.
+type Observer = core.Observer
+
+// NewObserver registers the switch's canonical pipemem_* metrics for an
+// n-port switch and returns the observer.
+func NewObserver(reg *MetricsRegistry, ports int) *Observer {
+	return core.NewObserver(reg, ports)
+}
+
+// EventTracer samples typed trace events into a bounded ring and forwards
+// them to a sink.
+type EventTracer = obs.Tracer
+
+// NewEventTracer builds a tracer forwarding to sink (nil = ring only)
+// with the given ring capacity (≤ 0 means 1024), keeping 1 in
+// sampleEvery events (≤ 1 keeps all).
+func NewEventTracer(sink TraceSink, ringCap, sampleEvery int) *EventTracer {
+	return obs.NewTracer(sink, ringCap, sampleEvery)
+}
+
+// ObsEvent is one typed trace event; TraceSink consumes them.
+type (
+	ObsEvent     = obs.Event
+	ObsEventKind = obs.EventKind
+	TraceSink    = obs.Sink
+)
+
+// The event taxonomy.
+const (
+	EvWriteWave     = obs.EvWriteWave
+	EvReadWave      = obs.EvReadWave
+	EvCutThrough    = obs.EvCutThrough
+	EvWaveEnd       = obs.EvWaveEnd
+	EvStall         = obs.EvStall
+	EvBypass        = obs.EvBypass
+	EvCRCRetransmit = obs.EvCRCRetransmit
+)
+
+// JSONLSink encodes events (and raw records such as TraceEvent) as one
+// JSON object per line; MemSink buffers events in memory for tests.
+type (
+	JSONLSink = obs.JSONLSink
+	MemSink   = obs.MemSink
+)
+
+// NewJSONLSink wraps w in a buffered JSONL encoder.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// JSONTracer returns a Switch.SetTracer callback that routes the fig. 5
+// per-cycle TraceEvent stream through a JSONL sink as machine-readable
+// records.
+func JSONTracer(sink *JSONLSink) func(TraceEvent) { return core.JSONTracer(sink) }
+
+// RuntimeGauges publishes heap/GC/goroutine gauges; Collect (or Start)
+// samples the Go runtime into them.
+type RuntimeGauges = obs.RuntimeGauges
+
+// NewRuntimeGauges registers the runtime gauges on reg.
+func NewRuntimeGauges(reg *MetricsRegistry) *RuntimeGauges { return obs.NewRuntimeGauges(reg) }
+
+// ServeDebug starts the opt-in debug HTTP server on addr: /metrics
+// (Prometheus text), /metrics.json (JSON snapshot), /debug/pprof/
+// (net/http/pprof), plus periodic runtime gauges. It returns the bound
+// address and a stop function.
+func ServeDebug(addr string, reg *MetricsRegistry) (string, func(), error) {
+	return obs.ServeDebug(addr, reg)
+}
+
+// RegisterBenchMetrics registers and activates the sweep engine's
+// progress and overflow counters (pipemem_bench_*).
+func RegisterBenchMetrics(reg *MetricsRegistry) { bench.RegisterMetrics(reg) }
 
 // ---- Fault tolerance and fault injection ----
 
