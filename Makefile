@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz check bench bench-check obs-overhead
+.PHONY: build vet test race fuzz check vulncheck bench bench-check obs-overhead
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the parsers (plan grammar, core config fuzzers).
+# Short fuzz pass over the parsers (plan grammar, buffer-policy specs,
+# end-to-end policy conservation).
 fuzz:
 	$(GO) test ./internal/fault -run FuzzFaultPlanParse -fuzz FuzzFaultPlanParse -fuzztime 30s
+	$(GO) test ./internal/bufmgr -run FuzzParseSpec -fuzz FuzzParseSpec -fuzztime 30s
+	$(GO) test ./internal/core -run FuzzPolicyConservation -fuzz FuzzPolicyConservation -fuzztime 30s
+
+# Known-vulnerability scan. Offline dev boxes may not have the tool (it
+# needs network access to fetch the vuln DB anyway), so skip gracefully
+# there; CI installs it and runs this unconditionally.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping (CI runs it)"; \
+	fi
 
 # The gate every change must pass; referenced from README.md.
-check: vet build race
+check: vet build race vulncheck
 
 # Microbenchmark smoke: every benchmark (Tick hot path, experiment
 # shapes) a fixed number of iterations, with allocation counts.

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"pipemem/internal/area"
+	"pipemem/internal/cli"
 	"pipemem/internal/obs"
 )
 
@@ -26,6 +27,10 @@ func main() {
 		hShare = flag.Int("hshared", 86, "fig. 9: total shared-buffer cells")
 		pprofA = flag.String("pprof", "", "serve runtime metrics and /debug/pprof on this address while running")
 	)
+	// Area models are simulation-free, so the policy cannot change any
+	// number here; the shared flag still validates the spec, keeping
+	// "pmarea -bufpolicy X && pmrtl -bufpolicy X" consistent.
+	cli.BufPolicyFlag(nil)
 	flag.Parse()
 
 	if *pprofA != "" {

@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"pipemem/internal/bench"
+	"pipemem/internal/cli"
 	"pipemem/internal/core"
 	"pipemem/internal/obs"
 	"pipemem/internal/traffic"
@@ -72,7 +73,15 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print a Prometheus-style snapshot of the sweep-engine metrics after the run")
 		pprofA   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address while running")
 	)
+	bufpol := cli.BufPolicyFlag(nil)
 	flag.Parse()
+	// The regression points are named shapes with frozen baselines; a
+	// policy would change what "tick-steady-8x8" measures, so the flag is
+	// sweep-only.
+	if bufpol.Got() && !*sweep {
+		fmt.Fprintln(os.Stderr, "pmbench: -bufpolicy only applies to -sweep (the regression points are fixed shapes)")
+		os.Exit(2)
+	}
 
 	var reg *obs.Registry
 	if *metrics || *pprofA != "" {
@@ -93,7 +102,7 @@ func main() {
 	}
 
 	if *sweep {
-		if err := runSweep(*workers, *cycles); err != nil {
+		if err := runSweep(*workers, *cycles, bufpol.Spec()); err != nil {
 			fmt.Fprintln(os.Stderr, "pmbench:", err)
 			os.Exit(1)
 		}
@@ -161,15 +170,21 @@ func main() {
 }
 
 // runSweep exercises the parallel sweep engine: an 8×8 switch across a
-// load sweep, every point on its own worker.
-func runSweep(workers int, cycles int64) error {
+// load sweep, every point on its own worker, optionally under a
+// shared-buffer admission policy.
+func runSweep(workers int, cycles int64, policy string) error {
 	var pts []bench.Point
 	for _, load := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0} {
+		label := fmt.Sprintf("8x8 bernoulli load=%.2f", load)
+		if policy != "" {
+			label += " " + policy
+		}
 		pts = append(pts, bench.Point{
-			Label:   fmt.Sprintf("8x8 bernoulli load=%.2f", load),
+			Label:   label,
 			Config:  core.Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
 			Traffic: traffic.Config{Kind: traffic.Bernoulli, N: 8, Load: load, Seed: 7},
 			Cycles:  cycles,
+			Policy:  policy,
 		})
 	}
 	results, err := bench.Sweep(workers, pts)

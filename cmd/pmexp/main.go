@@ -9,6 +9,7 @@
 //	pmexp -ext                 # also the X1–X3 extension experiments
 //	pmexp -only E5,E9          # a subset
 //	pmexp -list                # list all experiments
+//	pmexp -bufpolicy dt:alpha=2  # X5 buffer-policy matrix, one policy
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"pipemem"
+	"pipemem/internal/cli"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 	ext := flag.Bool("ext", false, "also run the X1–X3 extension experiments (beyond the paper)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	pprofA := flag.String("pprof", "", "serve runtime metrics and /debug/pprof on this address while running")
+	bufpol := cli.BufPolicyFlag(nil)
 	flag.Parse()
 
 	// Full-scale experiment batches run for minutes; the debug server lets
@@ -56,6 +59,11 @@ func main() {
 	exps := pipemem.Experiments()
 	if *ext || len(want) > 0 || *list {
 		exps = append(exps, pipemem.ExtensionExperiments()...)
+	}
+	// -bufpolicy restricts the run to the buffer-management experiment,
+	// measuring just that policy across the X5 traffic matrix.
+	if bufpol.Got() {
+		exps = []pipemem.Experiment{pipemem.BufferPolicyExperiment(bufpol.Spec())}
 	}
 	if *list {
 		for _, e := range exps {

@@ -8,6 +8,7 @@
 //	pmrtl -n 2 -cells 8 -load 0.6 -cycles 40 -trace    # fig. 5 view
 //	pmrtl -dual -n 8 -perm                             # §3.5 half quantum
 //	pmrtl -model t3                                    # Telegraphos III
+//	pmrtl -bufpolicy dt:alpha=2 -load 0.9              # dynamic-threshold admission
 //
 // Observability (pipelined organization only): -metrics prints a
 // Prometheus-style snapshot after the result, -tracejson FILE writes the
@@ -24,6 +25,7 @@ import (
 	"os"
 
 	"pipemem"
+	"pipemem/internal/cli"
 )
 
 func main() {
@@ -50,11 +52,16 @@ func main() {
 		traceSample = flag.Int("trace-sample", 1, "keep 1 in N typed trace events")
 		pprofAddr   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address while running")
 	)
+	bufpol := cli.BufPolicyFlag(nil)
 	flag.Parse()
 
 	observe := *metrics || *metricsJSON || *traceJSON != "" || *pprofAddr != ""
 	if observe && (*dual || *org != "pipelined") {
 		fmt.Fprintln(os.Stderr, "pmrtl: -metrics/-tracejson/-pprof require the pipelined organization")
+		os.Exit(2)
+	}
+	if bufpol.Got() && (*dual || *org != "pipelined") {
+		fmt.Fprintln(os.Stderr, "pmrtl: -bufpolicy requires the pipelined organization")
 		os.Exit(2)
 	}
 
@@ -149,6 +156,9 @@ func main() {
 	sw, err := pipemem.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if bufpol.Got() {
+		sw.SetBufferPolicy(bufpol.Policy())
 	}
 	var (
 		reg    *pipemem.MetricsRegistry

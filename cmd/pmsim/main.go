@@ -45,6 +45,7 @@ import (
 	"os"
 
 	"pipemem"
+	"pipemem/internal/cli"
 )
 
 func main() {
@@ -78,6 +79,7 @@ func main() {
 		traceSample = flag.Int("trace-sample", 1, "keep 1 in N trace events (bounds trace overhead)")
 		pprofAddr   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address while running")
 	)
+	bufpol := cli.BufPolicyFlag(nil)
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *slots / 10
@@ -99,7 +101,7 @@ func main() {
 			n: *n, buf: *buf, load: *load, cycles: *slots, seed: *seed,
 			ecc: *ecc || *bypass > 0, bypass: *bypass,
 			linkprotect: *linkprot, retries: *retries, events: *events,
-			obs: ob,
+			obs: ob, policy: bufpol.Policy(),
 		})
 		return
 	}
@@ -109,8 +111,15 @@ func main() {
 	// slot-level §2 simulators).
 	if observe || *arch == "rtl" {
 		runObserved(ob, rtlOpts{n: *n, buf: *buf, load: *load, cycles: *slots,
-			seed: *seed, saturate: *saturate, bursty: *bursty, hotFrac: *hotFrac})
+			seed: *seed, saturate: *saturate, bursty: *bursty, hotFrac: *hotFrac,
+			policy: bufpol.Policy()})
 		return
+	}
+	// The §2 slot-level simulators have no shared-buffer admission hook;
+	// refuse the flag rather than silently ignoring it.
+	if bufpol.Got() {
+		fmt.Fprintln(os.Stderr, "pmsim: -bufpolicy applies to the RTL model only (-arch rtl, -faultplan, -metrics or -trace)")
+		os.Exit(2)
 	}
 
 	build := func() pipemem.Arch {
@@ -237,6 +246,7 @@ type rtlOpts struct {
 	saturate bool
 	bursty   float64
 	hotFrac  float64
+	policy   pipemem.BufferPolicy
 }
 
 // runObserved drives the cycle-accurate pipelined switch, with the
@@ -251,6 +261,9 @@ func runObserved(ob *observed, o rtlOpts) {
 	}
 	if ob != nil {
 		sw.SetObserver(ob.observer)
+	}
+	if o.policy != nil {
+		sw.SetBufferPolicy(o.policy)
 	}
 	tcfg := pipemem.TrafficConfig{Kind: pipemem.Bernoulli, N: o.n, Load: o.load, Seed: o.seed}
 	switch {
@@ -285,6 +298,7 @@ type faultOpts struct {
 	retries     int
 	events      int
 	obs         *observed
+	policy      pipemem.BufferPolicy
 }
 
 // runFaultPlan drives the cycle-accurate switch under a fault schedule and
@@ -312,6 +326,7 @@ func runFaultPlan(src string, o faultOpts) {
 		LinkProtect: o.linkprotect,
 		MaxRetries:  o.retries,
 		Observer:    observer,
+		Policy:      o.policy,
 	})
 	if rep != nil {
 		fmt.Println(rep)

@@ -1,15 +1,16 @@
 package pipemem
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
 
-// TestExtensionIndex: X1–X3 are present and well-formed.
+// TestExtensionIndex: the extension experiments are present and well-formed.
 func TestExtensionIndex(t *testing.T) {
 	exts := ExtensionExperiments()
-	if len(exts) != 4 {
-		t.Fatalf("%d extension experiments, want 4", len(exts))
+	if len(exts) != 5 {
+		t.Fatalf("%d extension experiments, want 5", len(exts))
 	}
 	for i, e := range exts {
 		want := "X" + string(rune('1'+i))
@@ -25,7 +26,7 @@ func TestExtensionIndex(t *testing.T) {
 // TestX1X2Pass: the cheap extension experiments pass at Quick scale.
 func TestX1X2Pass(t *testing.T) {
 	for _, e := range ExtensionExperiments() {
-		if e.ID == "X3" || e.ID == "X4" {
+		if e.ID == "X3" || e.ID == "X4" || e.ID == "X5" {
 			continue // simulation-heavy; covered by the dedicated tests
 		}
 		res, err := e.Run(Quick)
@@ -63,6 +64,63 @@ func TestX4Pass(t *testing.T) {
 	}
 	if !res.Pass() {
 		t.Errorf("X4 failed:\n%s", res)
+	}
+}
+
+// TestX5Pass runs the buffer-policy matrix — this is the PR's acceptance
+// criterion: under hotspot overload the dynamic threshold must lose
+// strictly fewer cold-port cells than both static partitioning and
+// complete sharing. Skipped with -short.
+func TestX5Pass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; run without -short")
+	}
+	res, err := X5BufferPolicies(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass() {
+		t.Errorf("X5 failed:\n%s", res)
+	}
+}
+
+// TestFacadeBufferPolicy exercises the policy surface through the public
+// API: parse a spec, install it, run traffic, and see the policy's drops
+// in the breakdown; the constructors must parse-round-trip.
+func TestFacadeBufferPolicy(t *testing.T) {
+	p, err := ParseBufferPolicy("dt:alpha=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(Config{Ports: 4, WordBits: 16, Cells: 16, CutThrough: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.SetBufferPolicy(p)
+	cs, err := NewCellStream(TrafficConfig{Kind: Hotspot, N: 4, Load: 0.9, HotFrac: 0.7, Seed: 33}, sw.Config().Stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTraffic(sw, cs, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DropPolicy == 0 {
+		t.Error("dynamic threshold never refused an arrival under hotspot overload")
+	}
+	if _, err := ParseBufferPolicy("bogus"); !errors.Is(err, ErrBadPolicy) {
+		t.Errorf("bad spec error %v does not wrap ErrBadPolicy", err)
+	}
+	for _, p := range []BufferPolicy{
+		NewCompleteSharing(), NewStaticPartition(4), NewDynamicThreshold(2),
+		NewDelayDriven(128), NewPushOut(),
+	} {
+		back, err := ParseBufferPolicy(p.Name())
+		if err != nil {
+			t.Errorf("constructor policy %q does not re-parse: %v", p.Name(), err)
+		} else if back != p {
+			t.Errorf("round trip changed %q to %#v", p.Name(), back)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"pipemem/internal/bufmgr"
 	"pipemem/internal/core"
 	"pipemem/internal/traffic"
 )
@@ -21,6 +22,12 @@ type Point struct {
 	// Traffic drives the switch for Cycles cycles (plus the drain tail).
 	Traffic traffic.Config
 	Cycles  int64
+	// Policy optionally names a shared-buffer admission policy (a
+	// bufmgr.Parse spec such as "dt:alpha=2"). Empty keeps the default
+	// complete-sharing-by-backpressure behavior. Policies are a
+	// full-quantum switch feature; combining Policy with Dual is an
+	// error.
+	Policy string
 }
 
 // Result pairs a point with its run summary.
@@ -33,6 +40,9 @@ type Result struct {
 func RunPoint(p Point) (Result, error) {
 	stages := func(cfg core.Config) int { return cfg.Canonical().Stages }
 	if p.Dual {
+		if p.Policy != "" {
+			return Result{}, fmt.Errorf("%s: buffer policy %q not supported by the dual organization", p.Label, p.Policy)
+		}
 		d, err := core.NewDual(p.Config)
 		if err != nil {
 			return Result{}, fmt.Errorf("%s: %w", p.Label, err)
@@ -51,6 +61,13 @@ func RunPoint(p Point) (Result, error) {
 	s, err := core.New(p.Config)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	if p.Policy != "" {
+		pol, err := bufmgr.Parse(p.Policy)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %w", p.Label, err)
+		}
+		s.SetBufferPolicy(pol)
 	}
 	cs, err := traffic.NewCellStream(p.Traffic, stages(p.Config))
 	if err != nil {

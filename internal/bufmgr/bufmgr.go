@@ -1,0 +1,263 @@
+// Package bufmgr implements shared-buffer management: pluggable admission
+// policies that decide, cell by cell, whether the pipelined memory accepts
+// an arrival, drops it, or preempts (pushes out) a buffered cell to make
+// room.
+//
+// The paper's premise (§2) is that one shared buffer outperforms the same
+// capacity partitioned per port — but naive complete sharing lets a single
+// congested output monopolize the whole memory and starve every other
+// port. Buffer-management policies restore isolation while keeping the
+// statistical-sharing win. The package ships the classic spectrum:
+//
+//   - CompleteSharing — the paper's implicit policy: admit while a free
+//     address exists, backpressure otherwise.
+//   - StaticPartition — per-output quota; the partitioned organization the
+//     paper argues against, included as the comparison baseline.
+//   - DynamicThreshold — Choudhury–Hahne T = α·free, the datacenter
+//     classic: a queue may grow only to a multiple of the remaining free
+//     space, so headroom for other outputs is preserved automatically.
+//   - DelayDriven — thresholds expressed in queueing delay rather than
+//     cells (in the spirit of BShare, arXiv:2605.24178), natural for a
+//     switch whose service time per cell is the k-cycle wave.
+//   - PushOutLQF — admit by preempting the head of the longest queue when
+//     the buffer is full (in the spirit of Occamy, arXiv:2501.13570);
+//     loss is shifted onto the queue that hoards the most.
+//
+// Policies are consulted by core.Switch at write-wave admission with a
+// read-only State view of occupancy; they must not retain the State past
+// the call, must be deterministic, and must not allocate (the switch's
+// Tick is pinned at 0 allocs/op).
+package bufmgr
+
+import "fmt"
+
+// Action is the kind of admission verdict a policy returns.
+type Action uint8
+
+const (
+	// Accept admits the arrival if a free address exists; when the buffer
+	// is full the arrival stays pending and retries (backpressure), which
+	// is the switch's historical behavior.
+	Accept Action = iota
+	// Drop refuses the arrival immediately; the cell is counted as a
+	// policy drop and the input register row is released.
+	Drop
+	// PushOut admits the arrival by first evicting the head cell of the
+	// victim queue named in the Verdict, freeing its address.
+	PushOut
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Accept:
+		return "accept"
+	case Drop:
+		return "drop"
+	case PushOut:
+		return "push-out"
+	}
+	return fmt.Sprintf("Action(%d)", uint8(a))
+}
+
+// Verdict is a policy's admission decision for one arrival. VictimOut and
+// VictimVC are meaningful only when Action is PushOut and name the queue
+// whose head is evicted to make room.
+type Verdict struct {
+	Action    Action
+	VictimOut int
+	VictimVC  int
+}
+
+// State is the read-only occupancy view a policy consults. It is
+// implemented by core.Switch; all methods are O(1). Policies must not
+// retain the State past the Admit call.
+type State interface {
+	// Capacity is the total number of cell addresses in the shared buffer.
+	Capacity() int
+	// Free is the number of unallocated addresses right now.
+	Free() int
+	// Queued is the number of cells buffered for the given output across
+	// all its virtual channels.
+	Queued(out int) int
+	// QueuedVC is the number of cells buffered for (out, vc).
+	QueuedVC(out, vc int) int
+	// Ports and VCs give the switch geometry (n outputs, VCs per output).
+	Ports() int
+	VCs() int
+	// CellCycles is the cycles one wave needs to stream a cell through
+	// the pipelined memory (k = 2n) — the per-cell service time an output
+	// link imposes, used by delay-based policies.
+	CellCycles() int
+	// Cycle is the current clock cycle.
+	Cycle() int64
+}
+
+// Policy decides admission into the shared buffer. Admit is called once
+// per arrival when the cell at an input register head requests its write
+// wave, before a free address is claimed; out and vc are the arrival's
+// destination queue. Implementations must be deterministic, allocation-
+// free, and safe to reuse across runs (they may not keep per-run state).
+type Policy interface {
+	// Name returns the canonical spec of the policy, parseable by Parse.
+	Name() string
+	// Admit returns the verdict for one arrival destined to (out, vc).
+	Admit(st State, out, vc int) Verdict
+}
+
+// CompleteSharing is the paper's implicit policy and the switch's default:
+// every arrival is accepted, and when no free address exists the arrival
+// simply waits (backpressure). It never drops and never preempts — one
+// hot output can fill the entire buffer.
+type CompleteSharing struct{}
+
+// Name implements Policy.
+func (CompleteSharing) Name() string { return "share" }
+
+// Admit implements Policy.
+func (CompleteSharing) Admit(State, int, int) Verdict { return Verdict{Action: Accept} }
+
+// StaticPartition reserves a fixed per-output quota of the shared buffer:
+// an arrival is dropped once its output already holds Quota cells. With
+// Quota = Capacity/Ports this is exactly the partitioned organization the
+// paper argues against (§2) — no output can borrow another's share.
+type StaticPartition struct {
+	// Quota is the per-output cell limit. Zero means Capacity/Ports
+	// (minimum 1), resolved against the live State.
+	Quota int
+}
+
+// Name implements Policy.
+func (p StaticPartition) Name() string {
+	if p.Quota == 0 {
+		return "static"
+	}
+	return fmt.Sprintf("static:quota=%d", p.Quota)
+}
+
+// Admit implements Policy.
+func (p StaticPartition) Admit(st State, out, _ int) Verdict {
+	q := p.Quota
+	if q == 0 {
+		if q = st.Capacity() / st.Ports(); q < 1 {
+			q = 1
+		}
+	}
+	if st.Queued(out) >= q {
+		return Verdict{Action: Drop}
+	}
+	return Verdict{Action: Accept}
+}
+
+// DynamicThreshold is the Choudhury–Hahne policy: an arrival for output j
+// is dropped when the output's queue has reached T = α·free, where free
+// is the unallocated buffer space at that instant. Queues may grow large
+// while the buffer is empty, but as it fills the threshold falls, always
+// keeping a fraction of the memory free for other outputs — self-tuning
+// isolation with one parameter.
+type DynamicThreshold struct {
+	// Alpha is the threshold multiplier α (> 0). Zero means 1.0. Larger α
+	// shares more aggressively; α→∞ degenerates to complete sharing.
+	Alpha float64
+}
+
+// Name implements Policy.
+func (p DynamicThreshold) Name() string {
+	if p.Alpha == 0 {
+		return "dt"
+	}
+	return fmt.Sprintf("dt:alpha=%g", p.Alpha)
+}
+
+// Admit implements Policy.
+func (p DynamicThreshold) Admit(st State, out, _ int) Verdict {
+	a := p.Alpha
+	if a == 0 {
+		a = 1
+	}
+	if float64(st.Queued(out)) >= a*float64(st.Free()) {
+		return Verdict{Action: Drop}
+	}
+	return Verdict{Action: Accept}
+}
+
+// DelayDriven expresses the admission threshold in queueing delay rather
+// than cells (in the spirit of BShare): an arrival is dropped when the
+// delay it would experience — (queued+1) cells at k cycles each, the
+// output link's per-cell service time — exceeds the share of the delay
+// budget proportional to the free space. Congested outputs are cut back
+// exactly when the buffer is scarce, like DynamicThreshold, but the knob
+// is a latency target, which is what a tenant actually experiences.
+type DelayDriven struct {
+	// Target is the delay budget in cycles an arrival may face when the
+	// buffer is otherwise empty. Zero means CellCycles·Capacity (the full
+	// buffer streamed through one output), resolved against the State.
+	Target int64
+}
+
+// Name implements Policy.
+func (p DelayDriven) Name() string {
+	if p.Target == 0 {
+		return "dd"
+	}
+	return fmt.Sprintf("dd:target=%d", p.Target)
+}
+
+// Admit implements Policy.
+func (p DelayDriven) Admit(st State, out, _ int) Verdict {
+	k := int64(st.CellCycles())
+	target := p.Target
+	if target == 0 {
+		target = k * int64(st.Capacity())
+	}
+	est := int64(st.Queued(out)+1) * k
+	// Scale the budget by the free fraction: full budget with an empty
+	// buffer, shrinking linearly as the memory fills.
+	thr := target * int64(st.Free()) / int64(st.Capacity())
+	if est > thr {
+		return Verdict{Action: Drop}
+	}
+	return Verdict{Action: Accept}
+}
+
+// PushOutLQF admits every arrival while free space exists; when the
+// buffer is full it preempts the head cell of the longest output queue
+// (longest-queue-first, in the spirit of Occamy's push-out) — provided
+// that queue is strictly longer than the arrival's own queue would
+// become. Loss lands on the output hoarding the most buffer, and a full
+// memory never blocks a short queue.
+type PushOutLQF struct{}
+
+// Name implements Policy.
+func (PushOutLQF) Name() string { return "pushout" }
+
+// Admit implements Policy.
+func (PushOutLQF) Admit(st State, out, _ int) Verdict {
+	if st.Free() > 0 {
+		return Verdict{Action: Accept}
+	}
+	// Longest queue across outputs; ties resolve to the lowest index so
+	// the decision is deterministic.
+	best, bestLen := -1, 0
+	for o := 0; o < st.Ports(); o++ {
+		if l := st.Queued(o); l > bestLen {
+			best, bestLen = o, l
+		}
+	}
+	// Preempt only if the victim queue is strictly longer than the
+	// arrival's queue would become — otherwise preemption buys nothing,
+	// and the arrival waits under ordinary backpressure (Accept with a
+	// full buffer retries next cycle). All PushOutLQF loss is therefore
+	// pushed-out victims, never refused arrivals.
+	if best < 0 || bestLen <= st.Queued(out)+1 {
+		return Verdict{Action: Accept}
+	}
+	// Within the victim output, evict from its deepest VC.
+	vc, vcLen := 0, -1
+	for v := 0; v < st.VCs(); v++ {
+		if l := st.QueuedVC(best, v); l > vcLen {
+			vc, vcLen = v, l
+		}
+	}
+	return Verdict{Action: PushOut, VictimOut: best, VictimVC: vc}
+}

@@ -1,0 +1,202 @@
+package bufmgr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// fakeState is a table-driven State for exercising policies directly.
+type fakeState struct {
+	cap, free  int
+	ports, vcs int
+	cellCycles int
+	cycle      int64
+	queued     []int // per output, summed over VCs
+	queuedVC   [][]int
+}
+
+func (f *fakeState) Capacity() int   { return f.cap }
+func (f *fakeState) Free() int       { return f.free }
+func (f *fakeState) Ports() int      { return f.ports }
+func (f *fakeState) VCs() int        { return f.vcs }
+func (f *fakeState) CellCycles() int { return f.cellCycles }
+func (f *fakeState) Cycle() int64    { return f.cycle }
+func (f *fakeState) Queued(out int) int {
+	return f.queued[out]
+}
+func (f *fakeState) QueuedVC(out, vc int) int {
+	if f.queuedVC == nil {
+		if vc == 0 {
+			return f.queued[out]
+		}
+		return 0
+	}
+	return f.queuedVC[out][vc]
+}
+
+func newState(capacity int, queued ...int) *fakeState {
+	used := 0
+	for _, q := range queued {
+		used += q
+	}
+	return &fakeState{
+		cap: capacity, free: capacity - used,
+		ports: len(queued), vcs: 1, cellCycles: 2 * len(queued),
+		queued: queued,
+	}
+}
+
+func TestCompleteSharingAlwaysAccepts(t *testing.T) {
+	st := newState(8, 8, 0, 0, 0) // full buffer, one hog
+	if v := (CompleteSharing{}).Admit(st, 1, 0); v.Action != Accept {
+		t.Fatalf("complete sharing returned %v, want accept", v.Action)
+	}
+}
+
+func TestStaticPartitionQuota(t *testing.T) {
+	st := newState(16, 4, 0, 1, 0) // quota defaults to 16/4 = 4
+	p := StaticPartition{}
+	if v := p.Admit(st, 0, 0); v.Action != Drop {
+		t.Errorf("output at quota: got %v, want drop", v.Action)
+	}
+	if v := p.Admit(st, 1, 0); v.Action != Accept {
+		t.Errorf("empty output: got %v, want accept", v.Action)
+	}
+	if v := (StaticPartition{Quota: 2}).Admit(st, 2, 0); v.Action != Accept {
+		t.Errorf("below explicit quota: got %v, want accept", v.Action)
+	}
+	if v := (StaticPartition{Quota: 1}).Admit(st, 2, 0); v.Action != Drop {
+		t.Errorf("at explicit quota: got %v, want drop", v.Action)
+	}
+}
+
+func TestDynamicThreshold(t *testing.T) {
+	// 12 free, queue 0 holds 4: with α=1 threshold is 12 → accept; once
+	// free space shrinks the same queue length is refused.
+	st := newState(16, 4, 0, 0, 0)
+	p := DynamicThreshold{}
+	if v := p.Admit(st, 0, 0); v.Action != Accept {
+		t.Errorf("plenty free: got %v, want accept", v.Action)
+	}
+	st.free = 3 // queue 4 ≥ 1.0·3
+	if v := p.Admit(st, 0, 0); v.Action != Drop {
+		t.Errorf("scarce free: got %v, want drop", v.Action)
+	}
+	// α=2 doubles the allowance.
+	if v := (DynamicThreshold{Alpha: 2}).Admit(st, 0, 0); v.Action != Accept {
+		t.Errorf("alpha=2: got %v, want accept", v.Action)
+	}
+	// Other outputs still admitted while any free space remains.
+	if v := p.Admit(st, 1, 0); v.Action != Accept {
+		t.Errorf("empty queue: got %v, want accept", v.Action)
+	}
+}
+
+func TestDelayDrivenScalesWithFree(t *testing.T) {
+	st := newState(16, 0, 0, 0, 0)
+	st.cellCycles = 8
+	p := DelayDriven{} // budget = 8·16 = 128 cycles at empty buffer
+	// Empty buffer: even a long queue fits the full budget.
+	st.queued[0], st.free = 10, 6
+	// est = 11·8 = 88; thr = 128·6/16 = 48 → drop.
+	if v := p.Admit(st, 0, 0); v.Action != Drop {
+		t.Errorf("scarce free: got %v, want drop", v.Action)
+	}
+	st.queued[0], st.free = 2, 14
+	// est = 3·8 = 24; thr = 128·14/16 = 112 → accept.
+	if v := p.Admit(st, 0, 0); v.Action != Accept {
+		t.Errorf("short queue: got %v, want accept", v.Action)
+	}
+	// Explicit tight target refuses even the short queue.
+	if v := (DelayDriven{Target: 16}).Admit(st, 0, 0); v.Action != Drop {
+		t.Errorf("tight target: got %v, want drop", v.Action)
+	}
+}
+
+func TestPushOutLQF(t *testing.T) {
+	p := PushOutLQF{}
+	// Free space: plain accept.
+	st := newState(8, 3, 2, 0, 0)
+	if v := p.Admit(st, 3, 0); v.Action != Accept {
+		t.Errorf("free space: got %v, want accept", v.Action)
+	}
+	// Full buffer: arrival for a short queue preempts the longest.
+	st = newState(8, 6, 2, 0, 0)
+	v := p.Admit(st, 3, 0)
+	if v.Action != PushOut || v.VictimOut != 0 {
+		t.Errorf("full buffer: got %+v, want push-out of output 0", v)
+	}
+	// Arrival for the longest queue itself: no strictly longer victim →
+	// accept (backpressure), never self-preemption.
+	if v := p.Admit(st, 0, 0); v.Action != Accept {
+		t.Errorf("hog arrival: got %v, want accept (wait)", v.Action)
+	}
+	// Victim VC is the deepest VC of the victim output.
+	st.vcs = 2
+	st.queuedVC = [][]int{{2, 4}, {2, 0}, {0, 0}, {0, 0}}
+	v = p.Admit(st, 3, 0)
+	if v.Action != PushOut || v.VictimOut != 0 || v.VictimVC != 1 {
+		t.Errorf("vc choice: got %+v, want victim (0, 1)", v)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, spec := range Specs() {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if rt, err := Parse(p.Name()); err != nil {
+			t.Errorf("Parse(%q).Name() = %q does not re-parse: %v", spec, p.Name(), err)
+		} else if fmt.Sprintf("%T", rt) != fmt.Sprintf("%T", p) {
+			t.Errorf("round trip of %q changed type: %T vs %T", spec, rt, p)
+		}
+	}
+}
+
+func TestParseParameters(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Policy
+	}{
+		{"share", CompleteSharing{}},
+		{"CS", CompleteSharing{}},
+		{"static:quota=4", StaticPartition{Quota: 4}},
+		{"sp:quota=1", StaticPartition{Quota: 1}},
+		{"dt:alpha=2", DynamicThreshold{Alpha: 2}},
+		{"dynamic:alpha=0.5", DynamicThreshold{Alpha: 0.5}},
+		{"dd:target=64", DelayDriven{Target: 64}},
+		{" pushout ", PushOutLQF{}},
+		{"po", PushOutLQF{}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"", "  ", ":", "nope", "dt:alpha=0", "dt:alpha=-1", "dt:alpha=nan",
+		"dt:alpha=1e300", "dt:beta=1", "static:quota=0", "static:quota=-3",
+		"static:quota=x", "dd:target=0", "dd:target=-5", "share:quota=1",
+		"pushout:alpha=1", "dt:alpha", "dt:=2", "dt:alpha=", "dt:alpha=1,alpha=2",
+	}
+	for _, spec := range bad {
+		p, err := Parse(spec)
+		if err == nil {
+			t.Errorf("Parse(%q) = %v, want error", spec, p)
+			continue
+		}
+		if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrBadConfig", spec, err)
+		}
+	}
+}

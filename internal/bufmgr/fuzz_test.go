@@ -1,0 +1,48 @@
+package bufmgr
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseSpec drives the -bufpolicy spec parser with arbitrary input:
+// it must never panic, every failure must wrap ErrBadConfig, and every
+// success must produce a policy whose canonical Name re-parses to an
+// equivalent policy (closure under round-trip).
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range Specs() {
+		f.Add(s)
+	}
+	f.Add("dt:alpha=2")
+	f.Add("static:quota=4")
+	f.Add("dd:target=128")
+	f.Add("dt:alpha=0")
+	f.Add("static:quota=-1")
+	f.Add("dt:alpha=1,alpha=2")
+	f.Add("dt:alpha=\x00")
+	f.Add("po:")
+	f.Add(":=,")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			if !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("Parse(%q) error %v does not wrap ErrBadConfig", spec, err)
+			}
+			return
+		}
+		name := p.Name()
+		rt, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but Name() %q does not re-parse: %v", spec, name, err)
+		}
+		if rt != p {
+			t.Fatalf("round trip of %q: %#v != %#v", spec, rt, p)
+		}
+		// A parsed policy must be safe to consult immediately.
+		st := &fakeState{cap: 8, free: 0, ports: 2, vcs: 1, cellCycles: 4, queued: []int{8, 0}}
+		v := p.Admit(st, 1, 0)
+		if v.Action == PushOut && (v.VictimOut < 0 || v.VictimOut >= st.ports) {
+			t.Fatalf("policy %q returned out-of-range victim %+v", name, v)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package bufmgr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrBadConfig is the sentinel wrapped by every spec-parse error, so
+// callers can test class membership with errors.Is regardless of the
+// specific complaint.
+var ErrBadConfig = errors.New("bufmgr: bad policy spec")
+
+// Parse turns a policy spec string into a Policy. The grammar is
+//
+//	name[:key=value[,key=value...]]
+//
+// with these names (aliases in parentheses) and parameters:
+//
+//	share   (cs, complete)  — complete sharing, no parameters
+//	static  (sp, partition) — quota=N      per-output cell quota (N ≥ 1;
+//	                          default Capacity/Ports)
+//	dt      (dynamic)       — alpha=F      Choudhury–Hahne multiplier
+//	                          (F > 0; default 1)
+//	dd      (delay)         — target=N     delay budget in cycles (N ≥ 1;
+//	                          default CellCycles·Capacity)
+//	pushout (po)            — longest-queue-first push-out, no parameters
+//
+// Examples: "share", "dt:alpha=2", "static:quota=4". Errors wrap
+// ErrBadConfig; Parse never panics.
+func Parse(spec string) (Policy, error) {
+	name, params, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "share", "cs", "complete":
+		if err := noParams(name, params); err != nil {
+			return nil, err
+		}
+		return CompleteSharing{}, nil
+	case "static", "sp", "partition":
+		p := StaticPartition{}
+		for k, v := range params {
+			if k != "quota" {
+				return nil, fmt.Errorf("%w: %s: unknown parameter %q", ErrBadConfig, name, k)
+			}
+			q, err := strconv.Atoi(v)
+			if err != nil || q < 1 {
+				return nil, fmt.Errorf("%w: %s: quota must be a positive integer, got %q", ErrBadConfig, name, v)
+			}
+			p.Quota = q
+		}
+		return p, nil
+	case "dt", "dynamic":
+		p := DynamicThreshold{}
+		for k, v := range params {
+			if k != "alpha" {
+				return nil, fmt.Errorf("%w: %s: unknown parameter %q", ErrBadConfig, name, k)
+			}
+			a, err := strconv.ParseFloat(v, 64)
+			if err != nil || !(a > 0) || a > 1e9 {
+				return nil, fmt.Errorf("%w: %s: alpha must be in (0, 1e9], got %q", ErrBadConfig, name, v)
+			}
+			p.Alpha = a
+		}
+		return p, nil
+	case "dd", "delay":
+		p := DelayDriven{}
+		for k, v := range params {
+			if k != "target" {
+				return nil, fmt.Errorf("%w: %s: unknown parameter %q", ErrBadConfig, name, k)
+			}
+			t, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || t < 1 {
+				return nil, fmt.Errorf("%w: %s: target must be a positive cycle count, got %q", ErrBadConfig, name, v)
+			}
+			p.Target = t
+		}
+		return p, nil
+	case "pushout", "po":
+		if err := noParams(name, params); err != nil {
+			return nil, err
+		}
+		return PushOutLQF{}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown policy %q (want share, static, dt, dd or pushout)", ErrBadConfig, name)
+}
+
+// Specs returns the canonical spec of every built-in policy with default
+// parameters — the sweep set experiments and tools enumerate.
+func Specs() []string {
+	return []string{"share", "static", "dt", "dd", "pushout"}
+}
+
+// splitSpec splits "name:k=v,k=v" into the lowercased name and parameter
+// map, validating shape only.
+func splitSpec(spec string) (string, map[string]string, error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return "", nil, fmt.Errorf("%w: empty spec", ErrBadConfig)
+	}
+	name, rest, has := strings.Cut(s, ":")
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return "", nil, fmt.Errorf("%w: empty policy name in %q", ErrBadConfig, spec)
+	}
+	if !has {
+		return name, nil, nil
+	}
+	params := make(map[string]string)
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return "", nil, fmt.Errorf("%w: malformed parameter %q in %q (want key=value)", ErrBadConfig, kv, spec)
+		}
+		if _, dup := params[k]; dup {
+			return "", nil, fmt.Errorf("%w: duplicate parameter %q in %q", ErrBadConfig, k, spec)
+		}
+		params[k] = v
+	}
+	return name, params, nil
+}
+
+// noParams rejects any parameters for policies that take none.
+func noParams(name string, params map[string]string) error {
+	for k := range params {
+		return fmt.Errorf("%w: %s takes no parameters, got %q", ErrBadConfig, name, k)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Package cli holds flag helpers shared by the pipemem command-line
+// tools, so every binary spells common options the same way.
+package cli
+
+import (
+	"flag"
+	"strings"
+
+	"pipemem/internal/bufmgr"
+)
+
+// PolicyValue is the flag.Value behind -bufpolicy. The spec is validated
+// when the flag is set (bad specs fail at flag-parse time with the
+// bufmgr.ErrBadConfig diagnostics), so by the time main runs, Policy()
+// is either nil (flag absent) or a ready-to-install policy.
+type PolicyValue struct {
+	spec   string
+	policy bufmgr.Policy
+}
+
+// String returns the raw spec ("" when the flag was not given).
+func (v *PolicyValue) String() string { return v.spec }
+
+// Set parses and validates the spec; invalid specs reject the flag.
+func (v *PolicyValue) Set(s string) error {
+	p, err := bufmgr.Parse(s)
+	if err != nil {
+		return err
+	}
+	v.spec, v.policy = s, p
+	return nil
+}
+
+// Policy returns the parsed policy, or nil when the flag was not given.
+func (v *PolicyValue) Policy() bufmgr.Policy { return v.policy }
+
+// Spec returns the raw spec string, "" when unset.
+func (v *PolicyValue) Spec() string { return v.spec }
+
+// Got reports whether the flag was supplied.
+func (v *PolicyValue) Got() bool { return v.policy != nil }
+
+// BufPolicyFlag registers the -bufpolicy flag on fs (nil means the
+// process-wide flag.CommandLine) and returns its value holder.
+func BufPolicyFlag(fs *flag.FlagSet) *PolicyValue {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	v := &PolicyValue{}
+	fs.Var(v, "bufpolicy",
+		"shared-buffer admission policy: "+strings.Join(bufmgr.Specs(), "|")+
+			", with optional :key=value params (e.g. dt:alpha=2, static:quota=16)")
+	return v
+}

@@ -1,0 +1,45 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"testing"
+
+	"pipemem/internal/bufmgr"
+)
+
+func TestBufPolicyFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	v := BufPolicyFlag(fs)
+	if v.Got() || v.Policy() != nil || v.Spec() != "" {
+		t.Fatal("unset flag reports a value")
+	}
+	if err := fs.Parse([]string{"-bufpolicy", "dt:alpha=2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Got() || v.Spec() != "dt:alpha=2" {
+		t.Fatalf("flag not captured: got=%v spec=%q", v.Got(), v.Spec())
+	}
+	if p, ok := v.Policy().(bufmgr.DynamicThreshold); !ok || p.Alpha != 2 {
+		t.Fatalf("parsed policy %#v, want DynamicThreshold{Alpha: 2}", v.Policy())
+	}
+}
+
+func TestBufPolicyFlagRejectsBadSpec(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	v := BufPolicyFlag(fs)
+	if err := fs.Parse([]string{"-bufpolicy", "bogus"}); err == nil {
+		t.Fatal("bad spec accepted at flag-parse time")
+	}
+	// The flag package flattens Set errors into a new string, so check
+	// the sentinel on Set itself.
+	if err := v.Set("bogus"); !errors.Is(err, bufmgr.ErrBadConfig) {
+		t.Fatalf("Set error %v does not wrap ErrBadConfig", err)
+	}
+	if v.Got() {
+		t.Fatal("failed Set left the value populated")
+	}
+}

@@ -211,6 +211,9 @@ func (s *Switch) mapOutBank(b int) {
 			}
 		}
 	}
+	for o := range s.outOcc {
+		s.outOcc[o] = 0 // every queue was just flushed
+	}
 	// Rebuild the free list over the usable low addresses only; the upper
 	// half of every bank is now the redirect region and the corresponding
 	// addresses stay permanently retired (never handed out again).

@@ -24,8 +24,12 @@ type Observer struct {
 	// holding the stage-0 slot, degraded cadence, or a full buffer).
 	Stalls *obs.Counter
 	// Delivered counts completed departures; DropOverrun and DropBypass
-	// count the two loss modes (displaced arrivals, bypass flushes).
+	// count the two built-in loss modes (displaced arrivals, bypass
+	// flushes). DropPolicy and DropPushOut count the buffer-management
+	// layer's decisions: arrivals refused by the installed bufmgr policy
+	// and queued copies preempted to make room.
 	Delivered, DropOverrun, DropBypass *obs.Counter
+	DropPolicy, DropPushOut            *obs.Counter
 	// ECC and bypass activity from the fault-tolerance layer.
 	ECCCorrected, ECCUncorrectable, ECCHard, StageBypass *obs.Counter
 	// Link-protocol activity (fault.Link wires these when protecting a
@@ -38,6 +42,12 @@ type Observer struct {
 	// QueueDepth is the per-output queue depth (cells queued across the
 	// output's VCs), updated every cycle.
 	QueueDepth *obs.GaugeVec
+	// InputStalls exposes per-input backpressure: cycles each input held
+	// a cell still waiting for its write wave. InputDrops and OutputDrops
+	// break lost cells down by arrival input and by destination output —
+	// the per-port visibility that replaces the silent retry-forever on
+	// buffer exhaustion.
+	InputStalls, InputDrops, OutputDrops *obs.GaugeVec
 
 	// CutLatency is the head-in→head-out latency distribution;
 	// InitDelay the §3.4 staggered-initiation delay distribution.
@@ -56,6 +66,8 @@ func NewObserver(reg *obs.Registry, ports int) *Observer {
 		Delivered:        reg.Counter("pipemem_delivered_total", "Cells fully reassembled on an outgoing link."),
 		DropOverrun:      reg.Counter("pipemem_drop_overrun_total", "Cells displaced from an input register row before obtaining a write wave."),
 		DropBypass:       reg.Counter("pipemem_drop_bypass_total", "Queued copies flushed when a memory bank was mapped out."),
+		DropPolicy:       reg.Counter("pipemem_drop_policy_total", "Arrivals refused by the shared-buffer admission policy."),
+		DropPushOut:      reg.Counter("pipemem_drop_pushout_total", "Queued copies preempted (pushed out) to admit an arrival."),
 		ECCCorrected:     reg.Counter("pipemem_ecc_corrected_total", "Single-bit upsets corrected (and scrubbed) by SEC-DED."),
 		ECCUncorrectable: reg.Counter("pipemem_ecc_uncorrectable_total", "Multi-bit ECC failures."),
 		ECCHard:          reg.Counter("pipemem_ecc_hard_total", "Corrected locations that failed scrub-verify (hard faults)."),
@@ -66,6 +78,9 @@ func NewObserver(reg *obs.Registry, ports int) *Observer {
 		FreeCells:        reg.Gauge("pipemem_free_cells", "Unallocated buffer addresses."),
 		HighWater:        reg.Gauge("pipemem_buffer_high_water_cells", "Peak shared-buffer occupancy over the run."),
 		QueueDepth:       reg.GaugeVec("pipemem_output_queue_depth", "Cells queued per output across its VCs.", "output", ports),
+		InputStalls:      reg.GaugeVec("pipemem_input_stall_cycles", "Cycles each input held a cell still waiting for its write wave.", "input", ports),
+		InputDrops:       reg.GaugeVec("pipemem_input_dropped_cells", "Cells lost, by arrival input (overrun + policy drops).", "input", ports),
+		OutputDrops:      reg.GaugeVec("pipemem_output_dropped_cells", "Cells lost, by destination output (all loss modes).", "output", ports),
 		CutLatency:       reg.Histogram("pipemem_cut_latency_cycles", "Head-in to head-out latency.", obs.ExpBounds(2, 2, 12)),
 		InitDelay:        reg.Histogram("pipemem_init_delay_cycles", "Write-wave staggered-initiation delay beyond head+1 (§3.4).", obs.ExpBounds(1, 2, 10)),
 	}
@@ -98,6 +113,7 @@ func (s *Switch) Observer() *Observer { return s.obs }
 // overhead on the 8×8 point.
 type obsTally struct {
 	writeWaves, readWaves, cutThroughs, stalls, delivered int64
+	dropPolicy, dropPushOut                               int64
 }
 
 // observeCycle records this cycle's arbitration outcome and occupancy
@@ -166,6 +182,12 @@ func (s *Switch) flushObs(o *Observer, b int64) {
 	if t.delivered > 0 {
 		o.Delivered.Add(t.delivered)
 	}
+	if t.dropPolicy > 0 {
+		o.DropPolicy.Add(t.dropPolicy)
+	}
+	if t.dropPushOut > 0 {
+		o.DropPushOut.Add(t.dropPushOut)
+	}
 	*t = obsTally{}
 	s.obsCutLat.Flush()
 	s.obsInitDelay.Flush()
@@ -173,6 +195,11 @@ func (s *Switch) flushObs(o *Observer, b int64) {
 	o.FreeCells.Set(int64(s.free.Free()))
 	for out := 0; out < s.n; out++ {
 		o.QueueDepth.At(out).Set(int64(s.QueuedFor(out)))
+	}
+	for i := 0; i < s.n; i++ {
+		o.InputStalls.At(i).Set(s.inStalls[i])
+		o.InputDrops.At(i).Set(s.inDrops[i])
+		o.OutputDrops.At(i).Set(s.outDrops[i])
 	}
 }
 

@@ -57,7 +57,7 @@ func TestObserverReconciles(t *testing.T) {
 	if got, want := o.WriteWaves.Value()+o.CutThroughs.Value(), res.Offered-res.Dropped; got != want {
 		t.Errorf("write+cut-through waves = %d, accepted %d", got, want)
 	}
-	if got := o.DropOverrun.Value() + o.DropBypass.Value(); got != res.Dropped {
+	if got := o.DropOverrun.Value() + o.DropBypass.Value() + o.DropPolicy.Value() + o.DropPushOut.Value(); got != res.Dropped {
 		t.Errorf("drop counters = %d, run dropped %d", got, res.Dropped)
 	}
 	// The latency histogram saw every departure, and its mean matches.

@@ -14,6 +14,18 @@ type RunResult struct {
 	Cycles int64
 	// Offered, Delivered and Dropped count cells.
 	Offered, Delivered, Dropped int64
+	// DropOverrun, DropPolicy and DropPushOut break Dropped down by loss
+	// mode: arrivals displaced before obtaining a write wave, arrivals
+	// refused by the shared-buffer admission policy, and queued cells
+	// preempted by a push-out verdict. (Bypass flushes, the fourth mode,
+	// appear only in fault runs.)
+	DropOverrun, DropPolicy, DropPushOut int64
+	// InputStalls[i] counts cycles input i held a cell still waiting for
+	// its write wave — the per-port backpressure that used to be a silent
+	// retry. InputDrops[i] and OutputDrops[o] count lost cells by arrival
+	// input and by destination output. Nil from the dual-organization
+	// driver, which models no shared-buffer admission.
+	InputStalls, InputDrops, OutputDrops []int64
 	// Corrupt counts integrity violations (must be zero).
 	Corrupt int64
 	// Utilization is the fraction of output-link cycles carrying data.
@@ -41,6 +53,9 @@ type RunResult struct {
 func (r RunResult) String() string {
 	s := fmt.Sprintf("cycles=%d offered=%d delivered=%d dropped=%d util=%.4f cutlat=%.2f initdelay=%.4f",
 		r.Cycles, r.Offered, r.Delivered, r.Dropped, r.Utilization, r.MeanCutLatency, r.MeanInitDelay)
+	if r.DropPolicy > 0 || r.DropPushOut > 0 {
+		s += fmt.Sprintf(" drops[overrun=%d policy=%d pushout=%d]", r.DropOverrun, r.DropPolicy, r.DropPushOut)
+	}
 	if r.CutLatencyOverflow > 0 {
 		s += fmt.Sprintf(" cutlat-overflow=%d", r.CutLatencyOverflow)
 	}
@@ -110,7 +125,13 @@ func RunTraffic(s *Switch, cs *traffic.CellStream, cycles int64) (RunResult, err
 	}
 	res.Cycles = s.cycle
 	s.SyncObserver() // final occupancy-gauge publish (decimated in Tick)
-	res.Dropped = s.counter.Get("drop-overrun") + s.counter.Get("drop-bypass")
+	res.DropOverrun = s.counter.Get("drop-overrun")
+	res.DropPolicy = s.counter.Get("drop-policy")
+	res.DropPushOut = s.counter.Get("drop-pushout")
+	res.Dropped = s.DroppedCells()
+	res.InputStalls = append([]int64(nil), s.inStalls...)
+	res.InputDrops = append([]int64(nil), s.inDrops...)
+	res.OutputDrops = append([]int64(nil), s.outDrops...)
 	res.MeanCutLatency = s.cutLatency.Mean()
 	res.MinCutLatency = minLat
 	res.MeanInitDelay = s.initDelay.Mean()

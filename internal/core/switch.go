@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"pipemem/internal/bufmgr"
 	"pipemem/internal/cell"
 	"pipemem/internal/fifo"
 	"pipemem/internal/obs"
@@ -167,6 +168,22 @@ type Switch struct {
 	nodes  []desc           // descriptor-node pool
 	nfree  *fifo.FreeList   // free descriptor nodes
 	refcnt []int            // per address: queued copies not yet read
+	outOcc []int            // per output: queued cells across its VCs (O(1) QueuedFor)
+
+	// policy is the optional shared-buffer admission policy (bufmgr);
+	// polState is the pre-boxed State adapter handed to every Admit call
+	// so consulting the policy allocates nothing. wrSkip[i] = cycle+1
+	// marks input i's arrival as not admittable this cycle (Accept
+	// verdict with no free address), so pickWrite's retry loop moves on
+	// to the next-most-urgent arrival instead of rescanning it.
+	policy   bufmgr.Policy
+	polState *bufView
+	wrSkip   []int64
+	// inStalls[i] counts cycles input i held a cell still waiting for its
+	// write wave (per-input backpressure visibility); inDrops[i] and
+	// outDrops[o] count lost cells by arrival input and by destination
+	// output across all loss modes.
+	inStalls, inDrops, outDrops []int64
 
 	linkFree []int64 // per output: first cycle a new read may be initiated
 	readRR   int     // round-robin pointer over outputs
@@ -209,8 +226,9 @@ type Switch struct {
 	// pendingWrites counts input rows holding a cell whose write wave has
 	// not been initiated (active && !written): pickWrite skips its scan
 	// when zero.
-	pendingWrites int
+	pendingWrites                                           int
 	cOffered, cAccepted, cDelivered, cCorrupt, cDropOverrun *int64
+	cDropPolicy, cDropPushout                               *int64
 
 	// gate, when set, must return true for a transmission to start on an
 	// output (credit-based flow control); vcGate refines it per virtual
@@ -279,6 +297,11 @@ func New(cfg Config) (*Switch, error) {
 		nodes:        make([]desc, cfg.Cells*n),
 		nfree:        fifo.NewFreeList(cfg.Cells * n),
 		refcnt:       make([]int, cfg.Cells),
+		outOcc:       make([]int, n),
+		wrSkip:       make([]int64, n),
+		inStalls:     make([]int64, n),
+		inDrops:      make([]int64, n),
+		outDrops:     make([]int64, n),
 		linkFree:     make([]int64, n),
 		vcRR:         make([]int, n),
 		egress:       make([]*fifo.Ring[*reasm], n),
@@ -311,6 +334,9 @@ func New(cfg Config) (*Switch, error) {
 	s.cDelivered = s.counter.Hot("delivered")
 	s.cCorrupt = s.counter.Hot("corrupt")
 	s.cDropOverrun = s.counter.Hot("drop-overrun")
+	s.cDropPolicy = s.counter.Hot("drop-policy")
+	s.cDropPushout = s.counter.Hot("drop-pushout")
+	s.polState = &bufView{s}
 	return s, nil
 }
 
@@ -331,14 +357,10 @@ func (s *Switch) ctrlSlot(c int64, st int) int {
 func (s *Switch) qidx(out, vc int) int { return out*s.cfg.VCs + vc }
 
 // QueuedFor returns the number of cells queued for an output across all
-// of its virtual channels.
-func (s *Switch) QueuedFor(out int) int {
-	total := 0
-	for vc := 0; vc < s.cfg.VCs; vc++ {
-		total += s.queues.Len(s.qidx(out, vc))
-	}
-	return total
-}
+// of its virtual channels. O(1): the per-output occupancy is maintained
+// at every queue mutation, since admission policies consult it on each
+// arrival.
+func (s *Switch) QueuedFor(out int) int { return s.outOcc[out] }
 
 // Cycle returns the current cycle number (number of Ticks so far).
 func (s *Switch) Cycle() int64 { return s.cycle }
@@ -352,7 +374,9 @@ func (s *Switch) FreeCells() int { return s.free.Free() }
 
 // Counters exposes the event counters: "offered", "accepted", "delivered",
 // "drop-overrun" (a new head displaced a cell whose write wave never got
-// a buffer address), "corrupt" (integrity violations; must stay zero).
+// a buffer address), "drop-policy" (an arrival refused by the installed
+// buffer-management policy), "drop-pushout" (a queued copy preempted to
+// make room), "corrupt" (integrity violations; must stay zero).
 func (s *Switch) Counters() *stats.Counter { return &s.counter }
 
 // InitDelay returns the accumulated staggered-initiation delay statistics
@@ -614,6 +638,18 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 	base := int(c % int64(s.k))
 	s.ctrl[base] = s.arbitrate(c)
 
+	// Per-input backpressure accounting: every arrival still waiting for
+	// its write wave after arbitration waited one more cycle. This is what
+	// makes buffer exhaustion visible per port instead of a silent retry
+	// (the aggregate §3.4 stall signal lives in observeCycle).
+	if s.pendingWrites > 0 {
+		for i := range s.inflight {
+			if a := &s.inflight[i]; a.active && !a.written && c > a.head {
+				s.inStalls[i]++
+			}
+		}
+	}
+
 	if s.obs != nil {
 		s.observeCycle(c, s.ctrl[base])
 	}
@@ -693,6 +729,8 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 				// being overwritten and it is lost.
 				*s.cDropOverrun++
 				s.pendingWrites--
+				s.inDrops[i]++
+				s.outDrops[a.c.Dst]++
 				if s.obs != nil {
 					s.obs.DropOverrun.Inc()
 				}
@@ -782,6 +820,7 @@ func (s *Switch) pickRead(c int64) (Op, bool) {
 				continue
 			}
 			s.queues.Pop(o)
+			s.outOcc[o]--
 			s.readRR = (o + 1) % s.n
 			s.startTransmit(o, d, c)
 			addr := d.addr
@@ -812,6 +851,7 @@ func (s *Switch) pickRead(c int64) (Op, bool) {
 		if vc >= 0 {
 			q := s.qidx(o, vc)
 			node, _ := s.queues.Pop(q)
+			s.outOcc[o]--
 			d := &s.nodes[node]
 			s.readRR = (o + 1) % s.n
 			s.startTransmit(o, d, c)
@@ -831,11 +871,18 @@ func (s *Switch) pickRead(c int64) (Op, bool) {
 }
 
 // pickWrite selects the pending arrival with the earliest head cycle
-// (earliest deadline first), tie-broken round-robin.
+// (earliest deadline first), tie-broken round-robin, and submits it to
+// the buffer-management policy (bufmgr) when one is installed. A Drop
+// verdict consumes the arrival and the scan moves to the next-most-
+// urgent one in the same cycle; a PushOut verdict evicts the victim's
+// head first; an Accept with no free address leaves the arrival pending
+// (backpressure) and — with a policy installed — also tries the
+// remaining arrivals, since one of them may be admittable by push-out.
 func (s *Switch) pickWrite(c int64) (Op, bool) {
 	if s.pendingWrites == 0 {
 		return Op{}, false
 	}
+retry:
 	best := -1
 	var bestHead int64
 	for j, i := 0, s.writeRR; j < s.n; j, i = j+1, i+1 {
@@ -843,7 +890,7 @@ func (s *Switch) pickWrite(c int64) (Op, bool) {
 			i -= s.n
 		}
 		a := &s.inflight[i]
-		if !a.active || a.written || c <= a.head {
+		if !a.active || a.written || c <= a.head || s.wrSkip[i] > c {
 			continue // no pending cell, or its head arrived only this cycle
 		}
 		if best == -1 || a.head < bestHead {
@@ -854,11 +901,26 @@ func (s *Switch) pickWrite(c int64) (Op, bool) {
 		return Op{}, false
 	}
 	a := &s.inflight[best]
+	if s.policy != nil {
+		switch v := s.policy.Admit(s.polState, a.c.Dst, a.c.VC); v.Action {
+		case bufmgr.Drop:
+			s.dropPolicy(best, a)
+			goto retry // the freed slot may admit the next arrival now
+		case bufmgr.PushOut:
+			s.pushOut(v.VictimOut, v.VictimVC)
+		}
+	}
 	addr, ok := s.free.Get()
 	if !ok {
 		// Buffer exhausted: the cell stays pending and retries; if it is
 		// still unwritten when the next head arrives it is dropped
-		// (phase 5).
+		// (phase 5). With a policy installed, a less urgent arrival may
+		// still get in this cycle (its verdict could push a victim out),
+		// so mark this one tried and rescan.
+		if s.policy != nil {
+			s.wrSkip[best] = c + 1
+			goto retry
+		}
 		return Op{}, false
 	}
 	a.written = true
@@ -900,6 +962,7 @@ func (s *Switch) pickWrite(c int64) (Op, bool) {
 		}
 		s.nodes[node] = d
 		s.queues.Push(s.qidx(o, vc), node)
+		s.outOcc[o]++
 	}
 	s.refcnt[addr] = 1 + len(a.c.Copies)
 	enqueue(dst)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -419,7 +420,7 @@ func TestDeterminism(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("nondeterministic results:\n%v\n%v", a, b)
 	}
 }

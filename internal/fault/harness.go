@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"pipemem/internal/bufmgr"
 	"pipemem/internal/cell"
 	"pipemem/internal/core"
 )
@@ -32,6 +33,10 @@ type Options struct {
 	// registry and event tracer; the input links mirror their CRC
 	// retransmissions and failures into it as well.
 	Observer *core.Observer
+	// Policy, when non-nil, is installed as the switch's shared-buffer
+	// admission policy (bufmgr) before traffic starts; its drops and
+	// push-outs are counted under Dropped like any other loss mode.
+	Policy bufmgr.Policy
 }
 
 // Report is the outcome of a fault-injection run.
@@ -39,8 +44,9 @@ type Report struct {
 	// Cycles is the total simulated length including the drain tail.
 	Cycles int64
 	// Offered counts cells handed to the input links; Delivered cells that
-	// left the switch; Dropped cells lost for capacity reasons
-	// (drop-overrun + drop-bypass); LinkFailed cells abandoned by the link
+	// left the switch; Dropped cells lost for capacity or policy reasons
+	// (core.Switch.DroppedCells: overrun, policy drops, push-outs and
+	// bypass flushes); LinkFailed cells abandoned by the link
 	// protocol; Resident cells still inside at the end (0 after a clean
 	// drain).
 	Offered, Delivered, Dropped, LinkFailed, Resident int64
@@ -103,6 +109,9 @@ func Run(o Options) (*Report, error) {
 	}
 	if o.Observer != nil {
 		s.SetObserver(o.Observer)
+	}
+	if o.Policy != nil {
+		s.SetBufferPolicy(o.Policy)
 	}
 	var links []*Link
 	if o.LinkProtect {
@@ -202,7 +211,7 @@ func Run(o Options) (*Report, error) {
 
 	rep.Cycles = c
 	rep.Resident = int64(s.Resident())
-	rep.Dropped = s.Counters().Get("drop-overrun") + s.Counters().Get("drop-bypass")
+	rep.Dropped = s.DroppedCells()
 	for _, l := range links {
 		rep.LinkRetransmits += l.Retransmits
 		rep.LinkFailed += l.Failed

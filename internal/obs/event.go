@@ -34,6 +34,11 @@ const (
 	// EvCRCRetransmit: a link-level CRC failure triggered a
 	// retransmission. In = input link, V = retry attempt number.
 	EvCRCRetransmit
+	// EvDrop: a cell was lost to the buffer-management layer — a policy
+	// refused an arrival (In = input, Out = destination) or a push-out
+	// evicted a queued copy (In = -1, Out = victim output, Addr = freed
+	// buffer address).
+	EvDrop
 )
 
 // String returns the kind's stable wire name (used by the JSONL sink).
@@ -53,6 +58,8 @@ func (k EventKind) String() string {
 		return "bypass"
 	case EvCRCRetransmit:
 		return "crc-retransmit"
+	case EvDrop:
+		return "drop"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,196 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+// Distribution-level checks for the non-uniform workloads: the Hotspot
+// and Bursty processes must reproduce their configured statistics, not
+// merely pass config validation.
+
+// TestHotspotDistribution measures the slot-level Hotspot process: the
+// hot port's share of destinations must be HotFrac + (1-HotFrac)/N (the
+// biased fraction plus its share of the uniform remainder) and the cold
+// ports must split the rest evenly.
+func TestHotspotDistribution(t *testing.T) {
+	const n, load, hotFrac, hotPort = 8, 0.6, 0.4, 3
+	cfg := Config{Kind: Hotspot, N: n, Load: load, HotFrac: hotFrac, HotPort: hotPort, Seed: 91}
+	gotLoad, dsts := measureLoad(t, cfg, 300_000)
+	if math.Abs(gotLoad-load) > 0.005 {
+		t.Fatalf("measured load %v, want ≈%v", gotLoad, load)
+	}
+	total := 0
+	for _, c := range dsts {
+		total += c
+	}
+	wantHot := hotFrac + (1-hotFrac)/n
+	if got := float64(dsts[hotPort]) / float64(total); math.Abs(got-wantHot) > 0.01 {
+		t.Fatalf("hot port fraction %v, want ≈%v", got, wantHot)
+	}
+	wantCold := (1 - hotFrac) / n
+	for d, c := range dsts {
+		if d == hotPort {
+			continue
+		}
+		if got := float64(c) / float64(total); math.Abs(got-wantCold) > 0.01 {
+			t.Fatalf("cold port %d fraction %v, want ≈%v", d, got, wantCold)
+		}
+	}
+}
+
+// TestBurstyBurstLengthDistribution checks the shape of the burst-length
+// law, not just its mean: lengths are geometric with mean BurstLen, so
+// the fraction of single-cell bursts must be 1/BurstLen and the mean of
+// the measured lengths must match.
+func TestBurstyBurstLengthDistribution(t *testing.T) {
+	const n, load, burstLen = 4, 0.4, 6.0
+	g, err := NewGenerator(Config{Kind: Bursty, N: n, Load: load, BurstLen: burstLen, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, n)
+	// Measure maximal same-destination runs on every input.
+	runLen := make([]int, n)
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = NoArrival
+	}
+	var bursts, cells, singles int
+	endRun := func(i int) {
+		if runLen[i] > 0 {
+			bursts++
+			cells += runLen[i]
+			if runLen[i] == 1 {
+				singles++
+			}
+			runLen[i] = 0
+		}
+	}
+	for s := 0; s < 600_000; s++ {
+		g.Step(dst)
+		for i, d := range dst {
+			if d == NoArrival || (prev[i] != NoArrival && d != prev[i]) {
+				endRun(i)
+			}
+			if d != NoArrival {
+				runLen[i]++
+			}
+			prev[i] = d
+		}
+	}
+	for i := range runLen {
+		endRun(i)
+	}
+	if bursts < 5_000 {
+		t.Fatalf("only %d bursts observed; test is underpowered", bursts)
+	}
+	if mean := float64(cells) / float64(bursts); math.Abs(mean-burstLen) > 0.3 {
+		t.Fatalf("mean burst length %v, want ≈%v", mean, burstLen)
+	}
+	// Geometric law: P(L = 1) = 1/mean.
+	if frac := float64(singles) / float64(bursts); math.Abs(frac-1/burstLen) > 0.02 {
+		t.Fatalf("single-cell burst fraction %v, want ≈%v", frac, 1/burstLen)
+	}
+}
+
+// TestCellStreamHotspotDistribution is the word-serial analogue: heads
+// keep the K-cycle spacing, the link utilization meets Load, and the
+// destination bias matches the configured hotspot.
+func TestCellStreamHotspotDistribution(t *testing.T) {
+	const n, k, load, hotFrac, hotPort = 8, 16, 0.7, 0.5, 0
+	s, err := NewCellStream(Config{Kind: Hotspot, N: n, Load: load, HotFrac: hotFrac, HotPort: hotPort, Seed: 23}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, n)
+	dsts := make([]int, n)
+	last := make([]int, n)
+	for i := range last {
+		last[i] = -k
+	}
+	const cycles = 400_000
+	heads := 0
+	for c := 0; c < cycles; c++ {
+		s.Heads(dst)
+		for i, d := range dst {
+			if d == NoArrival {
+				continue
+			}
+			heads++
+			dsts[d]++
+			if c-last[i] < k {
+				t.Fatalf("input %d: heads %d cycles apart, cell length %d", i, c-last[i], k)
+			}
+			last[i] = c
+		}
+	}
+	if util := float64(heads*k) / float64(cycles*n); math.Abs(util-load) > 0.02 {
+		t.Fatalf("utilization %v, want ≈%v", util, load)
+	}
+	wantHot := hotFrac + (1-hotFrac)/n
+	if got := float64(dsts[hotPort]) / float64(heads); math.Abs(got-wantHot) > 0.015 {
+		t.Fatalf("hot port fraction %v, want ≈%v", got, wantHot)
+	}
+}
+
+// TestCellStreamBurstyDistribution: bursts on a word-serial link are
+// back-to-back cells (heads exactly K cycles apart) on one destination;
+// their mean length must be BurstLen and the utilization must meet Load.
+func TestCellStreamBurstyDistribution(t *testing.T) {
+	const n, k, load, burstLen = 4, 8, 0.5, 5.0
+	s, err := NewCellStream(Config{Kind: Bursty, N: n, Load: load, BurstLen: burstLen, Seed: 29}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, n)
+	last := make([]int, n)
+	lastDst := make([]int, n)
+	runLen := make([]int, n)
+	for i := range last {
+		last[i] = -2 * k
+		lastDst[i] = NoArrival
+	}
+	var bursts, cells int
+	const cycles = 800_000
+	heads := 0
+	for c := 0; c < cycles; c++ {
+		s.Heads(dst)
+		for i, d := range dst {
+			if d == NoArrival {
+				continue
+			}
+			heads++
+			if c-last[i] < k {
+				t.Fatalf("input %d: heads %d cycles apart, cell length %d", i, c-last[i], k)
+			}
+			// Back-to-back with the same destination continues a burst;
+			// anything else starts a new one.
+			if c-last[i] == k && d == lastDst[i] {
+				runLen[i]++
+			} else {
+				if runLen[i] > 0 {
+					bursts++
+					cells += runLen[i]
+				}
+				runLen[i] = 1
+			}
+			last[i], lastDst[i] = c, d
+		}
+	}
+	for i := range runLen {
+		if runLen[i] > 0 {
+			bursts++
+			cells += runLen[i]
+		}
+	}
+	if util := float64(heads*k) / float64(cycles*n); math.Abs(util-load) > 0.02 {
+		t.Fatalf("utilization %v, want ≈%v", util, load)
+	}
+	if bursts < 2_000 {
+		t.Fatalf("only %d bursts observed; test is underpowered", bursts)
+	}
+	if mean := float64(cells) / float64(bursts); math.Abs(mean-burstLen) > 0.35 {
+		t.Fatalf("mean burst length %v, want ≈%v", mean, burstLen)
+	}
+}

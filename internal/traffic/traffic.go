@@ -270,7 +270,10 @@ func (g *Generator) next(input int) int {
 // a cell's tail, the link stays idle for a geometrically distributed gap
 // sized so the long-run link utilization equals Load. With Load = 1 cells
 // are back-to-back. The unconditioned probability of a cell head appearing
-// in a given cycle approaches Load/CellLen — the "p/2n" of §3.4.
+// in a given cycle approaches Load/CellLen — the "p/2n" of §3.4. Every
+// Kind is supported: Hotspot biases destinations toward HotPort, and
+// Bursty emits back-to-back runs of cells (geometric mean BurstLen, one
+// destination per burst) separated by idle gaps sized to meet Load.
 type CellStream struct {
 	cfg     Config
 	cellLen int
@@ -279,6 +282,10 @@ type CellStream struct {
 	busy []int
 	// per-input cell counter (Permutation only)
 	sent []int64
+	// burst state per input (Bursty only): cells remaining in the current
+	// burst beyond the one in transit, and the burst's common destination.
+	burstLeft []int
+	burstDst  []int
 }
 
 // NewCellStream builds a word-granularity stream of cells of cellLen words.
@@ -286,22 +293,24 @@ func NewCellStream(cfg Config, cellLen int) (*CellStream, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Kind == Bursty || cfg.Kind == Hotspot {
-		return nil, fmt.Errorf("traffic: CellStream supports Bernoulli, Saturation, Permutation and Trace kinds, got %v", cfg.Kind)
-	}
 	if cellLen < 1 {
 		return nil, fmt.Errorf("traffic: cell length %d, need ≥ 1", cellLen)
 	}
 	if cfg.Kind == Permutation && cfg.Load == 0 {
 		cfg.Load = 1
 	}
-	return &CellStream{
+	s := &CellStream{
 		cfg:     cfg,
 		cellLen: cellLen,
 		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xbf58476d1ce4e5b9)),
 		busy:    make([]int, cfg.N),
 		sent:    make([]int64, cfg.N),
-	}, nil
+	}
+	if cfg.Kind == Bursty {
+		s.burstLeft = make([]int, cfg.N)
+		s.burstDst = make([]int, cfg.N)
+	}
+	return s, nil
 }
 
 // Heads fills dst (length N) with the destinations of cell heads appearing
@@ -353,20 +362,58 @@ func (s *CellStream) Heads(dst []int) int {
 			if !start {
 				s.sent[i]++ // the rotation advances even for skipped cells
 			}
-		case Bernoulli:
+		case Bernoulli, Hotspot:
 			// Start probability on an idle cycle such that utilization
 			// is Load: q = p / (K·(1-p) + p)… for word-serial links the
 			// busy period is K cycles, so q = p/(K(1-p)+p); p = 1 gives
-			// q = 1 (back-to-back).
+			// q = 1 (back-to-back). Hotspot differs only in destination
+			// choice below.
 			p, k := s.cfg.Load, float64(s.cellLen)
 			q := p / (k*(1-p) + p)
 			start = s.rng.Float64() < q
+		case Bursty:
+			// Mid-burst: the next cell follows back-to-back on the same
+			// destination, so a burst occupies BurstLen·K contiguous
+			// cycles on average.
+			if s.burstLeft[i] > 0 {
+				s.burstLeft[i]--
+				dst[i] = s.burstDst[i]
+				s.busy[i] = s.cellLen - 1
+				n++
+				continue
+			}
+			// Idle: start a burst with the probability that makes the
+			// long-run busy fraction Load — the Bernoulli construction
+			// with the busy period scaled to the mean burst.
+			p, bk := s.cfg.Load, s.cfg.BurstLen*float64(s.cellLen)
+			q := p / (bk*(1-p) + p)
+			if p >= 1 {
+				q = 1
+			}
+			if s.rng.Float64() < q {
+				// Geometric burst length with mean BurstLen (support ≥ 1);
+				// this cycle starts the burst's first cell.
+				l := 1
+				pb := 1 / s.cfg.BurstLen
+				for s.rng.Float64() >= pb {
+					l++
+				}
+				s.burstDst[i] = s.rng.IntN(s.cfg.N)
+				s.burstLeft[i] = l - 1
+				dst[i] = s.burstDst[i]
+				s.busy[i] = s.cellLen - 1
+				n++
+			}
+			continue
 		}
 		if start {
-			if perm {
+			switch {
+			case perm:
 				dst[i] = (i + int(s.sent[i])) % s.cfg.N
 				s.sent[i]++
-			} else {
+			case s.cfg.Kind == Hotspot && s.rng.Float64() < s.cfg.HotFrac:
+				dst[i] = s.cfg.HotPort
+			default:
 				dst[i] = s.rng.IntN(s.cfg.N)
 			}
 			s.busy[i] = s.cellLen - 1

@@ -210,8 +210,16 @@ func TestCellStreamHeadRateMatchesSection34(t *testing.T) {
 }
 
 func TestCellStreamRejectsUnsupportedKinds(t *testing.T) {
-	if _, err := NewCellStream(Config{Kind: Bursty, N: 4, Load: 0.5, BurstLen: 4}, 8); err == nil {
-		t.Fatal("bursty cell stream should be rejected")
+	// Bursty and Hotspot streams are supported (see dist_test.go for
+	// their distribution checks); invalid configs must still be refused.
+	if _, err := NewCellStream(Config{Kind: Bursty, N: 4, Load: 0.5, BurstLen: 4}, 8); err != nil {
+		t.Fatalf("bursty cell stream rejected: %v", err)
+	}
+	if _, err := NewCellStream(Config{Kind: Hotspot, N: 4, Load: 0.5, HotFrac: 0.5}, 8); err != nil {
+		t.Fatalf("hotspot cell stream rejected: %v", err)
+	}
+	if _, err := NewCellStream(Config{Kind: Bursty, N: 4, Load: 0.5, BurstLen: 0.5}, 8); err == nil {
+		t.Fatal("sub-cell burst length should be rejected")
 	}
 	if _, err := NewCellStream(Config{Kind: Bernoulli, N: 4, Load: 0.5}, 0); err == nil {
 		t.Fatal("zero cell length should be rejected")

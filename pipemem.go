@@ -42,6 +42,7 @@ import (
 	"pipemem/internal/arb"
 	"pipemem/internal/area"
 	"pipemem/internal/bench"
+	"pipemem/internal/bufmgr"
 	"pipemem/internal/cell"
 	"pipemem/internal/clos"
 	"pipemem/internal/core"
@@ -133,6 +134,55 @@ func RunTraffic(s *Switch, cs *CellStream, cycles int64) (RunResult, error) {
 func RunDualTraffic(d *DualSwitch, cs *CellStream, cycles int64) (RunResult, error) {
 	return core.RunDualTraffic(d, cs, cycles)
 }
+
+// ---- Shared-buffer management (admission policies) ----
+
+// BufferPolicy decides, per arriving cell, whether the shared buffer
+// admits it, refuses it, or preempts a resident cell to make room.
+// Install with Switch.SetBufferPolicy; nil keeps the paper's
+// complete-sharing-by-backpressure behavior.
+type (
+	BufferPolicy  = bufmgr.Policy
+	BufferState   = bufmgr.State
+	BufferVerdict = bufmgr.Verdict
+	BufferAction  = bufmgr.Action
+)
+
+// Buffer admission verdict actions.
+const (
+	BufAccept  = bufmgr.Accept
+	BufDrop    = bufmgr.Drop
+	BufPushOut = bufmgr.PushOut
+)
+
+// ErrBadPolicy reports a malformed buffer-policy spec.
+var ErrBadPolicy = bufmgr.ErrBadConfig
+
+// ParseBufferPolicy builds a policy from a spec like "dt:alpha=2"; see
+// BufferPolicySpecs for the names.
+func ParseBufferPolicy(spec string) (BufferPolicy, error) { return bufmgr.Parse(spec) }
+
+// BufferPolicySpecs lists the canonical policy spec names.
+func BufferPolicySpecs() []string { return bufmgr.Specs() }
+
+// NewCompleteSharing admits while any cell is free (backpressure only).
+func NewCompleteSharing() BufferPolicy { return bufmgr.CompleteSharing{} }
+
+// NewStaticPartition reserves a fixed per-output quota (0 = capacity/n).
+func NewStaticPartition(quota int) BufferPolicy { return bufmgr.StaticPartition{Quota: quota} }
+
+// NewDynamicThreshold admits while the output queue is below α × free
+// cells (Choudhury–Hahne; 0 = α 1).
+func NewDynamicThreshold(alpha float64) BufferPolicy { return bufmgr.DynamicThreshold{Alpha: alpha} }
+
+// NewDelayDriven admits while the cell's estimated queueing delay is
+// within the occupancy-scaled target (0 = K × capacity cycles).
+func NewDelayDriven(target int64) BufferPolicy { return bufmgr.DelayDriven{Target: target} }
+
+// NewPushOut never refuses an arrival: when the buffer is full it evicts
+// the head of the longest output queue, if strictly longer than the
+// arrival's.
+func NewPushOut() BufferPolicy { return bufmgr.PushOutLQF{} }
 
 // ---- Observability (metrics registry, event tracing, profiling) ----
 
