@@ -33,6 +33,11 @@ func main() {
 	cli.BufPolicyFlag(nil)
 	flag.Parse()
 
+	if *n <= 0 || *w <= 0 || *banks <= 0 || *hIn <= 0 || *hShare <= 0 {
+		fmt.Fprintln(os.Stderr, "pmarea: -n, -w, -banks, -hin and -hshared must all be positive")
+		os.Exit(2)
+	}
+
 	if *pprofA != "" {
 		addr, stop, err := obs.ServeDebug(*pprofA, obs.NewRegistry())
 		if err != nil {

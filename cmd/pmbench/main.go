@@ -109,6 +109,12 @@ func main() {
 		return
 	}
 
+	// -check without a baseline would silently gate nothing; refuse the
+	// combination instead of reporting a vacuous pass.
+	if *check && *jsonPath == "" {
+		fmt.Fprintln(os.Stderr, "pmbench: -check needs -json FILE naming the baseline report")
+		os.Exit(2)
+	}
 	var prev *bench.Report
 	if *jsonPath != "" {
 		if r, err := bench.Load(*jsonPath); err == nil {
@@ -117,6 +123,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pmbench:", err)
 			os.Exit(1)
 		}
+	}
+	if *check && prev == nil {
+		fmt.Fprintf(os.Stderr, "pmbench: -check: no baseline at %q (run pmbench -json %s once to record one)\n", *jsonPath, *jsonPath)
+		os.Exit(1)
 	}
 
 	cur := bench.NewReport()

@@ -71,6 +71,20 @@ func main() {
 		}
 		return
 	}
+	// An -only id that matches nothing would silently run zero experiments
+	// and exit 0 — reject it instead.
+	if len(want) > 0 {
+		known := map[string]bool{}
+		for _, e := range exps {
+			known[e.ID] = true
+		}
+		for id := range want {
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "pmexp: unknown experiment id %q (pmexp -list shows the ids)\n", id)
+				os.Exit(2)
+			}
+		}
+	}
 	failed := 0
 	for _, e := range exps {
 		if len(want) > 0 && !want[e.ID] {

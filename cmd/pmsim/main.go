@@ -36,6 +36,24 @@
 //
 // -pprof ADDR serves /metrics, /metrics.json and /debug/pprof/ (with
 // periodic runtime heap/GC/goroutine gauges) on ADDR while running.
+//
+// With -checkpoint, -restore, -audit or -watchdog, the RTL run goes
+// through a checkpointable session: -checkpoint FILE writes periodic
+// crash-consistent snapshots of the complete simulation state (every
+// -ckpt-every cycles, default cycles/10), -restore FILE resumes one —
+// traffic, buffer policy and fault plan come from the checkpoint, and the
+// resumed run finishes bit-identically to the uninterrupted one. -audit N
+// verifies internal invariants (conservation, occupancy, §3.2
+// hazard-freedom) every N cycles; -watchdog N aborts with a diagnostic
+// checkpoint (FILE.stuck) if no cell moves for N cycles while some are
+// resident:
+//
+//	pmsim -arch rtl -n 8 -buf 256 -slots 200000 -checkpoint run.ckpt
+//	pmsim -restore run.ckpt
+//	pmsim -faultplan plan.txt -ecc -checkpoint run.ckpt -audit 1000 -watchdog 5000
+//
+// -linkprotect runs are not checkpointable (CRC link state is not
+// serialized).
 package main
 
 import (
@@ -80,9 +98,14 @@ func main() {
 		pprofAddr   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address while running")
 	)
 	bufpol := cli.BufPolicyFlag(nil)
+	ckptf := cli.CheckpointFlags(nil)
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *slots / 10
+	}
+	if err := ckptf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(2)
 	}
 
 	observe := *metrics || *metricsJSON || *traceOut != "" || *pprofAddr != ""
@@ -94,6 +117,36 @@ func main() {
 			os.Exit(1)
 		}
 		defer ob.finish(*metrics || *metricsJSON, *metricsJSON)
+	}
+
+	// The checkpoint/audit/watchdog group routes the run through the
+	// session layer, which owns the same RTL + traffic (+ fault plan) loop
+	// in a resumable form.
+	if ckptf.Active() {
+		// Sessions drive the RTL model; an explicit slot-level -arch would
+		// be silently ignored, so refuse it instead.
+		archSet := false
+		flag.Visit(func(f *flag.Flag) { archSet = archSet || f.Name == "arch" })
+		if archSet && *arch != "rtl" {
+			fmt.Fprintf(os.Stderr, "pmsim: -checkpoint/-restore/-audit/-watchdog drive the RTL model, not -arch %s; use -arch rtl or drop -arch\n", *arch)
+			os.Exit(2)
+		}
+		tcfg := pipemem.TrafficConfig{Kind: pipemem.Bernoulli, N: *n, Load: *load, Seed: *seed}
+		switch {
+		case *saturate:
+			tcfg.Kind = pipemem.Saturation
+		case *bursty > 0:
+			tcfg.Kind, tcfg.BurstLen = pipemem.Bursty, *bursty
+		case *hotFrac > 0:
+			tcfg.Kind, tcfg.HotFrac = pipemem.Hotspot, *hotFrac
+		}
+		runSession(ckptf, sessOpts{
+			n: *n, buf: *buf, cycles: *slots, seed: *seed, traffic: tcfg,
+			faultplan: *faultplan, events: *events,
+			ecc: *ecc || *bypass > 0, bypass: *bypass, linkprotect: *linkprot,
+			polSpec: bufpol.Spec(), obs: ob,
+		})
+		return
 	}
 
 	if *faultplan != "" {
@@ -285,6 +338,94 @@ func runObserved(ob *observed, o rtlOpts) {
 		os.Exit(1)
 	}
 	fmt.Println(res)
+}
+
+type sessOpts struct {
+	n, buf      int
+	cycles      int64
+	seed        uint64
+	traffic     pipemem.TrafficConfig
+	faultplan   string
+	events      int
+	ecc         bool
+	bypass      int
+	linkprotect bool
+	polSpec     string
+	obs         *observed
+}
+
+// runSession drives the RTL switch through the checkpointable session
+// layer: periodic checkpoints, online invariant audits, the no-progress
+// watchdog, and -restore resumption. On a watchdog or audit abort the
+// partial result is still printed before the non-zero exit.
+func runSession(ck *cli.CheckpointValue, o sessOpts) {
+	die := func(msg string) {
+		fmt.Fprintln(os.Stderr, "pmsim:", msg)
+		os.Exit(2)
+	}
+	if o.linkprotect {
+		die("-checkpoint/-restore/-audit/-watchdog do not cover the -linkprotect harness (CRC link state is not serialized); drop -linkprotect")
+	}
+	opts := pipemem.SimOptions{
+		Path:           ck.Path,
+		Every:          ck.EffectiveEvery(o.cycles),
+		AuditEvery:     ck.AuditEvery,
+		WatchdogWindow: ck.Watchdog,
+	}
+	if o.obs != nil {
+		opts.Observer = o.obs.observer
+	}
+	var s *pipemem.SimSession
+	var err error
+	if ck.Restore != "" {
+		if o.faultplan != "" {
+			die("-restore resumes the checkpoint's own fault plan; drop -faultplan")
+		}
+		if o.polSpec != "" {
+			die("-restore resumes the checkpoint's own buffer policy; drop -bufpolicy")
+		}
+		s, err = pipemem.ResumeSession(ck.Restore, opts)
+	} else {
+		spec := pipemem.SimSpec{
+			Switch:  pipemem.Config{Ports: o.n, WordBits: 16, Cells: o.buf, CutThrough: true},
+			Traffic: o.traffic,
+			Cycles:  o.cycles,
+			Policy:  o.polSpec,
+		}
+		if o.faultplan != "" {
+			spec.Switch = pipemem.Config{
+				Ports: o.n, Cells: o.buf, CutThrough: !o.ecc,
+				ECC: o.ecc, BypassThreshold: o.bypass,
+			}
+			plan, perr := loadPlan(o.faultplan, faultOpts{
+				n: o.n, cycles: o.cycles, seed: o.seed, events: o.events,
+			})
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "pmsim:", perr)
+				os.Exit(1)
+			}
+			spec.Plan, spec.FaultSeed = plan, o.seed
+		}
+		s, err = pipemem.NewSession(spec, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+	res, rerr := s.Run()
+	fmt.Println(res)
+	if eng := s.Engine(); eng != nil {
+		tallies := eng.Counters().Snapshot()
+		for _, k := range []string{"mem", "stuck", "ctrl", "inreg"} {
+			if a, sk := tallies["applied-"+k], tallies["skipped-"+k]; a+sk > 0 {
+				fmt.Printf("faults: %-11s applied=%d skipped=%d\n", k, a, sk)
+			}
+		}
+	}
+	if rerr != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", rerr)
+		os.Exit(1)
+	}
 }
 
 type faultOpts struct {

@@ -33,6 +33,22 @@ func Measure(p Point, warmup int64) (Record, error) {
 // benchmark (make obs-overhead). Observers apply only to the
 // full-quantum organization; a Dual point ignores obs.
 func MeasureObserved(p Point, warmup int64, obs *core.Observer) (Record, error) {
+	return measure(p, warmup, obs, 0)
+}
+
+// MeasureAudited is Measure with the online invariant auditor run every
+// auditEvery cycles of the timed region (and of the warmup, so the
+// auditor's one-time scratch allocation stays out of the measurement) —
+// the harness behind the audit-overhead gate (make audit-overhead). Only
+// the pipelined organization is auditable.
+func MeasureAudited(p Point, warmup, auditEvery int64) (Record, error) {
+	if auditEvery <= 0 {
+		return Record{}, fmt.Errorf("%s: auditEvery must be positive", p.Label)
+	}
+	return measure(p, warmup, nil, auditEvery)
+}
+
+func measure(p Point, warmup int64, obs *core.Observer, auditEvery int64) (Record, error) {
 	var t Ticker
 	var err error
 	if p.Dual {
@@ -46,6 +62,14 @@ func MeasureObserved(p Point, warmup int64, obs *core.Observer) (Record, error) 
 	}
 	if err != nil {
 		return Record{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	var auditSw *core.Switch
+	if auditEvery > 0 {
+		sw, ok := t.(*core.Switch)
+		if !ok {
+			return Record{}, fmt.Errorf("%s: auditing requires the pipelined organization", p.Label)
+		}
+		auditSw = sw
 	}
 	cfg := t.Config()
 	k := cfg.Stages
@@ -76,14 +100,32 @@ func MeasureObserved(p Point, warmup int64, obs *core.Observer) (Record, error) 
 	}
 	for c := int64(0); c < warmup; c++ {
 		tick()
+		// Auditing during warmup too keeps the auditor's one-time scratch
+		// allocation out of the measured region.
+		if auditSw != nil && (c+1)%auditEvery == 0 {
+			if aerr := auditSw.AuditInvariants(); aerr != nil {
+				return Record{}, fmt.Errorf("%s: warmup audit: %w", p.Label, aerr)
+			}
+		}
 	}
 	delivered = 0
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	for c := int64(0); c < p.Cycles; c++ {
-		tick()
+	if auditSw != nil {
+		for c := int64(0); c < p.Cycles; c++ {
+			tick()
+			if (c+1)%auditEvery == 0 {
+				if aerr := auditSw.AuditInvariants(); aerr != nil {
+					return Record{}, fmt.Errorf("%s: audit at cycle %d: %w", p.Label, c+1, aerr)
+				}
+			}
+		}
+	} else {
+		for c := int64(0); c < p.Cycles; c++ {
+			tick()
+		}
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)

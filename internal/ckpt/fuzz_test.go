@@ -1,0 +1,60 @@
+package ckpt
+
+import (
+	"reflect"
+	"testing"
+
+	"pipemem/internal/traffic"
+)
+
+// FuzzCheckpointCycle drives the replay-equivalence property from
+// arbitrary interrupt points: whatever cycle the fuzzer picks, a run
+// checkpointed there and resumed must finish bit-identically to the
+// uninterrupted run. The seed corpus covers the edges (before the first
+// arrival, deep in the drain); the fuzzer explores the middle.
+func FuzzCheckpointCycle(f *testing.F) {
+	f.Add(uint16(0), uint64(1))
+	f.Add(uint16(1), uint64(7))
+	f.Add(uint16(250), uint64(42))
+	f.Add(uint16(399), uint64(3))
+	f.Add(uint16(450), uint64(9)) // inside the drain tail
+
+	f.Fuzz(func(t *testing.T, steps uint16, seed uint64) {
+		spec := Spec{
+			Switch:  coreConfig(),
+			Traffic: traffic.Config{Kind: traffic.Bernoulli, N: 4, Load: 0.9, Seed: seed},
+			Cycles:  400,
+			Policy:  "dt:alpha=2",
+		}
+		want := runFull(t, spec)
+
+		s, err := New(spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < int(steps); i++ {
+			ok, err := s.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break // run ended before the interrupt point; still valid
+			}
+		}
+		ck, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ResumeFrom(ck, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("interrupt after %d steps diverged:\n got  %+v\n want %+v", steps, got, want)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+)
+
+// CheckpointValue holds the checkpoint/robustness flag group shared by the
+// RTL-driving tools: where to write checkpoints, how often, what to resume
+// from, and the audit/watchdog cadences.
+type CheckpointValue struct {
+	// Path receives periodic checkpoints ("" = none); Every is the cycle
+	// cadence (0 with a Path = a default of cycles/10, resolved by
+	// EffectiveEvery).
+	Path  string
+	Every int64
+	// Restore resumes from this checkpoint file instead of starting fresh.
+	Restore string
+	// AuditEvery runs the online invariant auditor every N cycles;
+	// Watchdog arms the no-progress watchdog with an N-cycle window.
+	AuditEvery int64
+	Watchdog   int64
+}
+
+// CheckpointFlags registers the -checkpoint, -ckpt-every, -restore,
+// -audit and -watchdog flags on fs (nil means flag.CommandLine).
+func CheckpointFlags(fs *flag.FlagSet) *CheckpointValue {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	v := &CheckpointValue{}
+	fs.StringVar(&v.Path, "checkpoint", "",
+		"RTL run: write crash-consistent checkpoints of the full simulation state to this file")
+	fs.Int64Var(&v.Every, "ckpt-every", 0,
+		"cycles between auto-checkpoints (0 with -checkpoint = every cycles/10)")
+	fs.StringVar(&v.Restore, "restore", "",
+		"resume an RTL run from this checkpoint file (traffic, policy and fault plan come from the checkpoint)")
+	fs.Int64Var(&v.AuditEvery, "audit", 0,
+		"RTL run: verify internal invariants (conservation, occupancy, hazard-freedom) every N cycles (0 = off)")
+	fs.Int64Var(&v.Watchdog, "watchdog", 0,
+		"RTL run: abort with a diagnostic checkpoint if no cell moves for N cycles while some are resident (0 = off)")
+	return v
+}
+
+// Active reports whether any checkpoint/robustness flag was supplied —
+// the signal to route the run through a checkpointable session.
+func (v *CheckpointValue) Active() bool {
+	return v.Path != "" || v.Restore != "" || v.AuditEvery > 0 || v.Watchdog > 0
+}
+
+// Validate rejects nonsensical flag combinations with one-line actionable
+// errors.
+func (v *CheckpointValue) Validate() error {
+	if v.Every < 0 || v.AuditEvery < 0 || v.Watchdog < 0 {
+		return errors.New("-ckpt-every, -audit and -watchdog must be >= 0")
+	}
+	if v.Every > 0 && v.Path == "" {
+		return errors.New("-ckpt-every needs -checkpoint PATH to write to")
+	}
+	if v.Restore != "" && v.Path != "" && v.Restore == v.Path {
+		return fmt.Errorf("-restore and -checkpoint both name %q; resuming would overwrite the file being read (pick a new -checkpoint path)", v.Path)
+	}
+	return nil
+}
+
+// EffectiveEvery resolves the auto-checkpoint cadence for a run of the
+// given cycle count: the explicit -ckpt-every, or cycles/10 (at least 1)
+// when -checkpoint was given without a cadence.
+func (v *CheckpointValue) EffectiveEvery(cycles int64) int64 {
+	if v.Path == "" {
+		return 0
+	}
+	if v.Every > 0 {
+		return v.Every
+	}
+	if e := cycles / 10; e > 0 {
+		return e
+	}
+	return 1
+}

@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func parseCkpt(t *testing.T, args ...string) *CheckpointValue {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	v := CheckpointFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCheckpointFlagsInactiveByDefault(t *testing.T) {
+	v := parseCkpt(t)
+	if v.Active() {
+		t.Fatal("no flags given, but Active")
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.EffectiveEvery(1000) != 0 {
+		t.Fatal("cadence without -checkpoint must be 0")
+	}
+}
+
+func TestCheckpointFlagsValidation(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantSub string
+	}{
+		{[]string{"-ckpt-every", "100"}, "-checkpoint"},
+		{[]string{"-checkpoint", "x", "-ckpt-every", "-5"}, ">= 0"},
+		{[]string{"-audit", "-1"}, ">= 0"},
+		{[]string{"-watchdog", "-1"}, ">= 0"},
+		{[]string{"-restore", "x", "-checkpoint", "x"}, "overwrite"},
+	}
+	for _, c := range cases {
+		v := parseCkpt(t, c.args...)
+		err := v.Validate()
+		if err == nil {
+			t.Fatalf("%v: accepted", c.args)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("%v: error %q does not mention %q", c.args, err, c.wantSub)
+		}
+	}
+}
+
+func TestCheckpointFlagsEffectiveEvery(t *testing.T) {
+	if got := parseCkpt(t, "-checkpoint", "x").EffectiveEvery(1000); got != 100 {
+		t.Fatalf("default cadence = %d, want 100", got)
+	}
+	if got := parseCkpt(t, "-checkpoint", "x", "-ckpt-every", "7").EffectiveEvery(1000); got != 7 {
+		t.Fatalf("explicit cadence = %d, want 7", got)
+	}
+	if got := parseCkpt(t, "-checkpoint", "x").EffectiveEvery(3); got != 1 {
+		t.Fatalf("tiny-run cadence = %d, want 1", got)
+	}
+	if got := parseCkpt(t, "-checkpoint", "x", "-restore", "y").Active(); !got {
+		t.Fatal("flags given, but not Active")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import "fmt"
+
+// Online invariant auditing.
+//
+// AuditInvariants cross-checks the switch's redundant state against itself
+// at a cycle boundary: conservation of cells, occupancy bookkeeping, the
+// free lists' consistency with the reference counts, and §3.2's
+// hazard-freedom (each memory bank accessed at most once per cycle). It is
+// designed to run online — every N cycles of a production run — so the
+// clean path allocates nothing and touches O(Cells + ports·VCs + stages)
+// words; errors are constructed only on violation.
+
+// AuditInvariants verifies the switch's internal invariants. It returns
+// nil when every check passes and a descriptive error on the first
+// violation. Call it between Ticks (any cycle boundary is valid).
+//
+// Conservation (offered == delivered + dropped + resident) is checked only
+// while no multicast cell is resident: multicast counts one offered cell
+// per arrival but one delivery per copy, so the unicast identity does not
+// hold for it.
+func (s *Switch) AuditInvariants() error {
+	// Occupancy cross-consistency: per-output occupancy mirrors the VC
+	// queue lengths it summarizes.
+	totalQueued := 0
+	for o := 0; o < s.n; o++ {
+		sum := 0
+		for vc := 0; vc < s.cfg.VCs; vc++ {
+			sum += s.queues.Len(s.qidx(o, vc))
+		}
+		if s.outOcc[o] != sum {
+			return fmt.Errorf("core: audit: output %d occupancy %d, but its VC queues hold %d", o, s.outOcc[o], sum)
+		}
+		totalQueued += sum
+	}
+	if s.queues.Total() != totalQueued {
+		return fmt.Errorf("core: audit: multiqueue total %d, per-queue sum %d", s.queues.Total(), totalQueued)
+	}
+
+	// Reference counts vs the address free list. Below addrLimit an
+	// address is allocated exactly while copies still queue it; at or
+	// above addrLimit (possible only after a bypass halved the buffer)
+	// addresses are permanently retired: marked allocated, never queued.
+	refSum := 0
+	multicast := false
+	for a := 0; a < s.cfg.Cells; a++ {
+		rc := s.refcnt[a]
+		if rc < 0 {
+			return fmt.Errorf("core: audit: address %d has negative refcnt %d", a, rc)
+		}
+		if rc > 1 {
+			multicast = true
+		}
+		refSum += rc
+		if a < s.addrLimit {
+			if (rc > 0) != s.free.Allocated(a) {
+				return fmt.Errorf("core: audit: address %d refcnt %d but free list says allocated=%v", a, rc, s.free.Allocated(a))
+			}
+		} else {
+			if rc != 0 || !s.free.Allocated(a) {
+				return fmt.Errorf("core: audit: retired address %d (limit %d) has refcnt %d, allocated=%v", a, s.addrLimit, rc, s.free.Allocated(a))
+			}
+		}
+	}
+	if refSum != s.queues.Total() {
+		return fmt.Errorf("core: audit: refcnt sum %d, queued descriptors %d", refSum, s.queues.Total())
+	}
+	if got := s.nfree.Size() - s.nfree.Free(); got != s.queues.Total() {
+		return fmt.Errorf("core: audit: %d descriptor nodes allocated, %d queued", got, s.queues.Total())
+	}
+
+	// Occupancy bounds.
+	if b := s.queues.Total(); b > s.addrLimit {
+		return fmt.Errorf("core: audit: %d cells buffered, capacity %d", b, s.addrLimit)
+	}
+	if f := s.free.Free(); f > s.addrLimit {
+		return fmt.Errorf("core: audit: %d free addresses, capacity %d", f, s.addrLimit)
+	}
+
+	// pendingWrites mirrors the input rows still awaiting a write wave.
+	pending := 0
+	for i := range s.inflight {
+		if a := &s.inflight[i]; a.active && !a.written {
+			pending++
+		}
+	}
+	if pending != s.pendingWrites {
+		return fmt.Errorf("core: audit: pendingWrites %d, but %d input rows await a write wave", s.pendingWrites, pending)
+	}
+
+	// §4.3 delay-line census.
+	if s.inDelay != nil {
+		inDelay := 0
+		for _, slot := range s.inDelay {
+			for _, c := range slot {
+				if c != nil {
+					inDelay++
+				}
+			}
+		}
+		if inDelay != s.delayCount {
+			return fmt.Errorf("core: audit: delayCount %d, but %d cells occupy the delay line", s.delayCount, inDelay)
+		}
+	}
+
+	// §3.2 hazard-freedom for the upcoming cycle: stage st will execute
+	// the op initiated at cycle-st, touching one physical bank (possibly
+	// redirected by an active bypass). No two stages may meet on a bank —
+	// the banks are single-ported.
+	if err := s.auditHazards(); err != nil {
+		return err
+	}
+
+	// Conservation: every cell the switch has counted as offered is
+	// delivered, dropped, or still resident (input rows, buffer, egress).
+	// The §4.3 delay line holds cells not yet counted offered, so it is
+	// deliberately absent from both sides.
+	if !multicast {
+		offered := s.counter.Get("offered")
+		resident := int64(s.Buffered() + s.inFlightCount() + s.egressWords())
+		if got := s.counter.Get("delivered") + s.DroppedCells() + resident; got != offered {
+			return fmt.Errorf("core: audit: conservation violated: offered %d, delivered+dropped+resident %d (resident %d)",
+				offered, got, resident)
+		}
+	}
+	return nil
+}
+
+// auditHazards checks that the control words the stages will execute in
+// the upcoming cycle touch pairwise distinct physical banks (§3.2: "a
+// given memory performs a single access per clock cycle").
+func (s *Switch) auditHazards() error {
+	c := s.cycle
+	// seen[b] = stage that claims bank b this cycle, offset by +1 (0 =
+	// unclaimed).
+	if s.auditScratch == nil {
+		s.auditScratch = make([]int, s.k)
+	}
+	seen := s.auditScratch
+	for b := range seen {
+		seen[b] = 0
+	}
+	for st := 0; st < s.k; st++ {
+		op := s.ctrl[s.ctrlSlot(c, st)]
+		if op.Kind == OpNone {
+			continue
+		}
+		b, _ := s.bankFor(st, op.Addr, op.Remap)
+		if prev := seen[b]; prev != 0 {
+			return fmt.Errorf("core: audit: cycle %d: stages %d and %d both access bank %d (§3.2 hazard)", c, prev-1, st, b)
+		}
+		seen[b] = st + 1
+	}
+	return nil
+}

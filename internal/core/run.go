@@ -64,90 +64,11 @@ func (r RunResult) String() string {
 
 // RunTraffic drives the switch with the cell stream for the given number
 // of cycles, then drains in-flight cells, verifying the integrity of every
-// departure. The stream's port count and the switch's must agree.
+// departure. The stream's port count and the switch's must agree. It is a
+// thin wrapper over Runner, the step-wise (and checkpointable) form of the
+// same loop.
 func RunTraffic(s *Switch, cs *traffic.CellStream, cycles int64) (RunResult, error) {
-	n, k := s.n, s.k
-	heads := make([]int, n)
-	hcells := make([]*cell.Cell, n)
-	pool := cell.NewPool(k)
-	s.SetDrainRecycle(true)
-	defer s.SetDrainRecycle(false)
-	var seq uint64
-	var res RunResult
-	minLat := int64(-1)
-	busyWords := int64(0)
-
-	var occSum float64
-	collect := func() {
-		for _, d := range s.Drain() {
-			res.Delivered++
-			busyWords += int64(k)
-			if !d.Cell.Equal(d.Expected) {
-				res.Corrupt++
-			}
-			lat := d.HeadOut - d.HeadIn
-			if minLat < 0 || lat < minLat {
-				minLat = lat
-			}
-			// The injected cell has left the switch; reuse it for a
-			// later arrival (unicast only — every cell here is).
-			pool.Put(d.Expected)
-		}
-		if b := s.Buffered(); b > res.MaxBuffered {
-			res.MaxBuffered = b
-		}
-	}
-
-	for c := int64(0); c < cycles; c++ {
-		cs.Heads(heads)
-		for i := range hcells {
-			hcells[i] = nil
-			if heads[i] != traffic.NoArrival {
-				seq++
-				hcells[i] = pool.New(seq, i, heads[i], s.cfg.WordBits)
-				res.Offered++
-			}
-		}
-		s.Tick(hcells)
-		collect()
-		occSum += float64(s.Buffered())
-	}
-	res.MeanBuffered = occSum / float64(cycles)
-	// Drain: stop injecting and let the pipeline and queues empty. The
-	// bound covers the worst case of a full buffer funneled through one
-	// output.
-	drainBound := int64((s.cfg.Cells + 2) * k * 2)
-	total := cycles
-	for c := int64(0); c < drainBound && (s.Buffered() > 0 || s.inFlightCount() > 0 || s.egressBusy()); c++ {
-		s.Tick(nil)
-		collect()
-		total++
-	}
-	res.Cycles = s.cycle
-	s.SyncObserver() // final occupancy-gauge publish (decimated in Tick)
-	res.DropOverrun = s.counter.Get("drop-overrun")
-	res.DropPolicy = s.counter.Get("drop-policy")
-	res.DropPushOut = s.counter.Get("drop-pushout")
-	res.Dropped = s.DroppedCells()
-	res.InputStalls = append([]int64(nil), s.inStalls...)
-	res.InputDrops = append([]int64(nil), s.inDrops...)
-	res.OutputDrops = append([]int64(nil), s.outDrops...)
-	res.MeanCutLatency = s.cutLatency.Mean()
-	res.MinCutLatency = minLat
-	res.MeanInitDelay = s.initDelay.Mean()
-	res.CutLatencyOverflow = s.cutLatency.Overflow()
-	// Utilization normalizes by every simulated cycle of this run —
-	// driven window plus drain tail — so link activity during the drain
-	// cannot push the ratio past 1.0.
-	res.Utilization = float64(busyWords) / float64(total*int64(n))
-	if res.Delivered+res.Dropped+s.pendingCount() != res.Offered {
-		return res, fmt.Errorf("core: conservation violated: offered %d, delivered %d, dropped %d, pending %d",
-			res.Offered, res.Delivered, res.Dropped, s.pendingCount())
-	}
-	if res.Corrupt > 0 {
-		return res, fmt.Errorf("core: %d corrupted cells", res.Corrupt)
-	}
-	return res, nil
+	return NewRunner(s, cs, cycles).Result()
 }
 
 // countCells counts non-nil entries of a heads vector.

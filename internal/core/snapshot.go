@@ -1,0 +1,494 @@
+package core
+
+import (
+	"fmt"
+
+	"pipemem/internal/cell"
+	"pipemem/internal/stats"
+)
+
+// Deterministic state capture of a Switch.
+//
+// Snapshot walks every piece of loop-carried state the Tick machine
+// depends on and externalizes it into plain, JSON-serializable structs;
+// NewFromSnapshot rebuilds a switch that continues bit for bit where the
+// original left off. The correctness bar is replay equivalence: a run
+// restored at cycle k must produce the same departures, the same drops and
+// the same trace events as the uninterrupted run.
+//
+// What is deliberately NOT captured:
+//
+//   - The recycling pools (reasmFree, cellFree, doneOut) and the cell
+//     pool warmth: they only affect allocation, never behavior.
+//   - The observability layer (Observer, tracer, shadow tallies): metrics
+//     restart from zero after a restore; events emitted after the restore
+//     point are still identical to the uninterrupted run's.
+//   - Hooks (gates, transmit callbacks) and the bufmgr policy object:
+//     callers reinstall them after restore (the checkpoint layer records
+//     the policy spec string for exactly this purpose).
+//
+// Cells appear in several structures at once (an input-register arrival,
+// its queued descriptor and its egress reassembly record may all reference
+// one *cell.Cell). Snapshot serializes each reference by content, so
+// restore breaks the aliasing into distinct copies. This is behaviorally
+// invisible: inside the switch a cell's content is read-only, the input
+// latching window ends before its departure completes, and integrity
+// comparisons are by value.
+
+// CellState is the serialized form of a cell.Cell.
+type CellState struct {
+	Seq     uint64
+	Src     int
+	Dst     int
+	VC      int
+	Copies  []int `json:",omitempty"`
+	Enqueue int64
+	Words   []cell.Word
+}
+
+func cellState(c *cell.Cell) *CellState {
+	if c == nil {
+		return nil
+	}
+	st := &CellState{
+		Seq: c.Seq, Src: c.Src, Dst: c.Dst, VC: c.VC,
+		Enqueue: c.Enqueue,
+		Words:   append([]cell.Word(nil), c.Words...),
+	}
+	if c.Copies != nil {
+		st.Copies = append([]int(nil), c.Copies...)
+	}
+	return st
+}
+
+func cellFromState(st *CellState) *cell.Cell {
+	if st == nil {
+		return nil
+	}
+	c := &cell.Cell{
+		Seq: st.Seq, Src: st.Src, Dst: st.Dst, VC: st.VC,
+		Enqueue: st.Enqueue,
+		Words:   append([]cell.Word(nil), st.Words...),
+	}
+	if st.Copies != nil {
+		c.Copies = append([]int(nil), st.Copies...)
+	}
+	return c
+}
+
+// OutWordState is the serialized form of one shared output register.
+type OutWordState struct {
+	Word     cell.Word
+	Out      int
+	LoadedAt int64
+	Valid    bool
+}
+
+// ArrivalState is the serialized form of one input register row's
+// occupancy.
+type ArrivalState struct {
+	Cell    *CellState `json:",omitempty"`
+	Head    int64
+	Written bool
+	Active  bool
+}
+
+// DescState is the serialized form of a buffered cell's descriptor.
+type DescState struct {
+	Cell       *CellState
+	Head       int64
+	WriteStart int64
+	VC         int
+	Addr       int
+}
+
+func descState(d *desc) DescState {
+	return DescState{Cell: cellState(d.c), Head: d.head, WriteStart: d.writeStart, VC: d.vc, Addr: d.addr}
+}
+
+func descFromState(st *DescState) desc {
+	return desc{c: cellFromState(st.Cell), head: st.Head, writeStart: st.WriteStart, vc: st.VC, addr: st.Addr}
+}
+
+// QueueNodeState is one descriptor-queue entry: the node index it occupies
+// in the shared pool (index identity matters — the node free list's
+// allocation order is part of the deterministic state) and the descriptor
+// content.
+type QueueNodeState struct {
+	Node int
+	Desc DescState
+}
+
+// ReasmState is one departure in flight at an egress link.
+type ReasmState struct {
+	Desc  DescState
+	Words []cell.Word
+	Start int64
+}
+
+// SwitchState is the complete serialized state of a Switch between Ticks.
+// All fields are exported and JSON-round-trippable.
+type SwitchState struct {
+	Config Config
+	Cycle  int64
+
+	Mem    [][]cell.Word
+	ECCMem [][]uint8 `json:",omitempty"`
+	InReg  [][]cell.Word
+	OutReg []OutWordState
+	Ctrl   []Op
+	Loaded []int
+
+	Inflight []ArrivalState
+
+	// FreeAddrs and FreeNodes are the exact LIFO stacks of the address and
+	// descriptor-node free lists (last entry = next allocation).
+	FreeAddrs []int32
+	FreeNodes []int32
+	// Queues[q] lists queue q's nodes front to tail.
+	Queues [][]QueueNodeState
+	Refcnt []int
+	OutOcc []int
+
+	WrSkip   []int64
+	InStalls []int64
+	InDrops  []int64
+	OutDrops []int64
+
+	LinkFree  []int64
+	ReadRR    int
+	VCRR      []int
+	VCWeights [][]int `json:",omitempty"`
+	VCTokens  [][]int `json:",omitempty"`
+	WriteRR   int
+
+	Egress [][]ReasmState
+
+	Stuck        []bool `json:",omitempty"`
+	StageErr     []int
+	StageDown    []bool
+	Halved       bool
+	Failed       bool
+	AddrLimit    int
+	LastInit     int64
+	WriteStartAt []int64
+
+	// InDelay[slot][input] is the §4.3 link-pipelining delay line content
+	// (present only when Config.LinkPipeline > 0 and the line has been
+	// touched).
+	InDelay [][]*CellState `json:",omitempty"`
+
+	Counters   map[string]int64
+	InitDelay  stats.MeanState
+	CutLatency stats.HistState
+}
+
+// Snapshot exports the switch's complete state. It must be taken at a
+// cycle boundary with no uncollected departures (call Drain first); the
+// departure buffer references recycled cells whose ownership is in flight,
+// so checkpointing between Tick and Drain is an error.
+func (s *Switch) Snapshot() (*SwitchState, error) {
+	if len(s.done) != 0 {
+		return nil, fmt.Errorf("core: snapshot with %d uncollected departures; call Drain before Snapshot", len(s.done))
+	}
+	st := &SwitchState{
+		Config: s.cfg,
+		Cycle:  s.cycle,
+
+		Mem:    copyWords2(s.mem),
+		InReg:  copyWords2(s.inReg),
+		OutReg: make([]OutWordState, s.k),
+		Ctrl:   append([]Op(nil), s.ctrl...),
+		Loaded: append([]int(nil), s.loaded...),
+
+		Inflight: make([]ArrivalState, s.n),
+
+		FreeAddrs: s.free.Snapshot(),
+		FreeNodes: s.nfree.Snapshot(),
+		Queues:    make([][]QueueNodeState, s.queues.Queues()),
+		Refcnt:    append([]int(nil), s.refcnt...),
+		OutOcc:    append([]int(nil), s.outOcc...),
+
+		WrSkip:   append([]int64(nil), s.wrSkip...),
+		InStalls: append([]int64(nil), s.inStalls...),
+		InDrops:  append([]int64(nil), s.inDrops...),
+		OutDrops: append([]int64(nil), s.outDrops...),
+
+		LinkFree: append([]int64(nil), s.linkFree...),
+		ReadRR:   s.readRR,
+		VCRR:     append([]int(nil), s.vcRR...),
+		WriteRR:  s.writeRR,
+
+		Egress: make([][]ReasmState, s.n),
+
+		StageErr:     append([]int(nil), s.stageErr...),
+		StageDown:    append([]bool(nil), s.stageDown...),
+		Halved:       s.halved,
+		Failed:       s.failed,
+		AddrLimit:    s.addrLimit,
+		LastInit:     s.lastInit,
+		WriteStartAt: append([]int64(nil), s.writeStartAt...),
+
+		Counters:   s.counter.Snapshot(),
+		InitDelay:  s.initDelay.State(),
+		CutLatency: s.cutLatency.State(),
+	}
+	if s.eccMem != nil {
+		st.ECCMem = make([][]uint8, s.k)
+		for b := range s.eccMem {
+			st.ECCMem[b] = append([]uint8(nil), s.eccMem[b]...)
+		}
+	}
+	for i := range s.outReg {
+		r := &s.outReg[i]
+		st.OutReg[i] = OutWordState{Word: r.word, Out: r.out, LoadedAt: r.loadedAt, Valid: r.valid}
+	}
+	for i := range s.inflight {
+		a := &s.inflight[i]
+		st.Inflight[i] = ArrivalState{Cell: cellState(a.c), Head: a.head, Written: a.written, Active: a.active}
+	}
+	for q := range st.Queues {
+		list := []QueueNodeState{}
+		s.queues.Do(q, func(node int) {
+			list = append(list, QueueNodeState{Node: node, Desc: descState(&s.nodes[node])})
+		})
+		st.Queues[q] = list
+	}
+	for o := range s.egress {
+		e := s.egress[o]
+		list := make([]ReasmState, 0, e.Len())
+		for i := 0; i < e.Len(); i++ {
+			r, _ := e.At(i)
+			list = append(list, ReasmState{
+				Desc:  descState(&r.d),
+				Words: append([]cell.Word(nil), r.words...),
+				Start: r.start,
+			})
+		}
+		st.Egress[o] = list
+	}
+	if s.vcWeights != nil {
+		st.VCWeights = copyInts2(s.vcWeights)
+		st.VCTokens = copyInts2(s.vcTokens)
+	}
+	if s.stuck != nil {
+		st.Stuck = append([]bool(nil), s.stuck...)
+	}
+	if s.inDelay != nil {
+		st.InDelay = make([][]*CellState, len(s.inDelay))
+		for slot := range s.inDelay {
+			row := make([]*CellState, s.n)
+			for i, c := range s.inDelay[slot] {
+				row[i] = cellState(c)
+			}
+			st.InDelay[slot] = row
+		}
+	}
+	return st, nil
+}
+
+// NewFromSnapshot rebuilds a switch from an exported state. The returned
+// switch has no observer, tracer, hooks or bufmgr policy installed —
+// reattach them before Ticking (a bufmgr policy must be the same policy
+// the snapshotted switch ran, or replay diverges).
+func NewFromSnapshot(st *SwitchState) (*Switch, error) {
+	s, err := New(st.Config)
+	if err != nil {
+		return nil, err
+	}
+	n, k := s.n, s.k
+	if err := checkLens("switch state", map[string]([2]int){
+		"Mem":          {len(st.Mem), k},
+		"InReg":        {len(st.InReg), n},
+		"OutReg":       {len(st.OutReg), k},
+		"Ctrl":         {len(st.Ctrl), k},
+		"Inflight":     {len(st.Inflight), n},
+		"Queues":       {len(st.Queues), s.queues.Queues()},
+		"Refcnt":       {len(st.Refcnt), s.cfg.Cells},
+		"OutOcc":       {len(st.OutOcc), n},
+		"WrSkip":       {len(st.WrSkip), n},
+		"InStalls":     {len(st.InStalls), n},
+		"InDrops":      {len(st.InDrops), n},
+		"OutDrops":     {len(st.OutDrops), n},
+		"LinkFree":     {len(st.LinkFree), n},
+		"VCRR":         {len(st.VCRR), n},
+		"Egress":       {len(st.Egress), n},
+		"StageErr":     {len(st.StageErr), k},
+		"StageDown":    {len(st.StageDown), k},
+		"WriteStartAt": {len(st.WriteStartAt), s.cfg.Cells},
+	}); err != nil {
+		return nil, err
+	}
+	for b := range st.Mem {
+		if len(st.Mem[b]) != s.cfg.Cells {
+			return nil, fmt.Errorf("core: switch state Mem[%d] has %d words, want %d", b, len(st.Mem[b]), s.cfg.Cells)
+		}
+		copy(s.mem[b], st.Mem[b])
+	}
+	if st.ECCMem != nil {
+		if s.eccMem == nil {
+			return nil, fmt.Errorf("core: switch state carries ECC bits but config has ECC off")
+		}
+		if len(st.ECCMem) != k {
+			return nil, fmt.Errorf("core: switch state ECCMem has %d banks, want %d", len(st.ECCMem), k)
+		}
+		for b := range st.ECCMem {
+			copy(s.eccMem[b], st.ECCMem[b])
+		}
+	} else if s.eccMem != nil {
+		return nil, fmt.Errorf("core: config has ECC on but switch state carries no ECC bits")
+	}
+	for i := range st.InReg {
+		if len(st.InReg[i]) != k {
+			return nil, fmt.Errorf("core: switch state InReg[%d] has %d words, want %d", i, len(st.InReg[i]), k)
+		}
+		copy(s.inReg[i], st.InReg[i])
+	}
+	for i, r := range st.OutReg {
+		s.outReg[i] = outWord{word: r.Word, out: r.Out, loadedAt: r.LoadedAt, valid: r.Valid}
+	}
+	copy(s.ctrl, st.Ctrl)
+	for _, stg := range st.Loaded {
+		if stg < 0 || stg >= k {
+			return nil, fmt.Errorf("core: switch state loaded stage %d out of range", stg)
+		}
+	}
+	s.loaded = append(s.loaded[:0], st.Loaded...)
+
+	s.pendingWrites = 0
+	for i := range st.Inflight {
+		a := &st.Inflight[i]
+		s.inflight[i] = arrival{c: cellFromState(a.Cell), head: a.Head, written: a.Written, active: a.Active}
+		if a.Active && !a.Written {
+			s.pendingWrites++
+		}
+	}
+
+	if err := s.free.RestoreState(st.FreeAddrs); err != nil {
+		return nil, fmt.Errorf("core: restore address free list: %w", err)
+	}
+	if err := s.nfree.RestoreState(st.FreeNodes); err != nil {
+		return nil, fmt.Errorf("core: restore descriptor free list: %w", err)
+	}
+	for q, list := range st.Queues {
+		for i := range list {
+			qn := &list[i]
+			if qn.Node < 0 || qn.Node >= len(s.nodes) {
+				return nil, fmt.Errorf("core: switch state queue %d holds node %d out of range", q, qn.Node)
+			}
+			if !s.nfree.Allocated(qn.Node) {
+				return nil, fmt.Errorf("core: switch state queue %d holds node %d that the free list says is free", q, qn.Node)
+			}
+			s.nodes[qn.Node] = descFromState(&qn.Desc)
+			s.queues.Push(q, qn.Node)
+		}
+	}
+	copy(s.refcnt, st.Refcnt)
+	copy(s.outOcc, st.OutOcc)
+
+	copy(s.wrSkip, st.WrSkip)
+	copy(s.inStalls, st.InStalls)
+	copy(s.inDrops, st.InDrops)
+	copy(s.outDrops, st.OutDrops)
+
+	copy(s.linkFree, st.LinkFree)
+	s.readRR = st.ReadRR
+	copy(s.vcRR, st.VCRR)
+	s.writeRR = st.WriteRR
+	if st.VCWeights != nil {
+		s.vcWeights = copyInts2(st.VCWeights)
+		s.vcTokens = copyInts2(st.VCTokens)
+	}
+
+	for o, list := range st.Egress {
+		for i := range list {
+			rs := &list[i]
+			r := s.getReasm()
+			r.d = descFromState(&rs.Desc)
+			r.words = append(r.words[:0], rs.Words...)
+			r.start = rs.Start
+			s.egress[o].Push(r)
+		}
+		if front, ok := s.egress[o].Front(); ok {
+			s.rxHead[o] = front
+		}
+	}
+
+	if st.Stuck != nil {
+		if len(st.Stuck) != k {
+			return nil, fmt.Errorf("core: switch state Stuck has %d banks, want %d", len(st.Stuck), k)
+		}
+		s.stuck = append([]bool(nil), st.Stuck...)
+	}
+	copy(s.stageErr, st.StageErr)
+	copy(s.stageDown, st.StageDown)
+	s.halved = st.Halved
+	s.failed = st.Failed
+	if st.AddrLimit < 0 || st.AddrLimit > s.cfg.Cells {
+		return nil, fmt.Errorf("core: switch state address limit %d out of range 0…%d", st.AddrLimit, s.cfg.Cells)
+	}
+	s.addrLimit = st.AddrLimit
+	s.lastInit = st.LastInit
+	copy(s.writeStartAt, st.WriteStartAt)
+
+	if st.InDelay != nil {
+		r := s.cfg.LinkPipeline
+		if len(st.InDelay) != r {
+			return nil, fmt.Errorf("core: switch state delay line has %d slots, config pipelines %d", len(st.InDelay), r)
+		}
+		s.inDelay = make([][]*cell.Cell, r)
+		s.delayScratch = make([]*cell.Cell, n)
+		s.delayCount = 0
+		for slot := range st.InDelay {
+			if len(st.InDelay[slot]) != n {
+				return nil, fmt.Errorf("core: switch state delay slot %d has %d inputs, want %d", slot, len(st.InDelay[slot]), n)
+			}
+			s.inDelay[slot] = make([]*cell.Cell, n)
+			for i, cs := range st.InDelay[slot] {
+				c := cellFromState(cs)
+				s.inDelay[slot][i] = c
+				if c != nil {
+					s.delayCount++
+				}
+			}
+		}
+	}
+
+	for name, v := range st.Counters {
+		s.counter.Set(name, v)
+	}
+	s.initDelay.RestoreState(st.InitDelay)
+	if err := s.cutLatency.RestoreState(st.CutLatency); err != nil {
+		return nil, fmt.Errorf("core: restore cut-latency histogram: %w", err)
+	}
+	s.cycle = st.Cycle
+	return s, nil
+}
+
+func copyWords2(src [][]cell.Word) [][]cell.Word {
+	out := make([][]cell.Word, len(src))
+	for i := range src {
+		out[i] = append([]cell.Word(nil), src[i]...)
+	}
+	return out
+}
+
+func copyInts2(src [][]int) [][]int {
+	out := make([][]int, len(src))
+	for i := range src {
+		if src[i] != nil {
+			out[i] = append([]int(nil), src[i]...)
+		}
+	}
+	return out
+}
+
+// checkLens validates a batch of {got, want} slice lengths.
+func checkLens(what string, lens map[string][2]int) error {
+	for name, gw := range lens {
+		if gw[0] != gw[1] {
+			return fmt.Errorf("core: %s field %s has %d entries, want %d", what, name, gw[0], gw[1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"pipemem/internal/bufmgr"
+	"pipemem/internal/cell"
+	"pipemem/internal/traffic"
+)
+
+// runnerTo drives a fresh (switch, stream, runner) triple for the given
+// number of steps and returns it. polSpec optionally installs a bufmgr
+// policy.
+func runnerTo(t *testing.T, cfg Config, tc traffic.Config, cycles int64, polSpec string, steps int) *Runner {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polSpec != "" {
+		p, err := bufmgr.Parse(polSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetBufferPolicy(p)
+	}
+	cs, err := traffic.NewCellStream(tc, cfg.Canonical().Stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(s, cs, cycles)
+	for i := 0; i < steps && r.Step(); i++ {
+	}
+	return r
+}
+
+// TestSnapshotReplayEquivalence is the core-level replay-equivalence
+// check: snapshot mid-run (including a JSON round trip of every state
+// struct), rebuild, and require a bit-identical RunResult.
+func TestSnapshotReplayEquivalence(t *testing.T) {
+	cfg := Config{Ports: 4, WordBits: 16, Cells: 32, CutThrough: true}
+	tc := traffic.Config{Kind: traffic.Bernoulli, N: 4, Load: 0.85, Seed: 7}
+	const cycles = 2000
+
+	ref := runnerTo(t, cfg, tc, cycles, "dt:alpha=2", 0)
+	want, err := ref.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second run, interrupted at an awkward cycle and revived through the
+	// full serialization path.
+	r := runnerTo(t, cfg, tc, cycles, "dt:alpha=2", 777)
+	swState, err := r.Switch().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := mustJSONRoundTrip(t, swState)
+	runState := r.State()
+	trafficState, err := streamOf(r).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewFromSnapshot(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := bufmgr.Parse("dt:alpha=2")
+	s2.SetBufferPolicy(p)
+	cs2, err := traffic.RestoreCellStream(tc, cfg.Canonical().Stages, trafficState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(s2, cs2, cycles)
+	if err := r2.RestoreState(runState); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored run diverged:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// streamOf reaches the runner's stream for tests.
+func streamOf(r *Runner) *traffic.CellStream { return r.cs }
+
+func mustJSONRoundTrip(t *testing.T, st *SwitchState) *SwitchState {
+	t.Helper()
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := new(SwitchState)
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// A snapshot taken with uncollected departures must be refused: the
+// departure buffer's cells are mid-recycle.
+func TestSnapshotRefusesUncollectedDepartures(t *testing.T) {
+	s, _ := New(Config{Ports: 2, WordBits: 8, Cells: 8, CutThrough: true})
+	k := s.Config().Stages
+	var seq uint64
+	heads := make([]*cell.Cell, 2)
+	for c := 0; c < 10*k && len(s.done) == 0; c++ {
+		for i := range heads {
+			heads[i] = nil
+			if c%k == 0 {
+				seq++
+				heads[i] = cell.New(seq, i, (i+1)%2, k, 8)
+			}
+		}
+		s.Tick(heads)
+	}
+	if len(s.done) == 0 {
+		t.Fatal("no departure accumulated; scenario not reached")
+	}
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot with uncollected departures must fail")
+	}
+}
+
+// TestAuditInvariantsCleanRun runs the auditor frequently through a loaded
+// run (including drain) and expects silence.
+func TestAuditInvariantsCleanRun(t *testing.T) {
+	cfgs := []Config{
+		{Ports: 4, WordBits: 16, Cells: 16, CutThrough: true},
+		{Ports: 4, WordBits: 16, Cells: 16, VCs: 2},
+		{Ports: 4, WordBits: 16, Cells: 16, CutThrough: true, LinkPipeline: 3},
+	}
+	for _, cfg := range cfgs {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, _ := traffic.NewCellStream(traffic.Config{Kind: traffic.Bernoulli, N: 4, Load: 0.9, Seed: 21}, s.Config().Stages)
+		r := NewRunner(s, cs, 1500)
+		for r.Step() {
+			if err := s.AuditInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", s.Cycle(), err)
+			}
+		}
+		if _, err := r.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAuditDetectsCorruption plants bookkeeping corruption and expects the
+// auditor to flag it.
+func TestAuditDetectsCorruption(t *testing.T) {
+	mk := func() *Switch {
+		s, _ := New(Config{Ports: 4, WordBits: 16, Cells: 16, CutThrough: false})
+		cs, _ := traffic.NewCellStream(traffic.Config{Kind: traffic.Saturation, N: 4, Load: 1, Seed: 5}, s.Config().Stages)
+		r := NewRunner(s, cs, 200)
+		for i := 0; i < 150; i++ {
+			r.Step()
+		}
+		if s.Buffered() == 0 {
+			t.Fatal("scenario needs buffered cells")
+		}
+		if err := s.AuditInvariants(); err != nil {
+			t.Fatalf("pre-corruption audit failed: %v", err)
+		}
+		return s
+	}
+
+	s := mk()
+	s.outOcc[0]++
+	if err := s.AuditInvariants(); err == nil {
+		t.Fatal("occupancy corruption went undetected")
+	}
+
+	s = mk()
+	s.pendingWrites++
+	if err := s.AuditInvariants(); err == nil {
+		t.Fatal("pendingWrites corruption went undetected")
+	}
+
+	s = mk()
+	for a := range s.refcnt {
+		if s.refcnt[a] > 0 {
+			s.refcnt[a]++
+			break
+		}
+	}
+	if err := s.AuditInvariants(); err == nil {
+		t.Fatal("refcnt corruption went undetected")
+	}
+
+	s = mk()
+	s.counter.Set("offered", s.counter.Get("offered")+1)
+	if err := s.AuditInvariants(); err == nil {
+		t.Fatal("conservation violation went undetected")
+	}
+
+	// §3.2 hazard: force two stages onto one bank in the upcoming cycle.
+	s = mk()
+	c := s.Cycle()
+	s.ctrl[s.ctrlSlot(c, 0)] = Op{Kind: OpWrite, In: 0, Addr: 0}
+	s.ctrl[s.ctrlSlot(c, 1)] = Op{Kind: OpRead, Out: 0, Addr: 0, Remap: true}
+	s.halved = true
+	s.stageDown[1] = true
+	s.addrLimit = s.Config().Cells / 2
+	if err := s.auditHazards(); err == nil {
+		t.Fatal("bank collision went undetected")
+	}
+}
+
+// TestAuditZeroAlloc pins the auditor's steady-state cost: on a warm
+// switch (scratch table already built by the first call) a full invariant
+// audit allocates nothing, so running it online every N cycles costs
+// cache traffic, not garbage.
+func TestAuditZeroAlloc(t *testing.T) {
+	s, err := New(Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := traffic.NewCellStream(traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42}, s.Config().Stages)
+	r := NewRunner(s, cs, 1<<20)
+	for i := 0; i < 1024; i++ {
+		r.Step()
+	}
+	if err := s.AuditInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(2000, func() {
+		if err := s.AuditInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("AuditInvariants allocates %.2f/op on a warm switch, want 0", allocs)
+	}
+}

@@ -270,6 +270,9 @@ type Switch struct {
 	delayScratch []*cell.Cell // reused heads vector for the delayed wave
 	delayCount   int
 	counter      stats.Counter
+	// auditScratch is the per-bank claim table AuditInvariants reuses so
+	// online audits stay allocation-free.
+	auditScratch []int
 	// initDelay accumulates §3.4's staggered-initiation delay.
 	initDelay stats.Mean
 	// cutLatency is head-in to head-out in cycles.

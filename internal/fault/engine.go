@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"pipemem/internal/cell"
@@ -20,8 +21,11 @@ type Target struct {
 // does is deterministic in (plan, seed): "any" targets are resolved with
 // its own PCG stream, never the traffic's.
 type Engine struct {
-	plan    *Plan
-	idx     int
+	plan *Plan
+	idx  int
+	// pcg is the concrete source behind rng, retained so checkpointing can
+	// reach the PCG's MarshalBinary/UnmarshalBinary.
+	pcg     *rand.PCG
 	rng     *rand.Rand
 	counter stats.Counter
 }
@@ -29,9 +33,11 @@ type Engine struct {
 // NewEngine returns an engine over plan (which must be cycle-ordered, as
 // Parse and Random produce). The seed resolves "any" targets.
 func NewEngine(plan *Plan, seed uint64) *Engine {
+	pcg := rand.NewPCG(seed, 0xd1342543de82ef95)
 	return &Engine{
 		plan: plan,
-		rng:  rand.New(rand.NewPCG(seed, 0xd1342543de82ef95)),
+		pcg:  pcg,
+		rng:  rand.New(pcg),
 	}
 }
 
@@ -129,4 +135,44 @@ func (e *Engine) apply(t Target, ev Event) bool {
 		return t.Links[ev.In].CorruptWord(ev.Word, bits)
 	}
 	return false
+}
+
+// EngineState is the exported state of an Engine, sufficient — together
+// with the plan and seed it was built from — to resume event delivery bit
+// for bit. RNG is the marshaled PCG state.
+type EngineState struct {
+	Idx      int
+	RNG      []byte
+	Counters map[string]int64
+}
+
+// State exports the engine for checkpointing.
+func (e *Engine) State() (*EngineState, error) {
+	rngState, err := e.pcg.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("fault: marshal PCG: %w", err)
+	}
+	return &EngineState{
+		Idx:      e.idx,
+		RNG:      rngState,
+		Counters: e.counter.Snapshot(),
+	}, nil
+}
+
+// RestoreEngine rebuilds an engine over plan from a checkpointed state.
+// The seed argument is unused for randomness (the RNG state overrides it)
+// but must still identify the same plan semantics the checkpoint captured.
+func RestoreEngine(plan *Plan, st *EngineState) (*Engine, error) {
+	e := NewEngine(plan, 0)
+	if st.Idx < 0 || st.Idx > len(plan.Events) {
+		return nil, fmt.Errorf("fault: engine state index %d out of range for plan with %d events", st.Idx, len(plan.Events))
+	}
+	if err := e.pcg.UnmarshalBinary(st.RNG); err != nil {
+		return nil, fmt.Errorf("fault: restore PCG: %w", err)
+	}
+	e.idx = st.Idx
+	for name, v := range st.Counters {
+		e.counter.Set(name, v)
+	}
+	return e, nil
 }

@@ -246,3 +246,47 @@ func (m *MultiQueue) Front(q int) (node int, ok bool) {
 	}
 	return int(m.head[q]), true
 }
+
+// Snapshot returns the free stack in exact pop order (the last element is
+// the next address Get will hand out). The order is determinism-critical:
+// address allocation order feeds every downstream decision in the switch,
+// so the checkpoint layer must reproduce it bit for bit.
+func (f *FreeList) Snapshot() []int32 { return append([]int32(nil), f.free...) }
+
+// RestoreState rebuilds the list from a snapshot taken on a peer of the
+// same Size: every address in free becomes unallocated (in exactly this
+// stack order), every address absent from it becomes allocated.
+func (f *FreeList) RestoreState(free []int32) error {
+	if len(free) > len(f.out) {
+		return fmt.Errorf("fifo: free-list state has %d entries, list manages %d addresses", len(free), len(f.out))
+	}
+	seen := make([]bool, len(f.out))
+	for _, a := range free {
+		if a < 0 || int(a) >= len(f.out) {
+			return fmt.Errorf("fifo: free-list state holds out-of-range address %d", a)
+		}
+		if seen[a] {
+			return fmt.Errorf("fifo: free-list state holds address %d twice", a)
+		}
+		seen[a] = true
+	}
+	f.free = append(f.free[:0], free...)
+	for a := range f.out {
+		f.out[a] = !seen[a]
+	}
+	return nil
+}
+
+// Do calls fn for each node of queue q, front to tail. It exists for the
+// checkpoint layer, which must serialize queue contents in exact FIFO
+// order; fn must not mutate the queue.
+func (m *MultiQueue) Do(q int, fn func(node int)) {
+	for n := m.head[q]; n >= 0; n = m.next[n] {
+		fn(int(n))
+	}
+}
+
+// InQueue reports whether node is currently enqueued in any queue.
+func (m *MultiQueue) InQueue(node int) bool {
+	return node >= 0 && node < len(m.inQueue) && m.inQueue[node]
+}

@@ -1,0 +1,73 @@
+package fifo
+
+import "testing"
+
+// The free list's snapshot must capture the exact LIFO stack order —
+// allocation order after restore must match the original list address for
+// address.
+func TestFreeListSnapshotRestore(t *testing.T) {
+	a := NewFreeList(16)
+	var held []int
+	for i := 0; i < 10; i++ {
+		addr, _ := a.Get()
+		held = append(held, addr)
+	}
+	a.Put(held[3])
+	a.Put(held[7])
+
+	b := NewFreeList(16)
+	if err := b.RestoreState(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Free() != a.Free() {
+		t.Fatalf("free counts differ: %d vs %d", b.Free(), a.Free())
+	}
+	for a.Free() > 0 {
+		x, _ := a.Get()
+		y, _ := b.Get()
+		if x != y {
+			t.Fatalf("allocation order diverged: %d vs %d", x, y)
+		}
+	}
+	// Allocated set must match too: putting a held address back works,
+	// double-freeing a free one panics (checked via Allocated).
+	for _, addr := range held {
+		if addr == held[3] || addr == held[7] {
+			continue
+		}
+		if !b.Allocated(addr) {
+			t.Fatalf("address %d should be allocated after restore", addr)
+		}
+	}
+}
+
+func TestFreeListRestoreRejectsBadState(t *testing.T) {
+	f := NewFreeList(4)
+	if err := f.RestoreState([]int32{0, 1, 2, 3, 0}); err == nil {
+		t.Fatal("oversized state must be rejected")
+	}
+	if err := f.RestoreState([]int32{0, 9}); err == nil {
+		t.Fatal("out-of-range address must be rejected")
+	}
+	if err := f.RestoreState([]int32{1, 1}); err == nil {
+		t.Fatal("duplicate address must be rejected")
+	}
+}
+
+func TestMultiQueueDoOrder(t *testing.T) {
+	m := NewMultiQueue(2, 8)
+	for _, n := range []int{5, 2, 7} {
+		m.Push(1, n)
+	}
+	var got []int
+	m.Do(1, func(n int) { got = append(got, n) })
+	want := []int{5, 2, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Do order %v, want %v", got, want)
+		}
+	}
+	if !m.InQueue(5) || m.InQueue(3) {
+		t.Fatal("InQueue membership wrong")
+	}
+}

@@ -39,6 +39,14 @@ const (
 	// evicted a queued copy (In = -1, Out = victim output, Addr = freed
 	// buffer address).
 	EvDrop
+	// EvWatchdog: the no-progress watchdog tripped — no cell was offered,
+	// delivered or dropped across a whole window while cells were still
+	// resident. V = resident cell count at detection. (Appended after
+	// EvDrop; kind values are stable wire identifiers.)
+	EvWatchdog
+	// EvCheckpoint: a checkpoint of the full simulation state was written.
+	// V = 1 for a periodic auto-checkpoint, 2 for a watchdog diagnostic.
+	EvCheckpoint
 )
 
 // String returns the kind's stable wire name (used by the JSONL sink).
@@ -60,6 +68,10 @@ func (k EventKind) String() string {
 		return "crc-retransmit"
 	case EvDrop:
 		return "drop"
+	case EvWatchdog:
+		return "watchdog"
+	case EvCheckpoint:
+		return "checkpoint"
 	default:
 		return "unknown"
 	}
@@ -197,6 +209,19 @@ func (t *Tracer) Register(reg *Registry) {
 		help: "Trace events sampled into the ring and sink.", kind: kindCounter, counter: &t.emitted})
 	reg.register(&metric{name: "pipemem_trace_events_sampled_out_total",
 		help: "Trace events dropped by sampling.", kind: kindCounter, counter: &t.skipped})
+}
+
+// Err surfaces the sink's first error without closing it, for callers that
+// want to notice a dying trace mid-run rather than at Close. Sinks that do
+// not report errors (and the nil tracer) yield nil.
+func (t *Tracer) Err() error {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	if se, ok := t.sink.(interface{ Err() error }); ok {
+		return se.Err()
+	}
+	return nil
 }
 
 // Close flushes the sink (if any).

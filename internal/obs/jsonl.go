@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"fmt"
 	"io"
 	"strconv"
 )
@@ -25,8 +26,12 @@ type JSONLSink struct {
 	c   io.Closer
 	buf []byte
 	err error
-	// Lines counts records written (events + raw records).
-	lines int64
+	// Lines counts records written (events + raw records); dropped counts
+	// records discarded after the first write error (the sink goes quiet
+	// rather than spamming a dead descriptor, but the loss is tallied and
+	// surfaced by Close).
+	lines   int64
+	dropped int64
 }
 
 // NewJSONLSink wraps w. If w is also an io.Closer, Close closes it after
@@ -49,6 +54,7 @@ type JSONAppender interface {
 // Event writes one typed event line.
 func (s *JSONLSink) Event(e Event) {
 	if s.err != nil {
+		s.dropped++
 		return
 	}
 	b := s.buf[:0]
@@ -94,6 +100,7 @@ func (s *JSONLSink) Event(e Event) {
 // the typed events share one machine-readable stream.
 func (s *JSONLSink) Record(v JSONAppender) {
 	if s.err != nil {
+		s.dropped++
 		return
 	}
 	b := v.AppendJSON(s.buf[:0])
@@ -113,11 +120,17 @@ func (s *JSONLSink) write(b []byte) {
 // Lines returns the number of records written so far.
 func (s *JSONLSink) Lines() int64 { return s.lines }
 
+// Dropped returns the number of records discarded after the first write
+// error. Nonzero means the trace on disk is incomplete.
+func (s *JSONLSink) Dropped() int64 { return s.dropped }
+
 // Err returns the first write error, if any.
 func (s *JSONLSink) Err() error { return s.err }
 
 // Close flushes the buffer and closes the underlying writer when it is a
-// Closer. The first write error (if any) is returned.
+// Closer. It returns the first error the sink hit — write, flush or close
+// — annotated with how many records the error cost, so a truncated trace
+// can never pass for a complete one.
 func (s *JSONLSink) Close() error {
 	if err := s.w.Flush(); err != nil && s.err == nil {
 		s.err = err
@@ -126,6 +139,9 @@ func (s *JSONLSink) Close() error {
 		if err := s.c.Close(); err != nil && s.err == nil {
 			s.err = err
 		}
+	}
+	if s.err != nil && s.dropped > 0 {
+		return fmt.Errorf("%w (%d records dropped after the first error; trace is incomplete)", s.err, s.dropped)
 	}
 	return s.err
 }

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter accepts writes until budget bytes have passed, then fails
+// every call — a full disk in miniature. Close can be made to fail too.
+type failWriter struct {
+	budget   int
+	writeErr error
+	closeErr error
+	wrote    int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.wrote+len(p) > w.budget {
+		return 0, w.writeErr
+	}
+	w.wrote += len(p)
+	return len(p), nil
+}
+
+func (w *failWriter) Close() error { return w.closeErr }
+
+// TestJSONLSinkSurfacesWriteErrors drives the sink into a write failure
+// and checks the whole error path: Err mid-run, the dropped tally, the
+// annotated Close error, and the tracer's pass-through Err.
+func TestJSONLSinkSurfacesWriteErrors(t *testing.T) {
+	boom := errors.New("disk full")
+	// A tiny bufio buffer would hide the failure until Flush; size the
+	// budget below one event line and use an unbuffered-equivalent by
+	// writing enough events to force a flush.
+	w := &failWriter{budget: 40, writeErr: boom}
+	sink := NewJSONLSink(w)
+	tr := NewTracer(sink, 0, 1)
+
+	// Event lines are ~40-60 bytes; the sink's 64 KiB bufio buffer means
+	// the underlying write error appears once enough events accumulate.
+	for i := int64(0); i < 4096; i++ {
+		tr.Emit(Event{Kind: EvWriteWave, Cycle: i, In: 1, Out: -1, Addr: 7})
+	}
+	if sink.Err() == nil {
+		t.Fatal("write error never surfaced via Err")
+	}
+	if !errors.Is(sink.Err(), boom) {
+		t.Fatalf("Err = %v, want %v", sink.Err(), boom)
+	}
+	if tr.Err() == nil || !errors.Is(tr.Err(), boom) {
+		t.Fatalf("tracer did not pass the sink error through: %v", tr.Err())
+	}
+	if sink.Dropped() == 0 {
+		t.Fatal("records discarded after the error were not tallied")
+	}
+	before := sink.Dropped()
+	tr.Emit(Event{Kind: EvDrop, Cycle: 9999, In: -1, Out: 2, Addr: -1})
+	if sink.Dropped() != before+1 {
+		t.Fatalf("Dropped = %d after one more event, want %d", sink.Dropped(), before+1)
+	}
+
+	err := tr.Close()
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), "dropped") || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("Close error does not flag the incomplete trace: %v", err)
+	}
+}
+
+// TestJSONLSinkSurfacesCloseErrors makes only the final close fail.
+func TestJSONLSinkSurfacesCloseErrors(t *testing.T) {
+	boom := errors.New("close failed")
+	w := &failWriter{budget: 1 << 20, closeErr: boom}
+	sink := NewJSONLSink(w)
+	sink.Event(Event{Kind: EvReadWave, Cycle: 1, In: -1, Out: 0, Addr: 3})
+	if err := sink.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want %v", err, boom)
+	}
+	if sink.Dropped() != 0 {
+		t.Fatalf("no records were dropped, but Dropped = %d", sink.Dropped())
+	}
+}
+
+// TestTracerErrNilSafety: nil tracer and error-less sinks report no error.
+func TestTracerErrNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Err() != nil {
+		t.Fatal("nil tracer reported an error")
+	}
+	if NewTracer(nil, 0, 1).Err() != nil {
+		t.Fatal("sinkless tracer reported an error")
+	}
+	if NewTracer(&MemSink{}, 0, 1).Err() != nil {
+		t.Fatal("MemSink (no Err method) reported an error")
+	}
+}

@@ -1,0 +1,67 @@
+package stats
+
+import "testing"
+
+// Restoring a Mean's exported state must reproduce subsequent accumulation
+// bit for bit — the property the checkpoint layer's replay equivalence
+// rests on.
+func TestMeanStateRoundTrip(t *testing.T) {
+	var a, b Mean
+	for i := 0; i < 1000; i++ {
+		a.Add(float64(i%37) * 0.125)
+	}
+	b.RestoreState(a.State())
+	for i := 0; i < 500; i++ {
+		x := float64(i%11) * 3.5
+		a.Add(x)
+		b.Add(x)
+	}
+	if a != b {
+		t.Fatalf("restored Mean diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestHistStateRoundTrip(t *testing.T) {
+	a := NewHist(64)
+	for i := int64(0); i < 200; i++ {
+		a.Add(i % 80) // exercises overflow too
+	}
+	b := NewHist(64)
+	if err := b.RestoreState(a.State()); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		a.Add(i % 70)
+		b.Add(i % 70)
+	}
+	if a.N() != b.N() || a.Overflow() != b.Overflow() || a.Mean() != b.Mean() || a.Max() != b.Max() {
+		t.Fatalf("restored Hist diverged: %+v vs %+v", a, b)
+	}
+	for v := int64(0); v < 64; v++ {
+		if a.Count(v) != b.Count(v) {
+			t.Fatalf("bucket %d: %d vs %d", v, a.Count(v), b.Count(v))
+		}
+	}
+}
+
+func TestHistRestoreSizeMismatch(t *testing.T) {
+	a := NewHist(8)
+	if err := NewHist(16).RestoreState(a.State()); err == nil {
+		t.Fatal("restore across bucket counts must fail")
+	}
+}
+
+// Set must write through hot slots so a restored counter keeps feeding the
+// simulator's live pointers.
+func TestCounterSetThroughHotSlot(t *testing.T) {
+	var c Counter
+	p := c.Hot("offered")
+	c.Set("offered", 42)
+	if *p != 42 {
+		t.Fatalf("hot slot = %d, want 42", *p)
+	}
+	c.Set("cold", 7)
+	if c.Get("cold") != 7 {
+		t.Fatalf("cold count = %d, want 7", c.Get("cold"))
+	}
+}

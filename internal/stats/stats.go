@@ -305,3 +305,69 @@ func (b *BatchMeans) HalfWidth95() float64 {
 	}
 	return 1.96 * b.batches.StdDev() / math.Sqrt(float64(k))
 }
+
+// MeanState is the exported state of a Mean accumulator, used by the
+// checkpoint layer: restoring it reproduces the accumulator bit for bit
+// (Welford's recurrence is deterministic given these three values).
+type MeanState struct {
+	N    int64
+	Mean float64
+	M2   float64
+}
+
+// State exports the accumulator for checkpointing.
+func (m *Mean) State() MeanState { return MeanState{N: m.n, Mean: m.mean, M2: m.m2} }
+
+// RestoreState overwrites the accumulator with a previously exported
+// state.
+func (m *Mean) RestoreState(st MeanState) { m.n, m.mean, m.m2 = st.N, st.Mean, st.M2 }
+
+// HistState is the exported state of a Hist, used by the checkpoint
+// layer. Buckets is the full resolved range (len == Limit).
+type HistState struct {
+	Buckets  []int64
+	Overflow int64
+	Total    int64
+	Sum      float64
+	Max      int64
+}
+
+// State exports the histogram for checkpointing. The bucket slice is a
+// copy; mutating it does not affect the histogram.
+func (h *Hist) State() HistState {
+	return HistState{
+		Buckets:  append([]int64(nil), h.buckets...),
+		Overflow: h.overflow,
+		Total:    h.total,
+		Sum:      h.sum,
+		Max:      h.max,
+	}
+}
+
+// RestoreState overwrites the histogram with a previously exported state.
+// The resolved range must match (a histogram restores only into a peer of
+// the same Limit).
+func (h *Hist) RestoreState(st HistState) error {
+	if len(st.Buckets) != len(h.buckets) {
+		return fmt.Errorf("stats: histogram state has %d buckets, this histogram resolves %d", len(st.Buckets), len(h.buckets))
+	}
+	copy(h.buckets, st.Buckets)
+	h.overflow, h.total, h.sum, h.max = st.Overflow, st.Total, st.Sum, st.Max
+	return nil
+}
+
+// Set forces the named count to v, through the hot slot when one is
+// registered. The checkpoint layer uses it to restore counter snapshots;
+// ordinary accounting should use Inc.
+func (c *Counter) Set(name string, v int64) {
+	if c.hot != nil {
+		if p, ok := c.hot[name]; ok {
+			*p = v
+			return
+		}
+	}
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] = v
+}

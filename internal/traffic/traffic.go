@@ -277,7 +277,11 @@ func (g *Generator) next(input int) int {
 type CellStream struct {
 	cfg     Config
 	cellLen int
-	rng     *rand.Rand
+	// pcg is the concrete source behind rng, retained because rand.Rand
+	// does not expose its source and checkpointing needs the PCG's
+	// MarshalBinary/UnmarshalBinary.
+	pcg *rand.PCG
+	rng *rand.Rand
 	// remaining busy cycles per input (>0 while a cell is in transit)
 	busy []int
 	// per-input cell counter (Permutation only)
@@ -299,10 +303,12 @@ func NewCellStream(cfg Config, cellLen int) (*CellStream, error) {
 	if cfg.Kind == Permutation && cfg.Load == 0 {
 		cfg.Load = 1
 	}
+	pcg := rand.NewPCG(cfg.Seed, 0xbf58476d1ce4e5b9)
 	s := &CellStream{
 		cfg:     cfg,
 		cellLen: cellLen,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xbf58476d1ce4e5b9)),
+		pcg:     pcg,
+		rng:     rand.New(pcg),
 		busy:    make([]int, cfg.N),
 		sent:    make([]int64, cfg.N),
 	}
@@ -421,4 +427,59 @@ func (s *CellStream) Heads(dst []int) int {
 		}
 	}
 	return n
+}
+
+// StreamState is the exported state of a CellStream, sufficient — together
+// with the stream's Config and cell length — to resume the arrival process
+// bit for bit. RNG is the marshaled PCG state.
+type StreamState struct {
+	RNG       []byte
+	Busy      []int
+	Sent      []int64
+	BurstLeft []int `json:",omitempty"`
+	BurstDst  []int `json:",omitempty"`
+}
+
+// State exports the stream for checkpointing.
+func (s *CellStream) State() (*StreamState, error) {
+	rngState, err := s.pcg.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("traffic: marshal PCG: %w", err)
+	}
+	st := &StreamState{
+		RNG:  rngState,
+		Busy: append([]int(nil), s.busy...),
+		Sent: append([]int64(nil), s.sent...),
+	}
+	if s.burstLeft != nil {
+		st.BurstLeft = append([]int(nil), s.burstLeft...)
+		st.BurstDst = append([]int(nil), s.burstDst...)
+	}
+	return st, nil
+}
+
+// RestoreCellStream rebuilds a stream from a checkpointed state. cfg and
+// cellLen must match the values the stream was built with (the state does
+// not carry them; the checkpoint layer stores them alongside).
+func RestoreCellStream(cfg Config, cellLen int, st *StreamState) (*CellStream, error) {
+	s, err := NewCellStream(cfg, cellLen)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Busy) != cfg.N || len(st.Sent) != cfg.N {
+		return nil, fmt.Errorf("traffic: stream state sized for %d/%d inputs, config has %d", len(st.Busy), len(st.Sent), cfg.N)
+	}
+	if err := s.pcg.UnmarshalBinary(st.RNG); err != nil {
+		return nil, fmt.Errorf("traffic: restore PCG: %w", err)
+	}
+	copy(s.busy, st.Busy)
+	copy(s.sent, st.Sent)
+	if cfg.Kind == Bursty {
+		if len(st.BurstLeft) != cfg.N || len(st.BurstDst) != cfg.N {
+			return nil, fmt.Errorf("traffic: bursty stream state missing burst arrays for %d inputs", cfg.N)
+		}
+		copy(s.burstLeft, st.BurstLeft)
+		copy(s.burstDst, st.BurstDst)
+	}
+	return s, nil
 }

@@ -44,6 +44,7 @@ import (
 	"pipemem/internal/bench"
 	"pipemem/internal/bufmgr"
 	"pipemem/internal/cell"
+	"pipemem/internal/ckpt"
 	"pipemem/internal/clos"
 	"pipemem/internal/core"
 	"pipemem/internal/fabric"
@@ -682,3 +683,41 @@ func WideMemoryTiming(ports, wordBits int) StageTiming {
 func CompareInputVsShared(n, w, cellsPerInput, sharedCells int) area.InputVsShared {
 	return area.CompareInputVsShared(n, w, cellsPerInput, sharedCells)
 }
+
+// ---- Checkpoint/restore and the robustness session ----
+
+// SimCheckpoint is the complete serialized state of a simulation run.
+type SimCheckpoint = ckpt.Checkpoint
+
+// SimSpec describes a checkpointable simulation: switch and traffic
+// configuration, driven window, policy spec and optional fault plan.
+type SimSpec = ckpt.Spec
+
+// SimOptions configures a session's robustness machinery: checkpoint
+// cadence, online invariant-audit cadence, and the no-progress watchdog.
+type SimOptions = ckpt.Options
+
+// SimSession owns one checkpointable run.
+type SimSession = ckpt.Session
+
+// CheckpointFormatVersion is the checkpoint file format this build reads
+// and writes; restore across versions is refused.
+const CheckpointFormatVersion = ckpt.FormatVersion
+
+// ErrStalled marks a run aborted by the no-progress watchdog.
+var ErrStalled = ckpt.ErrStalled
+
+// NewSession builds a session from scratch.
+func NewSession(spec SimSpec, opts SimOptions) (*SimSession, error) { return ckpt.New(spec, opts) }
+
+// ResumeSession rebuilds the session captured in the checkpoint at path.
+func ResumeSession(path string, opts SimOptions) (*SimSession, error) {
+	return ckpt.Resume(path, opts)
+}
+
+// SaveCheckpoint writes a checkpoint file atomically (temp file + rename).
+func SaveCheckpoint(path string, c *SimCheckpoint) error { return ckpt.Save(path, c) }
+
+// LoadCheckpoint reads and validates a checkpoint file (magic, version,
+// length, CRC) before decoding it.
+func LoadCheckpoint(path string) (*SimCheckpoint, error) { return ckpt.Load(path) }
