@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: build vet staticcheck test race fuzz check vulncheck bench bench-check obs-overhead audit-overhead ckpt-soak
+# Compile the benchmark binaries for the AVX2 microarchitecture level when
+# the build host supports it: the masked word sweeps vectorize better, and
+# the committed BENCH_1.json numbers are taken at the same level. Hosts
+# without avx2 (or non-amd64) fall back to the toolchain default, and the
+# host stamp in the report flags the difference.
+AMD64LEVEL := $(shell grep -qm1 avx2 /proc/cpuinfo 2>/dev/null && echo v3)
+ifneq ($(AMD64LEVEL),)
+BENCH_ENV := GOAMD64=$(AMD64LEVEL)
+endif
+
+.PHONY: build vet staticcheck test race fuzz check vulncheck bench bench-check profile obs-overhead audit-overhead ckpt-soak
 
 build:
 	$(GO) build ./...
@@ -79,7 +89,24 @@ ckpt-soak:
 # Benchmark-regression gate: re-measure the standard pmbench points and
 # compare against the committed BENCH_1.json — allocations are gated
 # strictly (they are deterministic), cells/sec within a wide tolerance
-# (wall clock on shared hosts is noisy). The report is rewritten with
-# fresh results; the pre-PR baseline is carried forward.
+# (wall clock on shared hosts is noisy; each point reports its best of
+# several timed windows to shed co-tenant bursts). The report is
+# rewritten with fresh results; the pre-PR baseline is carried forward,
+# and a host mismatch against the recorded environment warns without
+# failing.
+# The shared hosts this runs on show bimodal scheduling noise (sustained
+# ~2x-slower phases lasting tens of seconds), so the wall-clock tolerance
+# is wide: a fast-phase baseline must still pass a slow-phase re-check.
+# A return to the allocating hot path costs well over 3x even against the
+# widened floor — and the allocation gate itself has no tolerance at all.
 bench-check:
-	$(GO) run ./cmd/pmbench -json BENCH_1.json -check
+	$(BENCH_ENV) $(GO) run ./cmd/pmbench -json BENCH_1.json -check -tol 0.65 -reps 10
+
+# CPU profile of the hot path: the tick-steady-8x8 regression point,
+# measured exactly as bench-check measures it, with the pprof written
+# under profiles/. Inspect with:
+#   go tool pprof profiles/pmbench profiles/tick-steady-8x8.pprof
+profile:
+	@mkdir -p profiles
+	$(BENCH_ENV) $(GO) build -o profiles/pmbench ./cmd/pmbench
+	./profiles/pmbench -point tick-steady-8x8 -cpuprofile profiles/tick-steady-8x8.pprof -cycles 1000000

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"pipemem/internal/bench"
 	"pipemem/internal/cli"
@@ -44,6 +45,25 @@ func points(cycles int64) []bench.Point {
 			Config:  core.Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
 			Traffic: traffic.Config{Kind: traffic.Saturation, N: 8, Seed: 42},
 			Cycles:  cycles,
+		},
+		{
+			// Light load: most cycles are dead, so this point measures the
+			// per-cycle floor — the dead-cycle short circuit of the batched
+			// engine, not the arbitration path.
+			Label:   "tick-light-8x8",
+			Config:  core.Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
+			Traffic: traffic.Config{Kind: traffic.Bernoulli, N: 8, Load: 0.05, Seed: 42},
+			Cycles:  cycles,
+		},
+		{
+			// The same lightly loaded switch driven through TickN: one call
+			// per arrival front plus its trailing gap, with the event-driven
+			// fast-forward collapsing drained gaps to O(1).
+			Label:   "tick-batch-8x8",
+			Config:  core.Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true},
+			Traffic: traffic.Config{Kind: traffic.Permutation, N: 8, Load: 0.05, Seed: 42},
+			Cycles:  cycles,
+			Batched: true,
 		},
 		{
 			Label:   "tick-bern-16x16",
@@ -68,6 +88,9 @@ func main() {
 		tol      = flag.Float64("tol", 0.5, "relative cells/sec regression tolerated by -check (allocs are gated strictly)")
 		cycles   = flag.Int64("cycles", 200_000, "measured cycles per point")
 		warmup   = flag.Int64("warmup", 4096, "untimed warmup cycles per point")
+		reps     = flag.Int("reps", 6, "timed windows per point; the fastest is reported (co-tenant noise suppression), allocation counts take the worst")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the measurement loop to this file")
+		only     = flag.String("point", "", "measure only the named regression point (e.g. tick-steady-8x8)")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 		sweep    = flag.Bool("sweep", false, "run a parallel load sweep instead of the regression points")
 		metrics  = flag.Bool("metrics", false, "print a Prometheus-style snapshot of the sweep-engine metrics after the run")
@@ -129,12 +152,55 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pmbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+			fmt.Fprintf(os.Stderr, "pmbench: wrote CPU profile to %s\n", *cpuProf)
+		}()
+	}
+
+	pts := points(*cycles)
+	if *only != "" {
+		// A partial measurement must not gate or overwrite the full report.
+		if *jsonPath != "" || *check {
+			fmt.Fprintln(os.Stderr, "pmbench: -point measures a single shape; it cannot be combined with -json or -check")
+			os.Exit(2)
+		}
+		var keep []bench.Point
+		for _, p := range pts {
+			if p.Label == *only {
+				keep = append(keep, p)
+			}
+		}
+		if keep == nil {
+			fmt.Fprintf(os.Stderr, "pmbench: no regression point named %q\n", *only)
+			os.Exit(2)
+		}
+		pts = keep
+	}
+
 	cur := bench.NewReport()
 	cur.Tolerance = *tol
 	// Measurement is serial on purpose: concurrent points would contend
 	// for cores and corrupt each other's wall-clock rates.
-	for _, p := range points(*cycles) {
-		rec, err := bench.Measure(p, *warmup)
+	for _, p := range pts {
+		var rec bench.Record
+		var err error
+		if p.Batched {
+			rec, err = bench.MeasureBatched(p, *warmup, *reps)
+		} else {
+			rec, err = bench.MeasureBest(p, *warmup, *reps)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pmbench:", err)
 			os.Exit(1)
@@ -149,15 +215,30 @@ func main() {
 		cur.Baseline = cur.Results
 	}
 
-	fmt.Printf("%-16s %12s %10s %12s %8s\n", "point", "cells/sec", "ns/cycle", "allocs/tick", "vs base")
-	for _, p := range points(*cycles) {
+	// Wall-clock rates only compare within one host: surface any
+	// environment drift before the numbers (informational, never fatal —
+	// the allocation gate is host-independent).
+	if prev != nil {
+		for _, w := range bench.HostMismatch(prev, cur) {
+			fmt.Fprintln(os.Stderr, "pmbench: WARNING:", w)
+		}
+	}
+
+	fmt.Printf("%-16s %12s %10s %12s %8s %9s\n", "point", "cells/sec", "ns/cycle", "allocs/tick", "vs base", "vs prev")
+	for _, p := range pts {
 		rec := cur.Results[p.Label]
 		speedup := "-"
 		if b, ok := cur.Baseline[p.Label]; ok && b.CellsPerSec > 0 {
 			speedup = fmt.Sprintf("%.2fx", rec.CellsPerSec/b.CellsPerSec)
 		}
-		fmt.Printf("%-16s %12.0f %10.1f %12.3f %8s\n",
-			rec.Name, rec.CellsPerSec, rec.NsPerCycle, rec.AllocsPerTick, speedup)
+		delta := "-"
+		if prev != nil {
+			if pr, ok := prev.Results[p.Label]; ok && pr.CellsPerSec > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (rec.CellsPerSec/pr.CellsPerSec-1)*100)
+			}
+		}
+		fmt.Printf("%-16s %12.0f %10.1f %12.3f %8s %9s\n",
+			rec.Name, rec.CellsPerSec, rec.NsPerCycle, rec.AllocsPerTick, speedup, delta)
 	}
 
 	if *check && prev != nil {

@@ -28,12 +28,24 @@ func Measure(p Point, warmup int64) (Record, error) {
 	return MeasureObserved(p, warmup, nil)
 }
 
+// MeasureBest is Measure with the timed region split into reps
+// back-to-back windows of p.Cycles each (one shared warmup, one switch),
+// keeping the wall-clock rate of the fastest window. On shared hosts a
+// single window is as likely as not to overlap a co-tenant burst; the
+// best window is the closest observable to the machine's undisturbed
+// rate, which is what the regression gate wants to compare across
+// commits. Allocation counts are taken over the worst window — they are
+// deterministic, so a quiet window must not hide a leak.
+func MeasureBest(p Point, warmup int64, reps int) (Record, error) {
+	return measure(p, warmup, nil, 0, reps)
+}
+
 // MeasureObserved is Measure with an observer installed on the switch
 // before the warmup — the harness behind the enabled-metrics overhead
 // benchmark (make obs-overhead). Observers apply only to the
 // full-quantum organization; a Dual point ignores obs.
 func MeasureObserved(p Point, warmup int64, obs *core.Observer) (Record, error) {
-	return measure(p, warmup, obs, 0)
+	return measure(p, warmup, obs, 0, 1)
 }
 
 // MeasureAudited is Measure with the online invariant auditor run every
@@ -45,10 +57,13 @@ func MeasureAudited(p Point, warmup, auditEvery int64) (Record, error) {
 	if auditEvery <= 0 {
 		return Record{}, fmt.Errorf("%s: auditEvery must be positive", p.Label)
 	}
-	return measure(p, warmup, nil, auditEvery)
+	return measure(p, warmup, nil, auditEvery, 1)
 }
 
-func measure(p Point, warmup int64, obs *core.Observer, auditEvery int64) (Record, error) {
+func measure(p Point, warmup int64, obs *core.Observer, auditEvery int64, reps int) (Record, error) {
+	if reps < 1 {
+		reps = 1
+	}
 	var t Ticker
 	var err error
 	if p.Dual {
@@ -84,15 +99,21 @@ func measure(p Point, warmup int64, obs *core.Observer, auditEvery int64) (Recor
 	var seq uint64
 	var delivered int64
 	tick := func() {
-		cs.Heads(heads)
-		for j := range hc {
-			hc[j] = nil
-			if heads[j] != traffic.NoArrival {
-				seq++
-				hc[j] = pool.New(seq, j, heads[j], cfg.WordBits)
+		// A cycle with no head anywhere passes nil to Tick: the per-port
+		// injection scan is skipped on both sides, and the switch's
+		// dead-cycle and fast-forward paths can engage.
+		if cs.Heads(heads) == 0 {
+			t.Tick(nil)
+		} else {
+			for j := range hc {
+				hc[j] = nil
+				if heads[j] != traffic.NoArrival {
+					seq++
+					hc[j] = pool.New(seq, j, heads[j], cfg.WordBits)
+				}
 			}
+			t.Tick(hc)
 		}
-		t.Tick(hc)
 		for _, d := range t.Drain() {
 			pool.Put(d.Expected)
 			delivered++
@@ -108,36 +129,56 @@ func measure(p Point, warmup int64, obs *core.Observer, auditEvery int64) (Recor
 			}
 		}
 	}
-	delivered = 0
-	runtime.GC()
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
-	start := time.Now()
-	if auditSw != nil {
-		for c := int64(0); c < p.Cycles; c++ {
-			tick()
-			if (c+1)%auditEvery == 0 {
-				if aerr := auditSw.AuditInvariants(); aerr != nil {
-					return Record{}, fmt.Errorf("%s: audit at cycle %d: %w", p.Label, c+1, aerr)
+	cy := float64(p.Cycles)
+	var rec Record
+	for rep := 0; rep < reps; rep++ {
+		delivered = 0
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		if auditSw != nil {
+			for c := int64(0); c < p.Cycles; c++ {
+				tick()
+				if (c+1)%auditEvery == 0 {
+					if aerr := auditSw.AuditInvariants(); aerr != nil {
+						return Record{}, fmt.Errorf("%s: audit at cycle %d: %w", p.Label, c+1, aerr)
+					}
 				}
 			}
+		} else {
+			for c := int64(0); c < p.Cycles; c++ {
+				tick()
+			}
 		}
-	} else {
-		for c := int64(0); c < p.Cycles; c++ {
-			tick()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		win := Record{
+			Name:          p.Label,
+			CellsPerSec:   float64(delivered) / elapsed.Seconds(),
+			NsPerCycle:    float64(elapsed.Nanoseconds()) / cy,
+			AllocsPerTick: float64(m1.Mallocs-m0.Mallocs) / cy,
+			BytesPerTick:  float64(m1.TotalAlloc-m0.TotalAlloc) / cy,
+			Cycles:        p.Cycles,
+			Delivered:     delivered,
 		}
-	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&m1)
-	cy := float64(p.Cycles)
-	rec := Record{
-		Name:          p.Label,
-		CellsPerSec:   float64(delivered) / elapsed.Seconds(),
-		NsPerCycle:    float64(elapsed.Nanoseconds()) / cy,
-		AllocsPerTick: float64(m1.Mallocs-m0.Mallocs) / cy,
-		BytesPerTick:  float64(m1.TotalAlloc-m0.TotalAlloc) / cy,
-		Cycles:        p.Cycles,
-		Delivered:     delivered,
+		if rep == 0 {
+			rec = win
+			continue
+		}
+		// Best window for the wall-clock rate, worst for the (deterministic)
+		// allocation counts — see MeasureBest.
+		wa, wb := rec.AllocsPerTick, rec.BytesPerTick
+		if win.AllocsPerTick > wa {
+			wa = win.AllocsPerTick
+		}
+		if win.BytesPerTick > wb {
+			wb = win.BytesPerTick
+		}
+		if win.CellsPerSec > rec.CellsPerSec {
+			rec = win
+		}
+		rec.AllocsPerTick, rec.BytesPerTick = wa, wb
 	}
 	// Both organizations expose the cut-latency histogram; surface its
 	// overflow so truncated-quantile runs are visible in the report.
@@ -145,5 +186,122 @@ func measure(p Point, warmup int64, obs *core.Observer, auditEvery int64) (Recor
 		rec.CutLatencyOverflow = h.CutLatency().Overflow()
 		overflowRun(rec.CutLatencyOverflow)
 	}
+	return rec, nil
+}
+
+// MeasureBatched is MeasureBest driven through TickN instead of per-cycle
+// Tick calls: the driver reads ahead through the traffic stream for the
+// run of empty cycles following each arrival front and hands front plus
+// run to a single TickN call. It measures what a batch-replay driver
+// sees — per-call dispatch amortized over the gaps, and the event-driven
+// fast-forward collapsing the drained tail of each gap to O(1). The
+// pipelined organization only: TickN is a *core.Switch surface.
+func MeasureBatched(p Point, warmup int64, reps int) (Record, error) {
+	if p.Dual {
+		return Record{}, fmt.Errorf("%s: batched measurement requires the pipelined organization", p.Label)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	sw, err := core.New(p.Config)
+	if err != nil {
+		return Record{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	cfg := sw.Config()
+	k := cfg.Stages
+	cs, err := traffic.NewCellStream(p.Traffic, k)
+	if err != nil {
+		return Record{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	pool := cell.NewPool(k)
+	sw.SetDrainRecycle(true)
+	heads := make([]int, cfg.Ports)
+	// Two head buffers: the front being injected and the one read ahead
+	// past the gap. TickN consumes its argument before returning, so two
+	// are always enough.
+	hc := [2][]*cell.Cell{make([]*cell.Cell, cfg.Ports), make([]*cell.Cell, cfg.Ports)}
+	buf := 0
+	var seq uint64
+	var delivered int64
+	// fetch advances the stream one cycle, materializing its arrivals (if
+	// any) into the next free buffer.
+	fetch := func() []*cell.Cell {
+		if cs.Heads(heads) == 0 {
+			return nil
+		}
+		h := hc[buf]
+		buf = 1 - buf
+		for j := range h {
+			h[j] = nil
+			if heads[j] != traffic.NoArrival {
+				seq++
+				h[j] = pool.New(seq, j, heads[j], cfg.WordBits)
+			}
+		}
+		return h
+	}
+	// run drives cycles clock cycles with one TickN call per arrival
+	// front and its trailing gap.
+	pend := fetch()
+	run := func(cycles int64) {
+		c := int64(0)
+		for c < cycles {
+			front := pend
+			pend = nil
+			g := int64(1)
+			for c+g < cycles {
+				if h := fetch(); h != nil {
+					pend = h
+					break
+				}
+				g++
+			}
+			sw.TickN(front, g)
+			for _, d := range sw.Drain() {
+				pool.Put(d.Expected)
+				delivered++
+			}
+			c += g
+		}
+	}
+	run(warmup)
+	cy := float64(p.Cycles)
+	var rec Record
+	for rep := 0; rep < reps; rep++ {
+		delivered = 0
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		run(p.Cycles)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		win := Record{
+			Name:          p.Label,
+			CellsPerSec:   float64(delivered) / elapsed.Seconds(),
+			NsPerCycle:    float64(elapsed.Nanoseconds()) / cy,
+			AllocsPerTick: float64(m1.Mallocs-m0.Mallocs) / cy,
+			BytesPerTick:  float64(m1.TotalAlloc-m0.TotalAlloc) / cy,
+			Cycles:        p.Cycles,
+			Delivered:     delivered,
+		}
+		if rep == 0 {
+			rec = win
+			continue
+		}
+		wa, wb := rec.AllocsPerTick, rec.BytesPerTick
+		if win.AllocsPerTick > wa {
+			wa = win.AllocsPerTick
+		}
+		if win.BytesPerTick > wb {
+			wb = win.BytesPerTick
+		}
+		if win.CellsPerSec > rec.CellsPerSec {
+			rec = win
+		}
+		rec.AllocsPerTick, rec.BytesPerTick = wa, wb
+	}
+	rec.CutLatencyOverflow = sw.CutLatency().Overflow()
+	overflowRun(rec.CutLatencyOverflow)
 	return rec, nil
 }

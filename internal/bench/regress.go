@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 )
 
 // Record is one measured benchmark point of a regression report.
@@ -45,6 +46,12 @@ type Report struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS and CPUModel pin the host the numbers were measured on:
+	// wall-clock rates from different silicon (or a different parallelism
+	// cap) are not comparable, so the check gate warns — without failing —
+	// when either differs from the baseline's.
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	CPUModel   string `json:"cpu_model,omitempty"`
 	// Tolerance is the relative cells/sec slack the Compare gate applied
 	// when the file was last checked (informational).
 	Tolerance float64           `json:"tolerance,omitempty"`
@@ -58,13 +65,50 @@ const SchemaVersion = 1
 // NewReport returns an empty report stamped with the build environment.
 func NewReport() *Report {
 	return &Report{
-		Schema:    SchemaVersion,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Results:   map[string]Record{},
+		Schema:     SchemaVersion,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		Results:    map[string]Record{},
 	}
+}
+
+// cpuModel names the host CPU, best-effort: the first "model name" line
+// of /proc/cpuinfo on Linux, empty elsewhere (the mismatch warning then
+// falls back to GOARCH alone).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// HostMismatch compares the environments two reports were measured in and
+// returns one human-readable line per difference that makes their
+// wall-clock rates incomparable. Differences warn rather than fail: the
+// allocation gate still holds anywhere, and a CI fleet with mixed silicon
+// should not hard-fail on scheduling luck.
+func HostMismatch(prev, cur *Report) []string {
+	var warn []string
+	if prev.CPUModel != "" && cur.CPUModel != "" && prev.CPUModel != cur.CPUModel {
+		warn = append(warn, fmt.Sprintf("baseline measured on %q, this host is %q", prev.CPUModel, cur.CPUModel))
+	}
+	if prev.GOMAXPROCS != 0 && cur.GOMAXPROCS != 0 && prev.GOMAXPROCS != cur.GOMAXPROCS {
+		warn = append(warn, fmt.Sprintf("baseline measured at GOMAXPROCS=%d, this run has %d", prev.GOMAXPROCS, cur.GOMAXPROCS))
+	}
+	if prev.GOARCH != cur.GOARCH || prev.GOOS != cur.GOOS {
+		warn = append(warn, fmt.Sprintf("baseline measured on %s/%s, this host is %s/%s", prev.GOOS, prev.GOARCH, cur.GOOS, cur.GOARCH))
+	}
+	return warn
 }
 
 // Load reads a report from path.

@@ -28,6 +28,10 @@ type Point struct {
 	// full-quantum switch feature; combining Policy with Dual is an
 	// error.
 	Policy string
+	// Batched selects the TickN batch driver for regression measurement
+	// (MeasureBatched): one call per arrival front and its trailing gap
+	// instead of one call per cycle. Pipelined organization only.
+	Batched bool
 }
 
 // Result pairs a point with its run summary.

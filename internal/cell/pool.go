@@ -13,14 +13,22 @@ func Fill(c *Cell, seq uint64, src, dst, words, width int) {
 	} else {
 		c.Words = make([]Word, words)
 	}
-	state := seq*0x9e3779b97f4a7c15 + uint64(src)*0xbf58476d1ce4e5b9 + uint64(dst)*0x94d049bb133111eb
-	for i := range c.Words {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		c.Words[i] = Word(state).Mask(width)
+	// Each word is an independent mix of (cell identity, word index): unlike
+	// a serial xorshift chain, the iterations carry no data dependence, so
+	// the fill pipelines at one word per cycle or better. One multiply plus
+	// a xor-fold is plenty for the integrity checks the payload feeds
+	// (departure-vs-injection comparison): distinct, well-scrambled words.
+	base := seq*0x9e3779b97f4a7c15 + uint64(src)*0xbf58476d1ce4e5b9 + uint64(dst)*0x94d049bb133111eb
+	m := ^Word(0)
+	if width < 64 {
+		m = Word(1)<<uint(width) - 1
 	}
-	c.Words[0] = Word(uint64(dst)).Mask(width)
+	w := c.Words
+	for i := range w {
+		x := (base + uint64(i)) * 0xd6e8feb86659fd93
+		w[i] = Word(x^x>>32) & m
+	}
+	w[0] = Word(uint64(dst)) & m
 }
 
 // Pool recycles Cells of a fixed word count so traffic drivers can inject

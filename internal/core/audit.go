@@ -32,6 +32,17 @@ func (s *Switch) AuditInvariants() error {
 		if s.outOcc[o] != sum {
 			return fmt.Errorf("core: audit: output %d occupancy %d, but its VC queues hold %d", o, s.outOcc[o], sum)
 		}
+		if o < 64 {
+			if got := s.occMask&(uint64(1)<<uint(o)) != 0; got != (sum > 0) {
+				return fmt.Errorf("core: audit: output %d occupancy bit %v, but %d cells queued", o, got, sum)
+			}
+		}
+		// The read fail-fast floor promises that no occupied output's
+		// link frees before it; an occupied link free earlier would let
+		// pickRead skip an initiable read wave.
+		if s.readFloor > 0 && sum > 0 && s.linkFree[o] < s.readFloor {
+			return fmt.Errorf("core: audit: read floor %d, but occupied output %d frees at %d", s.readFloor, o, s.linkFree[o])
+		}
 		totalQueued += sum
 	}
 	if s.queues.Total() != totalQueued {
@@ -78,15 +89,103 @@ func (s *Switch) AuditInvariants() error {
 		return fmt.Errorf("core: audit: %d free addresses, capacity %d", f, s.addrLimit)
 	}
 
-	// pendingWrites mirrors the input rows still awaiting a write wave.
+	// pendingWrites (count and bitset) mirrors the input rows still
+	// awaiting a write wave.
 	pending := 0
 	for i := range s.inflight {
+		waiting := false
 		if a := &s.inflight[i]; a.active && !a.written {
 			pending++
+			waiting = true
+		}
+		if i < 64 {
+			if got := s.pendMask&(uint64(1)<<uint(i)) != 0; got != waiting {
+				return fmt.Errorf("core: audit: input %d pending bit %v, but awaiting-write is %v", i, got, waiting)
+			}
 		}
 	}
 	if pending != s.pendingWrites {
 		return fmt.Errorf("core: audit: pendingWrites %d, but %d input rows await a write wave", s.pendingWrites, pending)
+	}
+
+	// SoA control-ring bookkeeping: the live-op census, the wave bitset
+	// and the committed mask must all mirror the ring (a committed bit is
+	// only meaningful on a slot holding a live op).
+	ringOps := 0
+	var waveMask uint64
+	for slot := range s.ctrl {
+		if s.ctrl[slot].Kind != OpNone {
+			ringOps++
+			if slot < 64 {
+				waveMask |= uint64(1) << uint(slot)
+			}
+		}
+	}
+	if ringOps != s.ringOps {
+		return fmt.Errorf("core: audit: ringOps %d, but %d live control words", s.ringOps, ringOps)
+	}
+	if s.k <= 64 && waveMask != s.waveMask {
+		return fmt.Errorf("core: audit: waveMask %#x, but live control words form %#x", s.waveMask, waveMask)
+	}
+	if s.committed&^s.waveMask != 0 {
+		return fmt.Errorf("core: audit: committed mask %#x marks slots outside the wave mask %#x", s.committed, s.waveMask)
+	}
+
+	// Departure-completion ring census.
+	tx := 0
+	for i := range s.departAt {
+		if s.departAt[i].r != nil {
+			tx++
+		}
+	}
+	if tx != s.txPending {
+		return fmt.Errorf("core: audit: txPending %d, but %d departures posted to the completion ring", s.txPending, tx)
+	}
+
+	// Egress single-slot bookkeeping: on the fast path the reassembly
+	// rings stay empty and each output's sole in-flight transmission is
+	// cached in rxHead, 1:1 with a posted completion; on the exact path
+	// rxHead mirrors the ring front.
+	if s.fastMode {
+		heads := 0
+		for o := range s.egress {
+			if s.egress[o].Len() != 0 {
+				return fmt.Errorf("core: audit: fast path with %d records in egress ring %d", s.egress[o].Len(), o)
+			}
+			if s.rxHead[o] != nil {
+				heads++
+			}
+		}
+		if heads != s.txPending {
+			return fmt.Errorf("core: audit: %d cached egress heads, but %d departures pending completion", heads, s.txPending)
+		}
+	} else {
+		for o := range s.egress {
+			front, _ := s.egress[o].Front()
+			if s.rxHead[o] != front {
+				return fmt.Errorf("core: audit: output %d cached egress head does not mirror its ring front", o)
+			}
+		}
+	}
+
+	// Deferred-deposit table census: every lazy entry belongs to an
+	// allocated unicast address on the fast path, and the live count
+	// matches (the cold seams rely on it to skip the scan).
+	lazy := 0
+	for a, lc := range s.memLazy {
+		if lc == nil {
+			continue
+		}
+		lazy++
+		if !s.fastMode {
+			return fmt.Errorf("core: audit: address %d payload still deferred outside the fast path", a)
+		}
+		if s.refcnt[a] < 1 {
+			return fmt.Errorf("core: audit: address %d payload deferred but refcnt %d", a, s.refcnt[a])
+		}
+	}
+	if lazy != s.lazyCount {
+		return fmt.Errorf("core: audit: lazyCount %d, but %d payloads deferred", s.lazyCount, lazy)
 	}
 
 	// §4.3 delay-line census.

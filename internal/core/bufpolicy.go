@@ -77,7 +77,7 @@ func (s *Switch) DroppedCells() int64 {
 // output.
 func (s *Switch) dropPolicy(in int, a *arrival) {
 	a.written = true
-	s.pendingWrites--
+	s.pendClear(in)
 	*s.cDropPolicy++
 	s.inDrops[in]++
 	s.outDrops[a.c.Dst]++
@@ -109,9 +109,13 @@ func (s *Switch) pushOut(out, vc int) {
 	d := &s.nodes[node]
 	addr := d.addr
 	s.nfree.Put(node)
-	s.outOcc[out]--
+	s.occDec(out)
 	s.refcnt[addr]--
 	if s.refcnt[addr] == 0 {
+		// The victim's payload may still be lazily deferred; deposit it
+		// before the address is recycled so the bank array keeps the same
+		// bytes an eager write would have left behind.
+		s.materializeAddr(addr)
 		s.free.Put(addr)
 	}
 	*s.cDropPushout++

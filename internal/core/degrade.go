@@ -112,7 +112,7 @@ func (s *Switch) writeWord(st, addr int, remap bool, w cell.Word) {
 	if s.stuck != nil && s.stuck[b] {
 		return
 	}
-	s.mem[b][a] = w
+	s.mem[s.memIdx(b, a)] = w
 	if s.eccMem != nil {
 		s.eccMem[b][a] = eccEncode(w, s.cfg.WordBits)
 	}
@@ -124,7 +124,7 @@ func (s *Switch) senseWord(b, a int) cell.Word {
 	if s.stuck != nil && s.stuck[b] {
 		return cell.Word(^uint64(0)).Mask(s.cfg.WordBits)
 	}
-	return s.mem[b][a]
+	return s.mem[s.memIdx(b, a)]
 }
 
 // readWord performs stage st's read of a wave at address addr, applying
@@ -151,7 +151,7 @@ func (s *Switch) readWord(st, addr int, remap bool) cell.Word {
 			s.obs.ECCCorrected.Inc()
 		}
 		if s.stuck == nil || !s.stuck[b] {
-			s.mem[b][a] = dec
+			s.mem[s.memIdx(b, a)] = dec
 			s.eccMem[b][a] = eccEncode(dec, s.cfg.WordBits)
 		}
 		if _, vs := eccDecode(s.senseWord(b, a), s.eccMem[b][a], s.cfg.WordBits); vs != eccClean {
@@ -178,6 +178,9 @@ func (s *Switch) mapOutBank(b int) {
 	if s.stageDown[b] {
 		return
 	}
+	// Redirected accesses route every word through the fault layer; the
+	// batched path must hand over before the address split takes effect.
+	s.dropFast()
 	s.stageDown[b] = true
 	s.counter.Inc("stage-bypass", 1)
 	if o := s.obs; o != nil {
@@ -214,6 +217,8 @@ func (s *Switch) mapOutBank(b int) {
 	for o := range s.outOcc {
 		s.outOcc[o] = 0 // every queue was just flushed
 	}
+	s.occMask = 0
+	s.readFloor = 0
 	// Rebuild the free list over the usable low addresses only; the upper
 	// half of every bank is now the redirect region and the corresponding
 	// addresses stay permanently retired (never handed out again).
@@ -248,6 +253,9 @@ func (s *Switch) SetStageStuck(st int, stuck bool) {
 	if st < 0 || st >= s.k {
 		return
 	}
+	// A stuck bank's behavior is per-word (writes dropped, reads all-ones):
+	// inherently per-stage, so the exact path must run from here on.
+	s.forceExact()
 	if s.stuck == nil {
 		s.stuck = make([]bool, s.k)
 	}
@@ -263,8 +271,11 @@ func (s *Switch) InjectMemoryFault(stage, addr int, mask cell.Word) {
 	if stage < 0 || stage >= s.k || addr < 0 || addr >= s.cfg.Cells {
 		return
 	}
+	// A lazily deferred payload must land in the array before the upset
+	// does, or the flip would hit stale bytes and vanish.
+	s.materializeAddr(addr)
 	b, a := s.bankFor(stage, addr, true)
-	s.mem[b][a] ^= mask.Mask(s.cfg.WordBits)
+	s.mem[s.memIdx(b, a)] ^= mask.Mask(s.cfg.WordBits)
 }
 
 // MemoryClean reports whether the word at (stage, addr) currently matches
@@ -279,7 +290,7 @@ func (s *Switch) MemoryClean(stage, addr int) bool {
 		return true
 	}
 	b, a := s.bankFor(stage, addr, true)
-	_, status := eccDecode(s.mem[b][a], s.eccMem[b][a], s.cfg.WordBits)
+	_, status := eccDecode(s.mem[s.memIdx(b, a)], s.eccMem[b][a], s.cfg.WordBits)
 	return status == eccClean
 }
 
@@ -291,7 +302,14 @@ func (s *Switch) InjectControlFault(st int, op Op) {
 	if st < 0 || st >= s.k {
 		return
 	}
-	s.ctrl[s.ctrlSlot(s.cycle, st)] = op
+	// A glitch in one stage's latched control word is per-stage state the
+	// batched path cannot express: hand over and stay on the exact path.
+	// If the glitched slot held a wave the batched path had already
+	// committed, that wave's memory traffic and departure stand (it ran to
+	// completion at initiation); the injected op executes at the stages the
+	// exact machine still owes the slot.
+	s.forceExact()
+	s.setCtrl(s.ctrlSlot(s.cycle, st), &op)
 }
 
 // InjectInputRegisterFault XORs mask into input in's register for word
@@ -301,6 +319,10 @@ func (s *Switch) InjectInputRegisterFault(in, word int, mask cell.Word) {
 	if in < 0 || in >= s.n || word < 0 || word >= s.k {
 		return
 	}
+	// Materialize the register rows before flipping bits in one (the
+	// batched path does not maintain them per cycle), then keep the exact
+	// path: only it reads the registers word by word.
+	s.forceExact()
 	s.inReg[in][word] ^= mask.Mask(s.cfg.WordBits)
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pipemem/internal/cell"
 	"pipemem/internal/fifo"
@@ -38,7 +39,20 @@ type DualSwitch struct {
 	// constrains the choice, balancing occupancy.
 	writeBank int
 
-	egress    []*fifo.Ring[*reasm]
+	// pendWrites counts arrivals awaiting their write wave (active and
+	// not yet written) — the census that lets an idle Tick skip the
+	// write-arbitration scan entirely.
+	pendWrites int
+	// maskable enables the uint64 occupancy bitmasks on the ctrl ring and
+	// output registers (k ≤ 64); larger switches fall back to full scans.
+	maskable bool
+
+	// rxHead is the single egress slot per output. At most one
+	// transmission is ever in flight per output: a read (or write-through)
+	// for output o reserves the link through cycle c+k, its last word
+	// delivers at the top of cycle c+k — before that cycle's arbitration
+	// can start the next one — so a ring would never hold two records.
+	rxHead    []*reasm
 	done      []Departure
 	counter   stats.Counter
 	initDelay stats.Mean
@@ -52,11 +66,22 @@ type DualSwitch struct {
 	recycle   bool
 }
 
-// bank is one of the two pipelined memories.
+// bank is one of the two pipelined memories. Control is a ring indexed by
+// initiation cycle (slot = c₀ mod k) rather than a shifting array: the op
+// initiated at c₀ executes stage c−c₀ at cycle c and retires when its slot
+// comes around again — the per-cycle k-deep Op shift becomes free. at[]
+// holds each slot's initiation cycle; mask/count track occupied slots and
+// loaded output registers so idle banks cost one compare per cycle.
 type bank struct {
 	mem    [][]cell.Word // [stage][addr]
-	ctrl   []Op
+	ctrl   []Op          // [slot]
+	at     []int64       // [slot] initiation cycle
 	outReg []outWord
+
+	mask     uint64 // occupied ctrl slots (k ≤ 64)
+	count    int    // occupied ctrl slots
+	outMask  uint64 // loaded output registers (k ≤ 64)
+	outCount int    // loaded output registers
 }
 
 // NewDual builds the two-memory half-quantum switch. cfg.Stages, if set,
@@ -86,13 +111,15 @@ func NewDual(cfg Config) (*DualSwitch, error) {
 		inflight: make([]arrival, n),
 		queues:   fifo.NewMultiQueue(n, 2*cfg.Cells),
 		linkFree: make([]int64, n),
-		egress:   make([]*fifo.Ring[*reasm], n),
+		rxHead:   make([]*reasm, n),
+		maskable: k <= 64,
 		cutLat:   stats.NewHist(4096),
 	}
 	for b := 0; b < 2; b++ {
 		bk := &bank{
 			mem:    make([][]cell.Word, k),
 			ctrl:   make([]Op, k),
+			at:     make([]int64, k),
 			outReg: make([]outWord, k),
 		}
 		for st := range bk.mem {
@@ -104,9 +131,6 @@ func NewDual(cfg Config) (*DualSwitch, error) {
 	d.descs = [][]desc{make([]desc, cfg.Cells), make([]desc, cfg.Cells)}
 	for i := range d.inReg {
 		d.inReg[i] = make([]cell.Word, k)
-	}
-	for o := range d.egress {
-		d.egress[o] = fifo.NewRing[*reasm](0)
 	}
 	return d, nil
 }
@@ -182,14 +206,61 @@ func (d *DualSwitch) unpack(n int) (b, a int) { return n / d.cfg.Cells, n % d.cf
 func (d *DualSwitch) Tick(heads []*cell.Cell) {
 	c := d.cycle
 
-	// Egress from both banks' output register rows.
+	// Dead-cycle shortcut: no arrivals, no arrival awaiting its write
+	// wave, nothing queued, both control rings retired and both output
+	// register rows drained — the only state this cycle would change is
+	// the clock. (An arrival still streaming its tail words into the
+	// input registers keeps either pendWrites or its write wave's ring
+	// slot nonzero for as long as any of those words will be read.)
+	if heads == nil && d.pendWrites == 0 && d.queues.Total() == 0 &&
+		d.banks[0].count == 0 && d.banks[1].count == 0 &&
+		d.banks[0].outCount == 0 && d.banks[1].outCount == 0 {
+		d.cycle++
+		return
+	}
+
+	// Egress from both banks' output register rows. A loaded register is
+	// always delivered on the following cycle, so every occupied slot
+	// fires; the masks only skip the empty ones.
 	for b := 0; b < 2; b++ {
-		for st := range d.banks[b].outReg {
-			r := &d.banks[b].outReg[st]
-			if r.valid && r.loadedAt == c-1 {
-				d.deliver(r.out, r.word, c)
-				r.valid = false
+		bk := d.banks[b]
+		if bk.outCount == 0 {
+			continue
+		}
+		if d.maskable {
+			for m := bk.outMask; m != 0; m &= m - 1 {
+				st := bits.TrailingZeros64(m)
+				r := &bk.outReg[st]
+				if r.valid && r.loadedAt == c-1 {
+					d.deliver(r.out, r.word, c)
+					r.valid = false
+					bk.outMask &^= uint64(1) << uint(st)
+					bk.outCount--
+				}
 			}
+		} else {
+			for st := range bk.outReg {
+				r := &bk.outReg[st]
+				if r.valid && r.loadedAt == c-1 {
+					d.deliver(r.out, r.word, c)
+					r.valid = false
+					bk.outCount--
+				}
+			}
+		}
+	}
+
+	// Retire the slot whose op was initiated k cycles ago: its final
+	// stage executed last cycle, and this cycle's initiation (if any)
+	// reuses the slot.
+	slot := int(c % int64(d.k))
+	bit := uint64(1) << uint(slot&63)
+	for b := 0; b < 2; b++ {
+		bk := d.banks[b]
+		if bk.ctrl[slot].Kind != OpNone {
+			bk.ctrl[slot] = Op{}
+			bk.mask &^= bit
+			bk.count--
 		}
 	}
 
@@ -202,7 +273,7 @@ func (d *DualSwitch) Tick(heads []*cell.Cell) {
 	}
 	writeBank := -1
 	var writeOp Op
-	{
+	if d.pendWrites > 0 {
 		// The write must avoid the bank being read this cycle.
 		forbidden := readBank
 		if wb, op, ok := d.pickWrite(c, forbidden); ok {
@@ -210,36 +281,41 @@ func (d *DualSwitch) Tick(heads []*cell.Cell) {
 			writeOp = op
 		}
 	}
-	for b := 0; b < 2; b++ {
-		d.banks[b].ctrl[0] = Op{}
-	}
 	if readBank >= 0 {
-		d.banks[readBank].ctrl[0] = readOp
+		bk := d.banks[readBank]
+		bk.ctrl[slot] = readOp
+		bk.at[slot] = c
+		bk.mask |= bit
+		bk.count++
 	}
 	if writeBank >= 0 {
-		d.banks[writeBank].ctrl[0] = writeOp
+		bk := d.banks[writeBank]
+		bk.ctrl[slot] = writeOp
+		bk.at[slot] = c
+		bk.mask |= bit
+		bk.count++
 	}
 
-	// Execute and shift each bank's control pipeline.
+	// Execute each bank's live ops. The op in slot s was initiated at
+	// at[s], so this cycle it acts on stage c−at[s]; distinct live slots
+	// map to distinct stages, and stages touch disjoint state, so
+	// execution order within a cycle is immaterial.
 	for b := 0; b < 2; b++ {
 		bk := d.banks[b]
-		for st := 0; st < d.k; st++ {
-			op := bk.ctrl[st]
-			switch op.Kind {
-			case OpWrite:
-				bk.mem[st][op.Addr] = d.inReg[op.In][st]
-			case OpRead:
-				bk.outReg[st] = outWord{word: bk.mem[st][op.Addr], out: op.Out, loadedAt: c, valid: true}
-			case OpWriteThrough:
-				w := d.inReg[op.In][st]
-				bk.mem[st][op.Addr] = w
-				bk.outReg[st] = outWord{word: w, out: op.Out, loadedAt: c, valid: true}
+		if bk.count == 0 {
+			continue
+		}
+		if d.maskable {
+			for m := bk.mask; m != 0; m &= m - 1 {
+				d.execOp(bk, bits.TrailingZeros64(m), c)
+			}
+		} else {
+			for s := range bk.ctrl {
+				if bk.ctrl[s].Kind != OpNone {
+					d.execOp(bk, s, c)
+				}
 			}
 		}
-		for st := d.k - 1; st >= 1; st-- {
-			bk.ctrl[st] = bk.ctrl[st-1]
-		}
-		bk.ctrl[0] = Op{}
 	}
 
 	// Ingress.
@@ -263,15 +339,39 @@ func (d *DualSwitch) Tick(heads []*cell.Cell) {
 			}
 			if !a.written {
 				d.counter.Inc("drop-overrun", 1)
+				// The displaced arrival was still pending; the new one
+				// takes its place in the census.
+				d.pendWrites--
 			}
 		}
 		d.counter.Inc("offered", 1)
 		nc.Enqueue = c
 		*a = arrival{c: nc, head: c, active: true}
+		d.pendWrites++
 		d.inReg[i][0] = nc.Words[0].Mask(d.cfg.WordBits)
 	}
 
 	d.cycle++
+}
+
+// execOp runs the op in slot s of bank bk at its current stage.
+func (d *DualSwitch) execOp(bk *bank, s int, c int64) {
+	op := &bk.ctrl[s]
+	st := int(c - bk.at[s])
+	switch op.Kind {
+	case OpWrite:
+		bk.mem[st][op.Addr] = d.inReg[op.In][st]
+	case OpRead:
+		bk.outReg[st] = outWord{word: bk.mem[st][op.Addr], out: op.Out, loadedAt: c, valid: true}
+		bk.outMask |= uint64(1) << uint(st&63)
+		bk.outCount++
+	case OpWriteThrough:
+		w := d.inReg[op.In][st]
+		bk.mem[st][op.Addr] = w
+		bk.outReg[st] = outWord{word: w, out: op.Out, loadedAt: c, valid: true}
+		bk.outMask |= uint64(1) << uint(st&63)
+		bk.outCount++
+	}
 }
 
 // pickRead selects an idle output whose head-of-queue cell is eligible;
@@ -338,6 +438,7 @@ func (d *DualSwitch) pickWrite(c int64, forbidden int) (bankIdx int, op Op, ok b
 	}
 	a := &d.inflight[best]
 	a.written = true
+	d.pendWrites--
 	d.counter.Inc("accepted", 1)
 	d.initDelay.Add(float64(c - a.head - 1))
 	d.writeRR = (best + 1) % d.n
@@ -362,12 +463,15 @@ func (d *DualSwitch) startTransmit(o int, dsc *desc, c int64) {
 	r.d = *dsc
 	r.words = r.words[:0]
 	r.start = 0
-	d.egress[o].Push(r)
+	if d.rxHead[o] != nil {
+		panic(fmt.Sprintf("core: transmission started on output %d with one already in flight", o))
+	}
+	d.rxHead[o] = r
 }
 
 func (d *DualSwitch) deliver(o int, w cell.Word, c int64) {
-	r, ok := d.egress[o].Front()
-	if !ok {
+	r := d.rxHead[o]
+	if r == nil {
 		panic(fmt.Sprintf("core: word on output %d with no departure in flight", o))
 	}
 	if len(r.words) == 0 {
@@ -377,7 +481,7 @@ func (d *DualSwitch) deliver(o int, w cell.Word, c int64) {
 	if len(r.words) < d.k {
 		return
 	}
-	d.egress[o].Pop()
+	d.rxHead[o] = nil
 	got := d.getCell()
 	got.Seq, got.Src, got.Dst, got.VC = r.d.c.Seq, r.d.c.Src, r.d.c.Dst, 0
 	got.Copies = nil
@@ -462,8 +566,10 @@ func RunDualTraffic(d *DualSwitch, cs *traffic.CellStream, cycles int64) (RunRes
 			pending++
 		}
 	}
-	for _, e := range d.egress {
-		pending += int64(e.Len())
+	for _, r := range d.rxHead {
+		if r != nil {
+			pending++
+		}
 	}
 	if res.Delivered+res.Dropped+pending != res.Offered {
 		return res, fmt.Errorf("core: dual conservation violated: offered %d delivered %d dropped %d pending %d",
@@ -484,8 +590,8 @@ func (d *DualSwitch) busy() bool {
 			return true
 		}
 	}
-	for _, e := range d.egress {
-		if e.Len() > 0 {
+	for _, r := range d.rxHead {
+		if r != nil {
 			return true
 		}
 	}

@@ -32,15 +32,18 @@ func benchTick(b *testing.B, cfg Config, tcfg traffic.Config, o ...*Observer) {
 	var seq uint64
 	delivered := 0
 	tick := func() {
-		cs.Heads(heads)
-		for j := range hc {
-			hc[j] = nil
-			if heads[j] != traffic.NoArrival {
-				seq++
-				hc[j] = pool.New(seq, j, heads[j], cfg.WordBits)
+		if cs.Heads(heads) == 0 {
+			s.Tick(nil)
+		} else {
+			for j := range hc {
+				hc[j] = nil
+				if heads[j] != traffic.NoArrival {
+					seq++
+					hc[j] = pool.New(seq, j, heads[j], cfg.WordBits)
+				}
 			}
+			s.Tick(hc)
 		}
-		s.Tick(hc)
 		for _, d := range s.Drain() {
 			pool.Put(d.Expected)
 			delivered++

@@ -71,6 +71,60 @@ func RunTraffic(s *Switch, cs *traffic.CellStream, cycles int64) (RunResult, err
 	return NewRunner(s, cs, cycles).Result()
 }
 
+// TickN advances the switch n cycles in one call: heads arrive in the
+// first cycle and the remaining n-1 cycles carry no arrivals. It is
+// bit-identical to Tick(heads) followed by n-1 Tick(nil) — drivers with
+// gaps between arrivals (light load, batch replay) use it to amortize
+// per-cycle dispatch, and once the switch drains to quiescence the
+// remaining cycles are skipped in O(1) (event-driven fast-forward).
+func (s *Switch) TickN(heads []*cell.Cell, n int64) {
+	if n <= 0 {
+		return
+	}
+	s.Tick(heads)
+	for m := n - 1; m > 0; m-- {
+		// Fast-forward: on the batched path with no observer attached and
+		// no cell anywhere in the switch, every remaining cycle would only
+		// retire an expired ctrl slot and advance the clock — do that
+		// wholesale. (An observer pins per-cycle stepping: its tallies and
+		// decimated flushes are per-cycle state.)
+		if s.fastMode && s.obs == nil && s.txPending == 0 &&
+			s.pendingWrites == 0 && s.delayCount == 0 && s.queues.Total() == 0 {
+			s.jump(m)
+			return
+		}
+		s.Tick(nil)
+	}
+}
+
+// jump skips m known-dead cycles at once. The only state an idle cycle
+// mutates is the ctrl slot it retires (plus the clock), and after k such
+// cycles the whole ring has been retired — so clearing the min(m, k)
+// slots the skipped cycles would claim and advancing the clock is
+// bit-identical to m idle Ticks.
+func (s *Switch) jump(m int64) {
+	clearN := m
+	if clearN > int64(s.k) {
+		clearN = int64(s.k)
+	}
+	for i := int64(0); i < clearN; i++ {
+		slot := s.slotOf(s.cycle + i)
+		if s.ctrl[slot].Kind != OpNone {
+			s.clearCtrl(slot)
+		}
+	}
+	s.cycle += m
+}
+
+// Quiescent reports that no cell is anywhere inside the switch — not on
+// the pipelined link wires, not awaiting a write wave, not buffered, not
+// streaming out of an egress link. Ticking a quiescent switch without
+// arrivals changes nothing but the clock and the retiring control ring.
+func (s *Switch) Quiescent() bool {
+	return s.pendingWrites == 0 && s.txPending == 0 && s.delayCount == 0 &&
+		s.queues.Total() == 0 && !s.egressBusy()
+}
+
 // countCells counts non-nil entries of a heads vector.
 func countCells(heads []*cell.Cell) int {
 	n := 0
@@ -96,6 +150,11 @@ func (s *Switch) inFlightCount() int {
 
 // egressBusy reports whether any departure is still being transmitted.
 func (s *Switch) egressBusy() bool {
+	if s.fastMode {
+		// The fast path posts every transmission to the completion ring
+		// when it starts, so the census is already counted.
+		return s.txPending > 0
+	}
 	for _, e := range s.egress {
 		if e.Len() > 0 {
 			return true
@@ -118,6 +177,9 @@ func (s *Switch) Resident() int { return int(s.pendingCount()) }
 
 // egressWords counts departures in flight at egress.
 func (s *Switch) egressWords() int {
+	if s.fastMode {
+		return s.txPending
+	}
 	c := 0
 	for _, e := range s.egress {
 		c += e.Len()

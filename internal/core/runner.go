@@ -110,16 +110,21 @@ func (r *Runner) Step() bool {
 		if r.PreTick != nil {
 			r.PreTick(r.s.cycle)
 		}
-		r.cs.Heads(r.heads)
-		for i := range r.hcells {
-			r.hcells[i] = nil
-			if r.heads[i] != traffic.NoArrival {
-				r.seq++
-				r.hcells[i] = r.pool.New(r.seq, i, r.heads[i], r.s.cfg.WordBits)
-				r.res.Offered++
+		if r.cs.Heads(r.heads) == 0 {
+			// No head anywhere this cycle: skip the per-port injection scan
+			// and let the switch's dead-cycle path see the nil vector.
+			r.s.Tick(nil)
+		} else {
+			for i := range r.hcells {
+				r.hcells[i] = nil
+				if r.heads[i] != traffic.NoArrival {
+					r.seq++
+					r.hcells[i] = r.pool.New(r.seq, i, r.heads[i], r.s.cfg.WordBits)
+					r.res.Offered++
+				}
 			}
+			r.s.Tick(r.hcells)
 		}
-		r.s.Tick(r.hcells)
 		r.collect()
 		r.occSum += float64(r.s.Buffered())
 		r.driven++

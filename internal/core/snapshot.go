@@ -173,6 +173,16 @@ type SwitchState struct {
 	LastInit     int64
 	WriteStartAt []int64
 
+	// Committed marks ctrl-ring slots whose memory traffic the batched
+	// fast path already applied (their departures are rebuilt from the
+	// egress records holding all K words). ForcedExact records that a
+	// per-stage fault seam fired, permanently pinning the exact path.
+	// Both are additive to the v1 schema: absent in older files, their
+	// zero values describe exactly what older files contain — a fully
+	// un-committed, exact-path state.
+	Committed   uint64 `json:",omitempty"`
+	ForcedExact bool   `json:",omitempty"`
+
 	// InDelay[slot][input] is the §4.3 link-pipelining delay line content
 	// (present only when Config.LinkPipeline > 0 and the line has been
 	// touched).
@@ -191,11 +201,17 @@ func (s *Switch) Snapshot() (*SwitchState, error) {
 	if len(s.done) != 0 {
 		return nil, fmt.Errorf("core: snapshot with %d uncollected departures; call Drain before Snapshot", len(s.done))
 	}
+	// While batching, the input registers are not maintained per cycle;
+	// bring them to their canonical full-row form so the serialized state
+	// is deterministic regardless of how long the fast path ran.
+	if s.fastMode {
+		s.materializeInReg()
+	}
 	st := &SwitchState{
 		Config: s.cfg,
 		Cycle:  s.cycle,
 
-		Mem:    copyWords2(s.mem),
+		Mem:    s.memBanks(),
 		InReg:  copyWords2(s.inReg),
 		OutReg: make([]OutWordState, s.k),
 		Ctrl:   append([]Op(nil), s.ctrl...),
@@ -232,6 +248,9 @@ func (s *Switch) Snapshot() (*SwitchState, error) {
 		Counters:   s.counter.Snapshot(),
 		InitDelay:  s.initDelay.State(),
 		CutLatency: s.cutLatency.State(),
+
+		Committed:   s.committed,
+		ForcedExact: s.forcedExact,
 	}
 	if s.eccMem != nil {
 		st.ECCMem = make([][]uint8, s.k)
@@ -264,6 +283,18 @@ func (s *Switch) Snapshot() (*SwitchState, error) {
 				Words: append([]cell.Word(nil), r.words...),
 				Start: r.start,
 			})
+		}
+		// On the fast path the rings are empty and each in-flight
+		// transmission lives in rxHead alone; serialize it from there so
+		// the state round-trips identically to the exact path's.
+		if s.fastMode {
+			if r := s.rxHead[o]; r != nil {
+				list = append(list, ReasmState{
+					Desc:  descState(&r.d),
+					Words: append([]cell.Word(nil), r.words...),
+					Start: r.start,
+				})
+			}
 		}
 		st.Egress[o] = list
 	}
@@ -323,7 +354,9 @@ func NewFromSnapshot(st *SwitchState) (*Switch, error) {
 		if len(st.Mem[b]) != s.cfg.Cells {
 			return nil, fmt.Errorf("core: switch state Mem[%d] has %d words, want %d", b, len(st.Mem[b]), s.cfg.Cells)
 		}
-		copy(s.mem[b], st.Mem[b])
+		for a, w := range st.Mem[b] {
+			s.mem[s.memIdx(b, a)] = w
+		}
 	}
 	if st.ECCMem != nil {
 		if s.eccMem == nil {
@@ -348,6 +381,23 @@ func NewFromSnapshot(st *SwitchState) (*Switch, error) {
 		s.outReg[i] = outWord{word: r.Word, out: r.Out, loadedAt: r.LoadedAt, valid: r.Valid}
 	}
 	copy(s.ctrl, st.Ctrl)
+	// Rebuild the SoA occupancy bookkeeping from the restored ring; the
+	// committed mask is sanitized against it (a committed bit is only
+	// meaningful on a slot holding a live op). The switch restarts on the
+	// exact path — committed slots are skipped there — and the deferred
+	// flip in Tick re-enters the batched path on the first cycle it is
+	// legal, so a fast-captured snapshot resumes at full speed.
+	s.ringOps, s.waveMask = 0, 0
+	for slot := range s.ctrl {
+		if s.ctrl[slot].Kind != OpNone {
+			s.ringOps++
+			if slot < 64 {
+				s.waveMask |= uint64(1) << uint(slot)
+			}
+		}
+	}
+	s.committed = st.Committed & s.waveMask
+	s.forcedExact = st.ForcedExact
 	for _, stg := range st.Loaded {
 		if stg < 0 || stg >= k {
 			return nil, fmt.Errorf("core: switch state loaded stage %d out of range", stg)
@@ -355,12 +405,12 @@ func NewFromSnapshot(st *SwitchState) (*Switch, error) {
 	}
 	s.loaded = append(s.loaded[:0], st.Loaded...)
 
-	s.pendingWrites = 0
+	s.pendingWrites, s.pendMask = 0, 0
 	for i := range st.Inflight {
 		a := &st.Inflight[i]
 		s.inflight[i] = arrival{c: cellFromState(a.Cell), head: a.Head, written: a.Written, active: a.Active}
 		if a.Active && !a.Written {
-			s.pendingWrites++
+			s.pendSet(i)
 		}
 	}
 
@@ -385,6 +435,20 @@ func NewFromSnapshot(st *SwitchState) (*Switch, error) {
 	}
 	copy(s.refcnt, st.Refcnt)
 	copy(s.outOcc, st.OutOcc)
+	s.occMask = 0
+	for o, occ := range s.outOcc {
+		if occ > 0 && o < 64 {
+			s.occMask |= uint64(1) << uint(o)
+		}
+	}
+	// The read fail-fast floor is a derived cache, never serialized:
+	// restart it unknown and let the first failed scan rebuild it.
+	s.readFloor = 0
+	// Restored payloads live in st.Mem; no deposit is deferred.
+	for a := range s.memLazy {
+		s.memLazy[a] = nil
+	}
+	s.lazyCount = 0
 
 	copy(s.wrSkip, st.WrSkip)
 	copy(s.inStalls, st.InStalls)
@@ -408,6 +472,24 @@ func NewFromSnapshot(st *SwitchState) (*Switch, error) {
 			r.words = append(r.words[:0], rs.Words...)
 			r.start = rs.Start
 			s.egress[o].Push(r)
+			// A record already holding all K words is a departure the
+			// batched path committed whole: the exact drive appends the
+			// K-th word and completes in the same phase, so it never
+			// serializes a full record. Re-post it to the completion ring
+			// (head on the link at Start ⇒ tail, and completion, at
+			// Start+K-1).
+			if len(r.words) == k {
+				cc := r.start + int64(k) - 1
+				if cc < st.Cycle || cc >= st.Cycle+int64(k) {
+					return nil, fmt.Errorf("core: switch state egress %d holds a committed departure completing at cycle %d, outside %d…%d", o, cc, st.Cycle, st.Cycle+int64(k)-1)
+				}
+				slot := s.depSlot(cc)
+				if s.departAt[slot].r != nil {
+					return nil, fmt.Errorf("core: switch state schedules two committed departures for cycle %d", cc)
+				}
+				s.departAt[slot] = departSlot{r: r, out: o}
+				s.txPending++
+			}
 		}
 		if front, ok := s.egress[o].Front(); ok {
 			s.rxHead[o] = front
@@ -463,6 +545,22 @@ func NewFromSnapshot(st *SwitchState) (*Switch, error) {
 	}
 	s.cycle = st.Cycle
 	return s, nil
+}
+
+// memBanks exports the flat address-major buffer as the per-bank 2D view
+// ([stage][address]) the serialized schema has always used, keeping
+// checkpoint files readable across the layout change.
+func (s *Switch) memBanks() [][]cell.Word {
+	s.materializeLazy()
+	out := make([][]cell.Word, s.k)
+	for b := range out {
+		row := make([]cell.Word, s.cfg.Cells)
+		for a := range row {
+			row[a] = s.mem[s.memIdx(b, a)]
+		}
+		out[b] = row
+	}
+	return out
 }
 
 func copyWords2(src [][]cell.Word) [][]cell.Word {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pipemem/internal/bufmgr"
 	"pipemem/internal/cell"
@@ -140,6 +141,19 @@ type reasm struct {
 	d     desc
 	words []cell.Word
 	start int64 // cycle of head word on the link
+	// clean records that words were materialized directly from d.c's own
+	// payload with no out-of-width bit dropped, so the departing cell is
+	// equal to the expected one by construction and the corruption
+	// compare can be skipped. Only the batched commit sets it.
+	clean bool
+}
+
+// departSlot is one entry of the departure-completion ring: the egress
+// reassembly record (already holding all K words under the batched fast
+// path) and the output link it completes on.
+type departSlot struct {
+	r   *reasm
+	out int
 }
 
 // Switch is the cycle-accurate pipelined memory shared buffer switch.
@@ -150,8 +164,22 @@ type Switch struct {
 
 	cycle int64
 
-	mem    [][]cell.Word // [stage][address]
-	inReg  [][]cell.Word // [input][stage]
+	// mem is the shared buffer in structure-of-arrays form: one flat word
+	// slice laid out address-major (index addr*k+st), so the k words of a
+	// wave occupy one contiguous run the batched fast path can copy with a
+	// single sweep. memIdx resolves the (stage, address) view the per-stage
+	// exact path and the fault layer use.
+	mem []cell.Word
+	// memLazy defers the bank deposit of unicast write waves on the
+	// batched fast path: the address's single pending read serves its k
+	// words straight from the still-resident cell, so the payload crosses
+	// memory once instead of twice. Every consumer that reads the array
+	// directly (snapshot, fault injection, exact-mode hand-over) calls
+	// materializeLazy first. lazyCount tracks live entries so those cold
+	// seams skip the scan when nothing is deferred.
+	memLazy   []*cell.Cell // [address]
+	lazyCount int
+	inReg     [][]cell.Word // [input][stage]
 	outReg []outWord     // [stage]
 	// ctrl is the pipelined control path stored as a ring indexed by wave
 	// initiation cycle: slot c0%k holds the op initiated at cycle c0, and
@@ -262,6 +290,52 @@ type Switch struct {
 	// only fully deposited words.
 	writeStartAt []int64
 
+	// Batched fast path (structure-of-arrays Tick engine). While fastMode
+	// is on, every wave's memory traffic is committed in one contiguous
+	// sweep at initiation — legal because a cell's words are immutable once
+	// injected and wave orderings are stage-uniform (two waves touching one
+	// address never interleave out of initiation order) — and its departure
+	// is posted to departAt, the cycle-indexed completion ring, instead of
+	// being driven word by word through outReg. waveMask has one bit per
+	// ctrl slot holding a live op; committed marks slots whose memory
+	// traffic was already applied by the batched path, so the per-stage
+	// exact loop (which the two paths hand over to when a tracer or the
+	// fault layer's per-stage seams arm) skips them. ringOps counts live
+	// slots without the k≤64 restriction of the masks; txPending counts
+	// departures posted to departAt. forcedExact latches the exact path on
+	// once a per-stage fault seam (control/input-register injection, stuck
+	// banks) has been exercised. lastTx is the reassembly record pushed by
+	// the most recent startTransmit, consumed by commitWave in the same
+	// arbitration call chain.
+	fastMode    bool
+	forcedExact bool
+	waveMask    uint64
+	committed   uint64
+	ringOps     int
+	txPending   int
+	departAt    []departSlot
+	lastTx      *reasm
+	// ctrlMask is k-1 when k is a power of two — slotOf then replaces the
+	// hardware divide the per-cycle ring indexing would otherwise pay —
+	// and -1 otherwise. depMask is len(departAt)-1 (the completion ring is
+	// always sized to a power of two ≥ k+1). pendMask holds one bit per
+	// input with a cell awaiting its write wave and occMask one bit per
+	// output with queued cells; both are maintained alongside their
+	// census counters (pendingWrites, outOcc) and let the arbitration
+	// scans visit only live candidates when n ≤ 64.
+	ctrlMask int
+	depMask  int
+	pendMask uint64
+	occMask  uint64
+
+	// readFloor is a conservative lower bound on the next cycle a read
+	// wave could possibly be initiated: the last full pickRead scan found
+	// every occupied output's link busy until then. linkFree never moves
+	// backward and the occupied set grows only through occInc (which
+	// clears the floor), so cycles below the floor skip the scan outright.
+	// Zero means "unknown" — never serialized, rebuilt lazily.
+	readFloor int64
+
 	// inDelay is the §4.3 link-pipelining delay line: slot c%R holds the
 	// heads that entered the switch boundary R cycles ago and reach the
 	// input registers this cycle. delayCount tracks cells in flight on
@@ -290,7 +364,8 @@ func New(cfg Config) (*Switch, error) {
 		cfg:          cfg,
 		n:            n,
 		k:            k,
-		mem:          make([][]cell.Word, k),
+		mem:          make([]cell.Word, k*cfg.Cells),
+		memLazy:      make([]*cell.Cell, cfg.Cells),
 		inReg:        make([][]cell.Word, n),
 		outReg:       make([]outWord, k),
 		ctrl:         make([]Op, k),
@@ -317,8 +392,15 @@ func New(cfg Config) (*Switch, error) {
 		lastInit:     -2,
 		writeStartAt: make([]int64, cfg.Cells),
 	}
-	for st := range s.mem {
-		s.mem[st] = make([]cell.Word, cfg.Cells)
+	depLen := 1
+	for depLen < k+1 {
+		depLen <<= 1
+	}
+	s.departAt = make([]departSlot, depLen)
+	s.depMask = depLen - 1
+	s.ctrlMask = -1
+	if k&(k-1) == 0 {
+		s.ctrlMask = k - 1
 	}
 	if cfg.ECC {
 		s.eccMem = make([][]uint8, k)
@@ -356,6 +438,199 @@ func (s *Switch) ctrlSlot(c int64, st int) int {
 	return i
 }
 
+// slotOf returns the ctrl-ring slot cycle c initiates into — c % k, with
+// the divide strength-reduced to a mask for power-of-two stage counts
+// (the default k = 2n shape whenever n is a power of two).
+func (s *Switch) slotOf(c int64) int {
+	if s.ctrlMask >= 0 {
+		return int(c) & s.ctrlMask
+	}
+	return int(c % int64(s.k))
+}
+
+// depSlot returns cycle c's slot of the departure-completion ring.
+func (s *Switch) depSlot(c int64) int { return int(c) & s.depMask }
+
+// rrDist is input i's distance from the write round-robin pointer — the
+// position the legacy scan would visit i at.
+func (s *Switch) rrDist(i int) int {
+	d := i - s.writeRR
+	if d < 0 {
+		d += s.n
+	}
+	return d
+}
+
+// pendSet/pendClear maintain the pending-write census (count + bitset)
+// for input i; occInc/occDec do the same for output o's queued-cell
+// census. The masks are meaningful only for indexes below 64 (a shift by
+// ≥ 64 contributes no bit), and every consumer of a mask is gated on
+// n ≤ 64.
+func (s *Switch) pendSet(i int) {
+	s.pendingWrites++
+	s.pendMask |= uint64(1) << uint(i)
+}
+
+func (s *Switch) pendClear(i int) {
+	s.pendingWrites--
+	s.pendMask &^= uint64(1) << uint(i)
+}
+
+func (s *Switch) occInc(o int) {
+	s.outOcc[o]++
+	s.occMask |= uint64(1) << uint(o)
+	// A newly occupied output may have an idle link: any cached
+	// no-read-before bound is stale.
+	s.readFloor = 0
+}
+
+func (s *Switch) occDec(o int) {
+	s.outOcc[o]--
+	if s.outOcc[o] == 0 {
+		s.occMask &^= uint64(1) << uint(o)
+	}
+}
+
+// memIdx maps the (stage, address) view onto the flat address-major
+// buffer array: a wave's k words are contiguous at addr*k.
+func (s *Switch) memIdx(st, addr int) int { return addr*s.k + st }
+
+// setCtrl writes one control-ring slot, maintaining the SoA occupancy
+// bookkeeping: ringOps (live-op census, any k) and waveMask (bitset view,
+// k ≤ 64). Overwriting a slot always clears its committed bit — the new
+// op's memory traffic has not been applied yet. The op is taken by
+// pointer (never retained) so the per-cycle call moves no 40-byte struct.
+func (s *Switch) setCtrl(slot int, op *Op) {
+	if s.ctrl[slot].Kind != OpNone {
+		s.ringOps--
+	}
+	if op.Kind != OpNone {
+		s.ringOps++
+	}
+	s.ctrl[slot] = *op
+	bit := uint64(1) << uint(slot) // slot ≥ 64 shifts to 0: mask unused there
+	if op.Kind != OpNone {
+		s.waveMask |= bit
+	} else {
+		s.waveMask &^= bit
+	}
+	s.committed &^= bit
+}
+
+// clearCtrl retires one control-ring slot (setCtrl with the zero op,
+// specialized for the dead-cycle and fast-forward paths).
+func (s *Switch) clearCtrl(slot int) {
+	if s.ctrl[slot].Kind != OpNone {
+		s.ringOps--
+	}
+	s.ctrl[slot] = Op{}
+	bit := uint64(1) << uint(slot) // slot ≥ 64 shifts to 0: mask unused there
+	s.waveMask &^= bit
+	s.committed &^= bit
+}
+
+// wantFast reports whether the batched structure-of-arrays path may run:
+// nothing that needs per-stage cycle accuracy is armed. A per-cycle tracer
+// observes individual stage operations and link drives; ECC, stuck-at
+// faults and an active bypass route every word through the fault layer;
+// forcedExact latches after a per-stage fault seam fired; and the bitset
+// masks need k ≤ 64.
+func (s *Switch) wantFast() bool {
+	return !s.forcedExact && s.tracer == nil && s.eccMem == nil &&
+		s.stuck == nil && !s.halved && s.k <= 64
+}
+
+// dropFast leaves the batched fast path immediately. The input registers —
+// not maintained per cycle while batching — are materialized first, so the
+// exact path (and anything that reads or faults inReg) resumes from valid
+// state. Waves committed by the fast path stay marked in the committed
+// mask; the exact execute loop skips them and their departures complete
+// through the departAt ring.
+func (s *Switch) dropFast() {
+	if !s.fastMode {
+		return
+	}
+	s.materializeInReg()
+	s.materializeLazy()
+	// Re-seat in-flight transmissions in the reassembly rings: the exact
+	// path's completion and snapshot machinery walk the rings, while the
+	// fast path tracked each output's single record in rxHead alone.
+	for o, r := range s.rxHead {
+		if r != nil {
+			s.egress[o].Push(r)
+		}
+	}
+	s.fastMode = false
+}
+
+// materializeLazy deposits every deferred unicast payload into the bank
+// array (masked, exactly as the eager write sweep would have) and clears
+// the lazy table, restoring the invariant that s.mem holds all committed
+// write traffic. Idempotent; called on every seam that reads the array
+// directly.
+func (s *Switch) materializeLazy() {
+	if s.lazyCount == 0 {
+		return
+	}
+	for a, lc := range s.memLazy {
+		if lc == nil {
+			continue
+		}
+		s.materializeAddr(a)
+	}
+}
+
+// materializeAddr flushes one address's deferred payload, if any.
+func (s *Switch) materializeAddr(a int) {
+	lc := s.memLazy[a]
+	if lc == nil {
+		return
+	}
+	m := ^cell.Word(0)
+	if wb := s.cfg.WordBits; wb < 64 {
+		m = cell.Word(1)<<uint(wb) - 1
+	}
+	src := lc.Words
+	dst := s.mem[a*s.k : a*s.k+s.k]
+	for j := range dst {
+		dst[j] = src[j] & m
+	}
+	s.memLazy[a] = nil
+	s.lazyCount--
+}
+
+// materializeInReg rebuilds the input-register rows from the cells
+// currently occupying them: the canonical full-row form (every word of the
+// current arrival, masked). Positions the exact engine would not have
+// latched yet hold the very words the upcoming latch cycles would write,
+// so resuming per-cycle latching from this state is behavior-identical;
+// rows that never held a cell stay zero. Called when the fast path hands
+// over to the exact path and when a snapshot is taken while batching, so
+// serialized state is deterministic regardless of how long the fast path
+// ran.
+func (s *Switch) materializeInReg() {
+	wb := s.cfg.WordBits
+	for i := range s.inflight {
+		a := &s.inflight[i]
+		if !a.active {
+			continue
+		}
+		row := s.inReg[i]
+		for j := 0; j < s.k; j++ {
+			row[j] = a.c.Words[j].Mask(wb)
+		}
+	}
+}
+
+// forceExact is the fault layer's hand-over: a per-stage seam (control
+// injection, input-register injection, stuck banks) was exercised, so the
+// per-stage exact path must run from now on — permanently, since the
+// seam's effect on in-flight state cannot be re-derived.
+func (s *Switch) forceExact() {
+	s.dropFast()
+	s.forcedExact = true
+}
+
 // qidx maps an (output, vc) pair to its descriptor-queue index.
 func (s *Switch) qidx(out, vc int) int { return out*s.cfg.VCs + vc }
 
@@ -390,8 +665,17 @@ func (s *Switch) InitDelay() *stats.Mean { return &s.initDelay }
 func (s *Switch) CutLatency() *stats.Hist { return s.cutLatency }
 
 // SetTracer installs a per-cycle trace callback (nil to disable); see
-// TraceEvent.
-func (s *Switch) SetTracer(f func(TraceEvent)) { s.tracer = f }
+// TraceEvent. A tracer observes individual stage operations, so while one
+// is installed the switch runs its per-stage exact path; stage activity of
+// waves the batched path had already committed when the tracer was
+// installed mid-run is not re-traced (their control words still appear in
+// TraceEvent.Ctrl).
+func (s *Switch) SetTracer(f func(TraceEvent)) {
+	if f != nil {
+		s.dropFast()
+	}
+	s.tracer = f
+}
 
 // SetOutputGate installs a side-effect-free admission predicate consulted
 // before any transmission is initiated on an output link. Telegraphos
@@ -545,6 +829,7 @@ func (s *Switch) getReasm() *reasm {
 		r := s.reasmFree[n-1]
 		s.reasmFree[n-1] = nil
 		s.reasmFree = s.reasmFree[:n-1]
+		r.clean = false
 		return r
 	}
 	return &reasm{words: make([]cell.Word, 0, s.k)}
@@ -568,36 +853,52 @@ func (s *Switch) getCell() *cell.Cell {
 // carries one word per cycle, so heads may be at most K cycles apart).
 // heads may be nil when no cell arrives anywhere.
 func (s *Switch) Tick(heads []*cell.Cell) {
+	// Mode selection. Dropping to the exact path is done eagerly by the
+	// seams that require it (SetTracer, the fault layer); entering the
+	// fast path is deferred until no un-committed wave is in flight and no
+	// output-register drive is pending, so neither path ever has to
+	// reconstruct the other's mid-wave state.
+	if s.fastMode {
+		if !s.wantFast() {
+			s.dropFast()
+		}
+	} else if s.wantFast() && s.waveMask&^s.committed == 0 && len(s.loaded) == 0 {
+		// Hand-over: with every wave committed and no drive pending, the
+		// reassembly rings hold only fully materialized departures already
+		// tracked by the completion ring and rxHead (at most one per
+		// output). The fast path keeps them in rxHead alone; drop the
+		// rings' duplicate bookkeeping.
+		for o := range s.egress {
+			for s.egress[o].Len() > 0 {
+				s.egress[o].Pop()
+			}
+		}
+		s.fastMode = true
+	}
+	if s.fastMode {
+		s.tickFast(heads)
+		return
+	}
+	s.tickExact(heads)
+}
+
+// tickExact is the per-stage cycle-accurate path: the original fig. 5
+// machine, walking the ctrl ring stage by stage. It runs whenever a
+// tracer or the fault layer's per-stage seams are armed (wantFast).
+func (s *Switch) tickExact(heads []*cell.Cell) {
 	c := s.cycle
 
-	// §4.3 link pipelining: heads spend LinkPipeline cycles crossing the
-	// pipelined input wires before reaching the input registers. The
-	// delay line is transparent to all switch logic below. Slot storage
-	// and the delayed-heads vector are preallocated and swapped in place.
-	if r := s.cfg.LinkPipeline; r > 0 {
-		if s.inDelay == nil {
-			s.inDelay = make([][]*cell.Cell, r)
-			for i := range s.inDelay {
-				s.inDelay[i] = make([]*cell.Cell, s.n)
-			}
-			s.delayScratch = make([]*cell.Cell, s.n)
+	heads = s.delayStep(c, heads)
+
+	// Departures the batched fast path scheduled before handing over
+	// complete through the ring; their words are fully materialized.
+	if s.txPending > 0 {
+		if d := &s.departAt[s.depSlot(c)]; d.r != nil {
+			r, o := d.r, d.out
+			d.r = nil
+			s.txPending--
+			s.finishDeparture(o, r, c)
 		}
-		slot := s.inDelay[c%int64(r)]
-		for i := 0; i < s.n; i++ {
-			var h *cell.Cell
-			if heads != nil {
-				h = heads[i]
-			}
-			slot[i], h = h, slot[i] // store entering, extract R-cycle-old
-			if slot[i] != nil {
-				s.delayCount++
-			}
-			if h != nil {
-				s.delayCount--
-			}
-			s.delayScratch[i] = h
-		}
-		heads = s.delayScratch
 	}
 
 	// Phase 1 — egress: output registers loaded in the previous cycle
@@ -638,20 +939,16 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 	// Phase 2 — arbitration: choose at most one new wave for stage M0.
 	// The slot being claimed last held the wave initiated k cycles ago,
 	// which completed its stage-(k-1) operation in the previous cycle.
-	base := int(c % int64(s.k))
-	s.ctrl[base] = s.arbitrate(c)
+	base := s.slotOf(c)
+	var op Op
+	s.arbitrate(c, &op)
+	s.setCtrl(base, &op)
 
 	// Per-input backpressure accounting: every arrival still waiting for
 	// its write wave after arbitration waited one more cycle. This is what
 	// makes buffer exhaustion visible per port instead of a silent retry
 	// (the aggregate §3.4 stall signal lives in observeCycle).
-	if s.pendingWrites > 0 {
-		for i := range s.inflight {
-			if a := &s.inflight[i]; a.active && !a.written && c > a.head {
-				s.inStalls[i]++
-			}
-		}
-	}
+	s.accrueStalls(c)
 
 	if s.obs != nil {
 		s.observeCycle(c, s.ctrl[base])
@@ -671,21 +968,28 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 	fastMem := s.eccMem == nil && s.stuck == nil && !s.halved
 	idx := base
 	for st := 0; st < s.k; st++ {
+		slot := idx
 		op := s.ctrl[idx]
 		if idx--; idx < 0 {
 			idx = s.k - 1
 		}
+		if s.committed&(uint64(1)<<uint(slot)) != 0 {
+			// The batched fast path already applied this wave's memory
+			// traffic and posted its departure to departAt; re-executing
+			// its stages would double-drive the output.
+			continue
+		}
 		switch op.Kind {
 		case OpWrite:
 			if fastMem {
-				s.mem[st][op.Addr] = s.inReg[op.In][st]
+				s.mem[op.Addr*s.k+st] = s.inReg[op.In][st]
 			} else {
 				s.writeWord(st, op.Addr, op.Remap, s.inReg[op.In][st])
 			}
 		case OpRead:
 			var w cell.Word
 			if fastMem {
-				w = s.mem[st][op.Addr]
+				w = s.mem[op.Addr*s.k+st]
 			} else {
 				w = s.readWord(st, op.Addr, op.Remap)
 			}
@@ -694,7 +998,7 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 		case OpWriteThrough:
 			w := s.inReg[op.In][st]
 			if fastMem {
-				s.mem[st][op.Addr] = w
+				s.mem[op.Addr*s.k+st] = w
 			} else {
 				s.writeWord(st, op.Addr, op.Remap, w)
 			}
@@ -731,7 +1035,7 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 				// exhausted for its whole residency): its words are now
 				// being overwritten and it is lost.
 				*s.cDropOverrun++
-				s.pendingWrites--
+				s.pendClear(i)
 				s.inDrops[i]++
 				s.outDrops[a.c.Dst]++
 				if s.obs != nil {
@@ -739,7 +1043,7 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 				}
 			}
 		}
-		s.pendingWrites++
+		s.pendSet(i)
 		*s.cOffered++
 		nc.Enqueue = c
 		*a = arrival{c: nc, head: c, active: true}
@@ -760,117 +1064,444 @@ func (s *Switch) Tick(heads []*cell.Cell) {
 	s.cycle++
 }
 
+// delayStep advances the §4.3 link-pipelining delay line: heads spend
+// LinkPipeline cycles crossing the pipelined input wires before reaching
+// the input registers. The delay line is transparent to all switch logic
+// behind it. Slot storage and the delayed-heads vector are preallocated
+// and swapped in place.
+func (s *Switch) delayStep(c int64, heads []*cell.Cell) []*cell.Cell {
+	r := s.cfg.LinkPipeline
+	if r == 0 {
+		return heads
+	}
+	if s.inDelay == nil {
+		s.inDelay = make([][]*cell.Cell, r)
+		for i := range s.inDelay {
+			s.inDelay[i] = make([]*cell.Cell, s.n)
+		}
+		s.delayScratch = make([]*cell.Cell, s.n)
+	}
+	slot := s.inDelay[c%int64(r)]
+	for i := 0; i < s.n; i++ {
+		var h *cell.Cell
+		if heads != nil {
+			h = heads[i]
+		}
+		slot[i], h = h, slot[i] // store entering, extract R-cycle-old
+		if slot[i] != nil {
+			s.delayCount++
+		}
+		if h != nil {
+			s.delayCount--
+		}
+		s.delayScratch[i] = h
+	}
+	return s.delayScratch
+}
+
+// tickFast is the batched structure-of-arrays cycle. One arbitration (the
+// same policy code as the exact path), one contiguous sweep applying the
+// chosen wave's entire memory traffic, and ring-scheduled completion — no
+// per-stage ctrl walk, no per-cycle input-register latching, no per-word
+// output drive. It is bit-identical to tickExact for every configuration
+// wantFast admits: a cell's words are immutable once injected, and wave
+// schedules are stage-uniform (stage st of the wave initiated at c0 runs
+// at exactly c0+st), so two waves touching one address always execute each
+// stage in initiation order — committing a wave's full traffic at
+// initiation commutes with every other wave, and a departure completed at
+// c0+k carries the exact words the per-stage drive would have assembled.
+func (s *Switch) tickFast(heads []*cell.Cell) {
+	c := s.cycle
+
+	if s.cfg.LinkPipeline > 0 && (heads != nil || s.delayCount > 0) {
+		heads = s.delayStep(c, heads)
+	}
+
+	// Completion: at most one wave initiates per cycle, so at most one
+	// departure completes per cycle — the one posted k cycles ago.
+	if s.txPending > 0 {
+		if d := &s.departAt[s.depSlot(c)]; d.r != nil {
+			r, o := d.r, d.out
+			d.r = nil
+			s.txPending--
+			s.finishDeparture(o, r, c)
+		}
+	}
+
+	// Dead-cycle short circuit: nothing buffered, nothing pending, nothing
+	// in flight and no arrivals — the only state change an exact cycle
+	// would make is retiring the expired ctrl slot. (TickN jumps runs of
+	// these cycles in O(1); this keeps the single-Tick idle cost minimal.)
+	if heads == nil && s.pendingWrites == 0 && s.txPending == 0 && s.queues.Total() == 0 {
+		base := s.slotOf(c)
+		if s.ctrl[base].Kind != OpNone {
+			s.clearCtrl(base)
+		}
+		if s.obs != nil {
+			s.observeCycle(c, Op{})
+		}
+		s.cycle++
+		return
+	}
+
+	// No-initiation shortcut: with nothing awaiting a write wave and
+	// nothing buffered, both pickers would scan and fail — exactly what
+	// arbitrate would return Op{} for, with no side effect (lastInit moves
+	// only on success). Skipping the call is therefore bit-identical.
+	var op Op
+	base := s.slotOf(c)
+	if s.pendingWrites != 0 || s.queues.Total() != 0 {
+		s.arbitrate(c, &op)
+	}
+	if op.Kind != OpNone || s.ctrl[base].Kind != OpNone {
+		s.setCtrl(base, &op)
+	}
+	if op.Kind != OpNone {
+		s.commitWave(base, &op, c)
+	}
+
+	s.accrueStalls(c)
+	if s.obs != nil {
+		s.observeCycle(c, op)
+	}
+
+	// Ingress: record arrivals. The input registers are not latched per
+	// cycle — commitWave (and materializeInReg on hand-over to the exact
+	// path) read the words straight from the immutable cell.
+	if heads != nil {
+		for i := 0; i < s.n; i++ {
+			nc := heads[i]
+			if nc == nil {
+				continue
+			}
+			if len(nc.Words) != s.k {
+				panic(fmt.Sprintf("core: cell of %d words injected into %d-stage switch", len(nc.Words), s.k))
+			}
+			if nc.Dst < 0 || nc.Dst >= s.n {
+				panic(fmt.Sprintf("core: cell destination %d out of range", nc.Dst))
+			}
+			a := &s.inflight[i]
+			if a.active {
+				if c-a.head < int64(s.k) {
+					panic(fmt.Sprintf("core: head injected mid-cell on input %d (previous head at cycle %d, now %d)", i, a.head, c))
+				}
+				if !a.written {
+					*s.cDropOverrun++
+					s.pendClear(i)
+					s.inDrops[i]++
+					s.outDrops[a.c.Dst]++
+					if s.obs != nil {
+						s.obs.DropOverrun.Inc()
+					}
+				}
+			}
+			s.pendSet(i)
+			*s.cOffered++
+			nc.Enqueue = c
+			*a = arrival{c: nc, head: c, active: true}
+		}
+	}
+
+	s.cycle++
+}
+
+// commitWave applies the entire memory traffic of the wave just initiated
+// at cycle c in one contiguous sweep and schedules its departure,
+// replacing the k per-stage executions of the exact path. The flat
+// address-major layout makes each case a single run over mem[addr*k :
+// addr*k+k].
+func (s *Switch) commitWave(slot int, op *Op, c int64) {
+	// One width mask for the whole sweep instead of a per-word Mask call
+	// (whose width<64 branch would sit inside the copy loop).
+	m := ^cell.Word(0)
+	if wb := s.cfg.WordBits; wb < 64 {
+		m = cell.Word(1)<<uint(wb) - 1
+	}
+	switch op.Kind {
+	case OpWrite:
+		if s.refcnt[op.Addr] == 1 {
+			// Unicast: defer the deposit. The cell outlives its only
+			// read wave's commit (it is recycled no earlier than the
+			// departure it becomes), so the read serves from it
+			// directly. Multicast keeps the eager copy — an early
+			// departure may hand the cell back while copies still queue.
+			s.memLazy[op.Addr] = s.inflight[op.In].c
+			s.lazyCount++
+		} else {
+			src := s.inflight[op.In].c.Words
+			dst := s.mem[op.Addr*s.k : op.Addr*s.k+s.k]
+			for j := range dst {
+				dst[j] = src[j] & m
+			}
+		}
+	case OpRead:
+		r := s.lastTx
+		s.lastTx = nil
+		if lc := s.memLazy[op.Addr]; lc != nil {
+			// Indexed masked copy (the record's capacity is pool-sized to
+			// k), folding the corruption check into the sweep: the record
+			// departs the very cell it will be compared against, so it is
+			// clean exactly when the source was already in-width.
+			src := lc.Words[:s.k]
+			w := r.words[:s.k]
+			var dirty cell.Word
+			for j := range w {
+				v := src[j]
+				w[j] = v & m
+				dirty |= v &^ m
+			}
+			r.words = w
+			r.clean = dirty == 0
+			s.memLazy[op.Addr] = nil
+			s.lazyCount--
+		} else {
+			r.words = append(r.words, s.mem[op.Addr*s.k:op.Addr*s.k+s.k]...)
+		}
+		r.start = c + 1
+		s.scheduleDepart(r, op.Out, c)
+	case OpWriteThrough:
+		// The departing words come straight off the data bus (§3.3), and
+		// pickWrite already released the buffer address — nothing could
+		// ever read the RAM deposit, so it is skipped entirely.
+		r := s.lastTx
+		s.lastTx = nil
+		src := s.inflight[op.In].c.Words[:s.k]
+		w := r.words[:s.k]
+		var dirty cell.Word
+		for j := range w {
+			v := src[j]
+			w[j] = v & m
+			dirty |= v &^ m
+		}
+		r.words = w
+		r.clean = dirty == 0
+		r.start = c + 1
+		s.scheduleDepart(r, op.Out, c)
+	}
+	s.committed |= uint64(1) << uint(slot)
+}
+
+// scheduleDepart posts a fully materialized transmission for completion at
+// cycle c+k — the cycle the exact path's k-th word drive would call
+// finishDeparture. The ring has ≥ k+1 slots and initiations are at most
+// one per cycle, so a slot is always consumed (at c0+k) before the next
+// wave that maps to it (initiated at least k+1 cycles later) posts.
+func (s *Switch) scheduleDepart(r *reasm, out int, c int64) {
+	s.departAt[s.depSlot(c+int64(s.k))] = departSlot{r: r, out: out}
+	s.txPending++
+}
+
+// accrueStalls charges one stall cycle to every arrival still waiting for
+// its write wave after this cycle's arbitration. The pending bitset makes
+// the common case (a handful of waiters among n ports) touch only the
+// live rows.
+func (s *Switch) accrueStalls(c int64) {
+	if s.pendingWrites == 0 {
+		return
+	}
+	if s.n <= 64 {
+		for m := s.pendMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if c > s.inflight[i].head {
+				s.inStalls[i]++
+			}
+		}
+		return
+	}
+	for i := range s.inflight {
+		if a := &s.inflight[i]; a.active && !a.written && c > a.head {
+			s.inStalls[i]++
+		}
+	}
+}
+
 // arbitrate picks this cycle's stage-0 operation, enforcing the degraded
 // initiation cadence while a stage bypass is active: a mapped-out stage
 // doubles the load on its partner bank's single port, so waves initiated on
 // consecutive cycles could collide there. Spacing initiations two cycles
 // apart makes every remapped schedule conflict-free again (the §3.4 slot
 // argument at half rate).
-func (s *Switch) arbitrate(c int64) Op {
+// The chosen operation is written through op — which must be zeroed by the
+// caller and is left untouched on a no-initiation cycle — so the 40-byte
+// Op never rides a return-value copy through the picker call chain.
+func (s *Switch) arbitrate(c int64, op *Op) bool {
 	if s.halved && c-s.lastInit < 2 {
-		return Op{}
+		return false
 	}
 	// Reads first (outgoing links must not idle), then the most urgent
 	// pending write, upgraded to a write-through when cut-through applies;
 	// NoReadPriority flips the order.
-	var op Op
 	var ok bool
 	if !s.cfg.NoReadPriority {
-		if op, ok = s.pickRead(c); !ok {
-			op, ok = s.pickWrite(c)
+		if ok = s.pickRead(c, op); !ok {
+			ok = s.pickWrite(c, op)
 		}
 	} else {
-		if op, ok = s.pickWrite(c); !ok {
-			op, ok = s.pickRead(c)
+		if ok = s.pickWrite(c, op); !ok {
+			ok = s.pickRead(c, op)
 		}
 	}
 	if ok {
 		s.lastInit = c
 		op.Remap = s.halved
 	}
-	return op
+	return ok
 }
 
 // pickRead selects an idle outgoing link with an eligible head-of-queue
-// cell, round-robin.
-func (s *Switch) pickRead(c int64) (Op, bool) {
+// cell, round-robin. With n ≤ 64 the scan iterates the occupancy bitset
+// rotated to the round-robin origin — the same visit order as the legacy
+// index walk restricted to outputs that have queued cells at all. The
+// outputs skipped that way would have failed their queue probe (and their
+// side-effect-free gate call, see SetOutputGate) without ever booking a
+// transmission, so the restriction is behavior-identical.
+func (s *Switch) pickRead(c int64, op *Op) bool {
 	if s.queues.Total() == 0 {
 		// Nothing buffered anywhere: no read wave can be initiated. (With
 		// cut-through under admissible load this is the common case — most
 		// cells depart via write-through and never touch the queues.)
-		return Op{}, false
+		return false
+	}
+	if s.n <= 64 {
+		// Fail-fast: a prior full scan proved no occupied link frees up
+		// before readFloor, and nothing since has invalidated that bound
+		// (occInc clears it; linkFree is monotone) — skip the scan. A
+		// failed scan has no side effects (readRR moves only on success),
+		// so skipping is bit-identical.
+		if s.readFloor > c {
+			return false
+		}
+		// Split the occupancy mask at the round-robin pointer: outputs
+		// ≥ readRR first (ascending), then the wrapped remainder. While
+		// scanning, track the earliest cycle any busy link frees; a scan
+		// that fails for link-busy reasons alone installs it as the new
+		// floor. A failure with the link already free (closed gate,
+		// store-and-forward wait, WRR ineligibility) can clear up without
+		// touching linkFree or the occupied set, so it poisons the bound.
+		minLink := int64(-1)
+		hi := s.occMask >> uint(s.readRR) << uint(s.readRR)
+		for m := hi; m != 0; m &= m - 1 {
+			o := bits.TrailingZeros64(m)
+			if f := s.linkFree[o]; f > c {
+				if minLink != 0 && (minLink < 0 || f < minLink) {
+					minLink = f
+				}
+				continue
+			}
+			if s.tryRead(o, c, op) {
+				return true
+			}
+			minLink = 0
+		}
+		for m := s.occMask &^ hi; m != 0; m &= m - 1 {
+			o := bits.TrailingZeros64(m)
+			if f := s.linkFree[o]; f > c {
+				if minLink != 0 && (minLink < 0 || f < minLink) {
+					minLink = f
+				}
+				continue
+			}
+			if s.tryRead(o, c, op) {
+				return true
+			}
+			minLink = 0
+		}
+		if minLink > 0 {
+			s.readFloor = minLink
+		}
+		return false
 	}
 	for j, o := 0, s.readRR; j < s.n; j, o = j+1, o+1 {
 		if o >= s.n {
 			o -= s.n
 		}
-		if s.linkFree[o] > c {
-			continue
-		}
-		if s.gate != nil && !s.gate(o) {
-			continue
-		}
-		// Single-VC fast path: with one virtual channel, no VC gate and
-		// no WRR weights, the only candidate is the output's front
-		// descriptor — skip the pickVC machinery.
-		if s.cfg.VCs == 1 && s.vcGate == nil && (s.vcWeights == nil || s.vcWeights[o] == nil) {
-			node, ok := s.queues.Front(o) // qidx(o, 0) == o
-			if !ok {
-				continue
-			}
-			d := &s.nodes[node]
-			if !s.cfg.CutThrough && c < d.writeStart+int64(s.k) {
-				continue
-			}
-			s.queues.Pop(o)
-			s.outOcc[o]--
-			s.readRR = (o + 1) % s.n
-			s.startTransmit(o, d, c)
-			addr := d.addr
-			s.nfree.Put(node)
-			s.refcnt[addr]--
-			if s.refcnt[addr] == 0 {
-				s.free.Put(addr)
-			}
-			return Op{Kind: OpRead, Out: o, Addr: addr}, true
-		}
-		// Serve the output's virtual channels round-robin (or WRR when
-		// weights are configured, [KaSC91]): a VC with a closed gate or
-		// an ineligible head does not block the link's other VCs.
-		eligible := func(vc int) bool {
-			if s.vcGate != nil && !s.vcGate(o, vc) {
-				return false
-			}
-			node, ok := s.queues.Front(s.qidx(o, vc))
-			if !ok {
-				return false
-			}
-			d := &s.nodes[node]
-			// Store-and-forward: wait until the write wave has fully
-			// deposited the cell.
-			return s.cfg.CutThrough || c >= d.writeStart+int64(s.k)
-		}
-		vc := s.pickVC(o, eligible)
-		if vc >= 0 {
-			q := s.qidx(o, vc)
-			node, _ := s.queues.Pop(q)
-			s.outOcc[o]--
-			d := &s.nodes[node]
-			s.readRR = (o + 1) % s.n
-			s.startTransmit(o, d, c)
-			addr := d.addr
-			s.nfree.Put(node)
-			// The address is reusable once its last queued copy has
-			// claimed its read wave: any later write wave trails this
-			// read wave stage by stage.
-			s.refcnt[addr]--
-			if s.refcnt[addr] == 0 {
-				s.free.Put(addr)
-			}
-			return Op{Kind: OpRead, Out: o, Addr: addr}, true
+		if s.tryRead(o, c, op) {
+			return true
 		}
 	}
-	return Op{}, false
+	return false
+}
+
+// tryRead attempts to initiate a read wave on output o at cycle c,
+// returning false when the link is busy, gated closed, or has no
+// serviceable head-of-queue cell.
+func (s *Switch) tryRead(o int, c int64, op *Op) bool {
+	if s.linkFree[o] > c {
+		return false
+	}
+	if s.gate != nil && !s.gate(o) {
+		return false
+	}
+	// Single-VC fast path: with one virtual channel, no VC gate and
+	// no WRR weights, the only candidate is the output's front
+	// descriptor — skip the pickVC machinery.
+	if s.cfg.VCs == 1 && s.vcGate == nil && (s.vcWeights == nil || s.vcWeights[o] == nil) {
+		node, ok := s.queues.Front(o) // qidx(o, 0) == o
+		if !ok {
+			return false
+		}
+		d := &s.nodes[node]
+		if !s.cfg.CutThrough && c < d.writeStart+int64(s.k) {
+			return false
+		}
+		s.queues.Pop(o)
+		s.occDec(o)
+		if o+1 == s.n {
+			s.readRR = 0
+		} else {
+			s.readRR = o + 1
+		}
+		s.startTransmit(o, d, c)
+		addr := d.addr
+		s.nfree.Put(node)
+		s.refcnt[addr]--
+		if s.refcnt[addr] == 0 {
+			s.free.Put(addr)
+		}
+		op.Kind, op.Out, op.Addr = OpRead, o, addr
+		return true
+	}
+	// Serve the output's virtual channels round-robin (or WRR when
+	// weights are configured, [KaSC91]): a VC with a closed gate or
+	// an ineligible head does not block the link's other VCs.
+	eligible := func(vc int) bool {
+		if s.vcGate != nil && !s.vcGate(o, vc) {
+			return false
+		}
+		node, ok := s.queues.Front(s.qidx(o, vc))
+		if !ok {
+			return false
+		}
+		d := &s.nodes[node]
+		// Store-and-forward: wait until the write wave has fully
+		// deposited the cell.
+		return s.cfg.CutThrough || c >= d.writeStart+int64(s.k)
+	}
+	vc := s.pickVC(o, eligible)
+	if vc < 0 {
+		return false
+	}
+	q := s.qidx(o, vc)
+	node, _ := s.queues.Pop(q)
+	s.occDec(o)
+	d := &s.nodes[node]
+	if o+1 == s.n {
+		s.readRR = 0
+	} else {
+		s.readRR = o + 1
+	}
+	s.startTransmit(o, d, c)
+	addr := d.addr
+	s.nfree.Put(node)
+	// The address is reusable once its last queued copy has
+	// claimed its read wave: any later write wave trails this
+	// read wave stage by stage.
+	s.refcnt[addr]--
+	if s.refcnt[addr] == 0 {
+		s.free.Put(addr)
+	}
+	op.Kind, op.Out, op.Addr = OpRead, o, addr
+	return true
 }
 
 // pickWrite selects the pending arrival with the earliest head cycle
@@ -881,27 +1512,47 @@ func (s *Switch) pickRead(c int64) (Op, bool) {
 // head first; an Accept with no free address leaves the arrival pending
 // (backpressure) and — with a policy installed — also tries the
 // remaining arrivals, since one of them may be admittable by push-out.
-func (s *Switch) pickWrite(c int64) (Op, bool) {
+func (s *Switch) pickWrite(c int64, op *Op) bool {
 	if s.pendingWrites == 0 {
-		return Op{}, false
+		return false
 	}
 retry:
 	best := -1
 	var bestHead int64
-	for j, i := 0, s.writeRR; j < s.n; j, i = j+1, i+1 {
-		if i >= s.n {
-			i -= s.n
+	if s.n <= 64 {
+		// The pending bitset holds exactly the active-and-unwritten rows,
+		// visited in ascending index order. The legacy walk visits in
+		// round-robin order from writeRR and keeps the first strict
+		// improvement, so its winner is the minimum head with ties broken
+		// by smallest RR distance — reproduced here with an explicit
+		// distance tie-break, making the two scans pick identically.
+		for m := s.pendMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			a := &s.inflight[i]
+			if c <= a.head || s.wrSkip[i] > c {
+				continue // head arrived only this cycle, or tried already
+			}
+			if best == -1 || a.head < bestHead ||
+				(a.head == bestHead && s.rrDist(i) < s.rrDist(best)) {
+				best, bestHead = i, a.head
+			}
 		}
-		a := &s.inflight[i]
-		if !a.active || a.written || c <= a.head || s.wrSkip[i] > c {
-			continue // no pending cell, or its head arrived only this cycle
-		}
-		if best == -1 || a.head < bestHead {
-			best, bestHead = i, a.head
+	} else {
+		for j, i := 0, s.writeRR; j < s.n; j, i = j+1, i+1 {
+			if i >= s.n {
+				i -= s.n
+			}
+			a := &s.inflight[i]
+			if !a.active || a.written || c <= a.head || s.wrSkip[i] > c {
+				continue // no pending cell, or its head arrived only this cycle
+			}
+			if best == -1 || a.head < bestHead {
+				best, bestHead = i, a.head
+			}
 		}
 	}
 	if best == -1 {
-		return Op{}, false
+		return false
 	}
 	a := &s.inflight[best]
 	if s.policy != nil {
@@ -924,20 +1575,23 @@ retry:
 			s.wrSkip[best] = c + 1
 			goto retry
 		}
-		return Op{}, false
+		return false
 	}
 	a.written = true
-	s.pendingWrites--
+	s.pendClear(best)
 	s.writeStartAt[addr] = c
 	*s.cAccepted++
 	s.initDelay.Add(float64(c - a.head - 1))
 	s.obsInitDelay.Observe(c - a.head - 1)
-	s.writeRR = (best + 1) % s.n
+	if best+1 == s.n {
+		s.writeRR = 0
+	} else {
+		s.writeRR = best + 1
+	}
 	vc := a.c.VC
 	if vc < 0 || vc >= s.cfg.VCs {
 		panic(fmt.Sprintf("core: cell VC %d out of configured %d channels", vc, s.cfg.VCs))
 	}
-	d := desc{c: a.c, head: a.head, writeStart: c, vc: vc, addr: addr}
 	dst := a.c.Dst
 
 	// Automatic cut-through, same-cycle variant (unicast only): if the
@@ -947,14 +1601,31 @@ retry:
 		s.linkFree[dst] <= c && s.QueuedFor(dst) == 0 &&
 		(s.gate == nil || s.gate(dst)) &&
 		(s.vcGate == nil || s.vcGate(dst, vc)) {
+		d := desc{c: a.c, head: a.head, writeStart: c, vc: vc, addr: addr}
 		s.startTransmit(dst, &d, c)
 		s.free.Put(addr)
-		return Op{Kind: OpWriteThrough, In: best, Out: dst, Addr: addr}, true
+		op.Kind, op.In, op.Out, op.Addr = OpWriteThrough, best, dst, addr
+		return true
 	}
 
 	// Enqueue one descriptor per destination; the payload is stored once
 	// (multicast economy of the shared buffer). Unicast cells — the hot
-	// case — take the single-destination path with no scratch slice.
+	// case — fill the descriptor in place on the claimed queue node, with
+	// no stack staging and no closure.
+	if len(a.c.Copies) == 0 {
+		node, ok := s.nfree.Get()
+		if !ok {
+			panic("core: descriptor-node pool exhausted (impossible: sized cells×ports)")
+		}
+		nd := &s.nodes[node]
+		nd.c, nd.head, nd.writeStart, nd.vc, nd.addr = a.c, a.head, c, vc, addr
+		s.refcnt[addr] = 1
+		s.queues.Push(s.qidx(dst, vc), node)
+		s.occInc(dst)
+		op.Kind, op.In, op.Addr = OpWrite, best, addr
+		return true
+	}
+	d := desc{c: a.c, head: a.head, writeStart: c, vc: vc, addr: addr}
 	enqueue := func(o int) {
 		if o < 0 || o >= s.n {
 			panic(fmt.Sprintf("core: multicast copy to output %d out of range", o))
@@ -965,14 +1636,15 @@ retry:
 		}
 		s.nodes[node] = d
 		s.queues.Push(s.qidx(o, vc), node)
-		s.outOcc[o]++
+		s.occInc(o)
 	}
 	s.refcnt[addr] = 1 + len(a.c.Copies)
 	enqueue(dst)
 	for _, o := range a.c.Copies {
 		enqueue(o)
 	}
-	return Op{Kind: OpWrite, In: best, Addr: addr}, true
+	op.Kind, op.In, op.Addr = OpWrite, best, addr
+	return true
 }
 
 // startTransmit books the outgoing link for the K-cycle transmission that
@@ -984,10 +1656,20 @@ func (s *Switch) startTransmit(o int, d *desc, c int64) {
 	r.d = *d
 	r.words = r.words[:0]
 	r.start = 0
-	s.egress[o].Push(r)
-	if s.egress[o].Len() == 1 {
+	if s.fastMode {
+		// Single-slot fast path: the link booking above spaces reads to
+		// one output at least K cycles apart, and the batched cycle
+		// completes the departure posted K cycles ago before arbitrating,
+		// so at most one transmission per output is ever in flight —
+		// rxHead alone carries it, no ring bookkeeping.
 		s.rxHead[o] = r
+	} else {
+		s.egress[o].Push(r)
+		if s.egress[o].Len() == 1 {
+			s.rxHead[o] = r
+		}
 	}
+	s.lastTx = r
 	if s.onTransmit != nil {
 		s.onTransmit(o)
 	}
@@ -1000,11 +1682,15 @@ func (s *Switch) startTransmit(o int, d *desc, c int64) {
 // outgoing link o at cycle c; r is the output's reassembly record, now
 // holding all K words.
 func (s *Switch) finishDeparture(o int, r *reasm, c int64) {
-	s.egress[o].Pop()
-	if next, ok := s.egress[o].Front(); ok {
-		s.rxHead[o] = next
-	} else {
+	if s.fastMode {
 		s.rxHead[o] = nil
+	} else {
+		s.egress[o].Pop()
+		if next, ok := s.egress[o].Front(); ok {
+			s.rxHead[o] = next
+		} else {
+			s.rxHead[o] = nil
+		}
 	}
 	// The observed cell swaps its word buffer with the record's (both stay
 	// at capacity K) so the record can return to the pool immediately; the
@@ -1030,7 +1716,7 @@ func (s *Switch) finishDeparture(o int, r *reasm, c int64) {
 		VC:        r.d.vc,
 	}
 	*s.cDelivered++
-	if !got.Equal(r.d.c) {
+	if !r.clean && !got.Equal(r.d.c) {
 		*s.cCorrupt++
 	}
 	lat := dep.HeadOut - dep.HeadIn

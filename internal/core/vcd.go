@@ -84,8 +84,8 @@ func opBits(k OpKind) string {
 	}
 }
 
-// bits renders a non-negative integer as a binary vector, or x for -1.
-func bits(val, width int) string {
+// bitVec renders a non-negative integer as a binary vector, or x for -1.
+func bitVec(val, width int) string {
 	if val < 0 {
 		return "bx"
 	}
@@ -135,7 +135,7 @@ func (v *VCDWriter) Trace(e TraceEvent) {
 			if op.Kind != OpNone {
 				addr = op.Addr
 			}
-			fmt.Fprintf(out, "%s %s\n", bits(addr, 16), v.idAddr(s))
+			fmt.Fprintf(out, "%s %s\n", bitVec(addr, 16), v.idAddr(s))
 			v.prevOp[s] = op
 		}
 		drive := -1
@@ -143,13 +143,13 @@ func (v *VCDWriter) Trace(e TraceEvent) {
 			drive = e.OutDrive[s]
 		}
 		if drive != v.prevDrive[s] {
-			fmt.Fprintf(out, "%s %s\n", bits(drive, 8), v.idDrive(s))
+			fmt.Fprintf(out, "%s %s\n", bitVec(drive, 8), v.idDrive(s))
 			v.prevDrive[s] = drive
 		}
 	}
 	for i := 0; i < v.n && i < len(e.InLatch); i++ {
 		if e.InLatch[i] != v.prevLatch[i] {
-			fmt.Fprintf(out, "%s %s\n", bits(e.InLatch[i], 8), v.idLatch(i))
+			fmt.Fprintf(out, "%s %s\n", bitVec(e.InLatch[i], 8), v.idLatch(i))
 			v.prevLatch[i] = e.InLatch[i]
 		}
 	}

@@ -96,8 +96,8 @@ func TestVCDBitsHelper(t *testing.T) {
 		{5, 8, "b101"},
 		{255, 8, "b11111111"},
 	} {
-		if got := bits(tc.v, tc.w); got != tc.want {
-			t.Errorf("bits(%d,%d) = %q, want %q", tc.v, tc.w, got, tc.want)
+		if got := bitVec(tc.v, tc.w); got != tc.want {
+			t.Errorf("bitVec(%d,%d) = %q, want %q", tc.v, tc.w, got, tc.want)
 		}
 	}
 	if opBits(OpRead) != "b10" || opBits(OpNone) != "b00" {

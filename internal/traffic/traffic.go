@@ -282,10 +282,22 @@ type CellStream struct {
 	// MarshalBinary/UnmarshalBinary.
 	pcg *rand.PCG
 	rng *rand.Rand
-	// remaining busy cycles per input (>0 while a cell is in transit)
-	busy []int
-	// per-input cell counter (Permutation only)
+	// now is the index of the next Heads call; freeAt[i] is the first call
+	// index at which input i's link is no longer mid-cell (a head may
+	// appear only at now ≥ freeAt[i]). The absolute form replaces the old
+	// per-cycle busy countdown: nothing is decremented on mid-cell links,
+	// and minFree — the smallest freeAt across inputs — lets a cycle in
+	// which every link is mid-cell return without touching any port (the
+	// common case for full-rate lockstep streams).
+	now     int64
+	freeAt  []int64
+	minFree int64
+	// per-input cell counter (Permutation only); rot[i] caches
+	// (i + sent[i]) mod N — the next permutation destination — so the
+	// full-rate path advances it with a wrap test instead of dividing
+	// every cell start. Derived state: rebuilt on restore, not exported.
 	sent []int64
+	rot  []int
 	// burst state per input (Bursty only): cells remaining in the current
 	// burst beyond the one in transit, and the burst's common destination.
 	burstLeft []int
@@ -309,14 +321,30 @@ func NewCellStream(cfg Config, cellLen int) (*CellStream, error) {
 		cellLen: cellLen,
 		pcg:     pcg,
 		rng:     rand.New(pcg),
-		busy:    make([]int, cfg.N),
+		freeAt:  make([]int64, cfg.N),
 		sent:    make([]int64, cfg.N),
 	}
 	if cfg.Kind == Bursty {
 		s.burstLeft = make([]int, cfg.N)
 		s.burstDst = make([]int, cfg.N)
 	}
+	if cfg.Kind == Permutation {
+		s.rot = make([]int, cfg.N)
+		for i := range s.rot {
+			s.rot[i] = i % cfg.N
+		}
+	}
 	return s, nil
+}
+
+// rotAdv advances input i's cached permutation destination by one,
+// mirroring sent[i]++ in (i + sent[i]) mod N.
+func (s *CellStream) rotAdv(i int) {
+	if r := s.rot[i] + 1; r == s.cfg.N {
+		s.rot[i] = 0
+	} else {
+		s.rot[i] = r
+	}
 }
 
 // Heads fills dst (length N) with the destinations of cell heads appearing
@@ -326,11 +354,21 @@ func (s *CellStream) Heads(dst []int) int {
 	if len(dst) != s.cfg.N {
 		panic("traffic: destination slice has wrong length")
 	}
+	now := s.now
+	s.now++
+	if s.minFree > now {
+		// Every link is mid-cell: no head can appear anywhere this cycle,
+		// and no per-port state needs touching (the busy intervals are
+		// absolute). One compare replaces the N-port scan.
+		for i := range dst {
+			dst[i] = NoArrival
+		}
+		return 0
+	}
 	n := 0
 	for i := range dst {
 		dst[i] = NoArrival
-		if s.busy[i] > 0 {
-			s.busy[i]--
+		if s.freeAt[i] > now {
 			continue
 		}
 		start := false
@@ -342,7 +380,7 @@ func (s *CellStream) Heads(dst []int) int {
 			// cell time, mirroring Generator's slot-level semantics.
 			if slot := int(s.sent[i]); slot < len(s.cfg.Schedule) {
 				s.sent[i]++
-				s.busy[i] = s.cellLen - 1
+				s.freeAt[i] = now + int64(s.cellLen)
 				if d := s.cfg.Schedule[slot][i]; d != NoArrival {
 					dst[i] = d
 					n++
@@ -367,6 +405,7 @@ func (s *CellStream) Heads(dst []int) int {
 			}
 			if !start {
 				s.sent[i]++ // the rotation advances even for skipped cells
+				s.rotAdv(i)
 			}
 		case Bernoulli, Hotspot:
 			// Start probability on an idle cycle such that utilization
@@ -384,7 +423,7 @@ func (s *CellStream) Heads(dst []int) int {
 			if s.burstLeft[i] > 0 {
 				s.burstLeft[i]--
 				dst[i] = s.burstDst[i]
-				s.busy[i] = s.cellLen - 1
+				s.freeAt[i] = now + int64(s.cellLen)
 				n++
 				continue
 			}
@@ -407,7 +446,7 @@ func (s *CellStream) Heads(dst []int) int {
 				s.burstDst[i] = s.rng.IntN(s.cfg.N)
 				s.burstLeft[i] = l - 1
 				dst[i] = s.burstDst[i]
-				s.busy[i] = s.cellLen - 1
+				s.freeAt[i] = now + int64(s.cellLen)
 				n++
 			}
 			continue
@@ -415,17 +454,25 @@ func (s *CellStream) Heads(dst []int) int {
 		if start {
 			switch {
 			case perm:
-				dst[i] = (i + int(s.sent[i])) % s.cfg.N
+				dst[i] = s.rot[i]
 				s.sent[i]++
+				s.rotAdv(i)
 			case s.cfg.Kind == Hotspot && s.rng.Float64() < s.cfg.HotFrac:
 				dst[i] = s.cfg.HotPort
 			default:
 				dst[i] = s.rng.IntN(s.cfg.N)
 			}
-			s.busy[i] = s.cellLen - 1
+			s.freeAt[i] = now + int64(s.cellLen)
 			n++
 		}
 	}
+	m := s.freeAt[0]
+	for _, f := range s.freeAt[1:] {
+		if f < m {
+			m = f
+		}
+	}
+	s.minFree = m
 	return n
 }
 
@@ -440,15 +487,24 @@ type StreamState struct {
 	BurstDst  []int `json:",omitempty"`
 }
 
-// State exports the stream for checkpointing.
+// State exports the stream for checkpointing. The serialized Busy field
+// keeps its original per-input countdown form (remaining mid-cell cycles),
+// derived from the absolute busy intervals the stream now tracks, so
+// checkpoint files stay compatible across the representation change.
 func (s *CellStream) State() (*StreamState, error) {
 	rngState, err := s.pcg.MarshalBinary()
 	if err != nil {
 		return nil, fmt.Errorf("traffic: marshal PCG: %w", err)
 	}
+	busy := make([]int, s.cfg.N)
+	for i, f := range s.freeAt {
+		if rem := f - s.now; rem > 0 {
+			busy[i] = int(rem)
+		}
+	}
 	st := &StreamState{
 		RNG:  rngState,
-		Busy: append([]int(nil), s.busy...),
+		Busy: busy,
 		Sent: append([]int64(nil), s.sent...),
 	}
 	if s.burstLeft != nil {
@@ -472,8 +528,15 @@ func RestoreCellStream(cfg Config, cellLen int, st *StreamState) (*CellStream, e
 	if err := s.pcg.UnmarshalBinary(st.RNG); err != nil {
 		return nil, fmt.Errorf("traffic: restore PCG: %w", err)
 	}
-	copy(s.busy, st.Busy)
+	for i, b := range st.Busy {
+		s.freeAt[i] = int64(b) // s.now restarts at 0
+	}
 	copy(s.sent, st.Sent)
+	if cfg.Kind == Permutation {
+		for i := range s.rot {
+			s.rot[i] = (i + int(s.sent[i]%int64(cfg.N))) % cfg.N
+		}
+	}
 	if cfg.Kind == Bursty {
 		if len(st.BurstLeft) != cfg.N || len(st.BurstDst) != cfg.N {
 			return nil, fmt.Errorf("traffic: bursty stream state missing burst arrays for %d inputs", cfg.N)
