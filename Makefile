@@ -10,7 +10,7 @@ ifneq ($(AMD64LEVEL),)
 BENCH_ENV := GOAMD64=$(AMD64LEVEL)
 endif
 
-.PHONY: build vet staticcheck test race fuzz check vulncheck bench bench-check profile obs-overhead audit-overhead ckpt-soak
+.PHONY: build vet staticcheck test race fuzz check vulncheck bench bench-check profile obs-overhead audit-overhead fabric-perf ckpt-soak
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,14 @@ obs-overhead:
 audit-overhead:
 	$(GO) test ./internal/core -run TestAuditZeroAlloc
 	PIPEMEM_AUDIT_OVERHEAD=1 $(GO) test ./internal/bench -run TestAuditOverheadBudget -v
+
+# Multistage-fabric throughput gate: the deterministic half (a steady
+# fabric Step allocates nothing; the sharded engine is bit-identical to
+# the sequential reference at every worker count) plus the opt-in
+# wall-clock floor on the 1024-terminal butterfly.
+fabric-perf:
+	$(GO) test ./internal/fabric -run 'TestStepZeroAlloc|TestParallelBitIdentical'
+	PIPEMEM_FABRIC_PERF=1 $(BENCH_ENV) $(GO) test ./internal/fabric -run TestFabricAggregateRate -v
 
 # Crash-consistency soak: SIGKILL a checkpointing pmsim mid-run (three
 # offsets past its first auto-checkpoint, tools built with -race) and

@@ -28,6 +28,7 @@ import (
 	"pipemem/internal/bench"
 	"pipemem/internal/cli"
 	"pipemem/internal/core"
+	"pipemem/internal/fabric"
 	"pipemem/internal/obs"
 	"pipemem/internal/traffic"
 )
@@ -77,6 +78,25 @@ func points(cycles int64) []bench.Point {
 			Dual:    true,
 			Traffic: traffic.Config{Kind: traffic.Permutation, N: 8, Load: 1, Seed: 42},
 			Cycles:  cycles,
+		},
+	}
+}
+
+// fabricPoints are the multistage regression shapes, measured through the
+// sharded fabric engine (sequential reference: one worker, so the number
+// tracks per-core engine efficiency rather than host parallelism). Fabric
+// cycles cover 16 node ticks each, so the cycle budget is scaled down to
+// keep the wall time comparable with the single-switch points.
+func fabricPoints(cycles int64) []bench.FabricPoint {
+	return []bench.FabricPoint{
+		{
+			Label: "fabric-64term",
+			Config: fabric.Config{
+				Terminals: 64, Radix: 8, WordBits: 16, SwitchCells: 32,
+				Credits: 4, CutThrough: true, Workers: 1,
+			},
+			Traffic: traffic.Config{Kind: traffic.Saturation, Seed: 42},
+			Cycles:  cycles / 4,
 		},
 	}
 }
@@ -170,6 +190,7 @@ func main() {
 	}
 
 	pts := points(*cycles)
+	fpts := fabricPoints(*cycles)
 	if *only != "" {
 		// A partial measurement must not gate or overwrite the full report.
 		if *jsonPath != "" || *check {
@@ -182,11 +203,17 @@ func main() {
 				keep = append(keep, p)
 			}
 		}
-		if keep == nil {
+		var fkeep []bench.FabricPoint
+		for _, p := range fpts {
+			if p.Label == *only {
+				fkeep = append(fkeep, p)
+			}
+		}
+		if keep == nil && fkeep == nil {
 			fmt.Fprintf(os.Stderr, "pmbench: no regression point named %q\n", *only)
 			os.Exit(2)
 		}
-		pts = keep
+		pts, fpts = keep, fkeep
 	}
 
 	cur := bench.NewReport()
@@ -201,6 +228,14 @@ func main() {
 		} else {
 			rec, err = bench.MeasureBest(p, *warmup, *reps)
 		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmbench:", err)
+			os.Exit(1)
+		}
+		cur.Results[rec.Name] = rec
+	}
+	for _, p := range fpts {
+		rec, err := bench.MeasureFabric(p, *warmup, *reps)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pmbench:", err)
 			os.Exit(1)
@@ -224,16 +259,23 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%-16s %12s %10s %12s %8s %9s\n", "point", "cells/sec", "ns/cycle", "allocs/tick", "vs base", "vs prev")
+	labels := make([]string, 0, len(pts)+len(fpts))
 	for _, p := range pts {
-		rec := cur.Results[p.Label]
+		labels = append(labels, p.Label)
+	}
+	for _, p := range fpts {
+		labels = append(labels, p.Label)
+	}
+	fmt.Printf("%-16s %12s %10s %12s %8s %9s\n", "point", "cells/sec", "ns/cycle", "allocs/tick", "vs base", "vs prev")
+	for _, label := range labels {
+		rec := cur.Results[label]
 		speedup := "-"
-		if b, ok := cur.Baseline[p.Label]; ok && b.CellsPerSec > 0 {
+		if b, ok := cur.Baseline[label]; ok && b.CellsPerSec > 0 {
 			speedup = fmt.Sprintf("%.2fx", rec.CellsPerSec/b.CellsPerSec)
 		}
 		delta := "-"
 		if prev != nil {
-			if pr, ok := prev.Results[p.Label]; ok && pr.CellsPerSec > 0 {
+			if pr, ok := prev.Results[label]; ok && pr.CellsPerSec > 0 {
 				delta = fmt.Sprintf("%+.1f%%", (rec.CellsPerSec/pr.CellsPerSec-1)*100)
 			}
 		}

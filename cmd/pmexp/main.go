@@ -29,6 +29,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	ext := flag.Bool("ext", false, "also run the X1–X3 extension experiments (beyond the paper)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	fab := flag.Bool("fabric", false, "run only the X6 sharded-fabric-engine experiment")
 	pprofA := flag.String("pprof", "", "serve runtime metrics and /debug/pprof on this address while running")
 	bufpol := cli.BufPolicyFlag(nil)
 	flag.Parse()
@@ -64,6 +65,10 @@ func main() {
 	// measuring just that policy across the X5 traffic matrix.
 	if bufpol.Got() {
 		exps = []pipemem.Experiment{pipemem.BufferPolicyExperiment(bufpol.Spec())}
+	}
+	// -fabric restricts the run to the sharded-engine experiment.
+	if *fab {
+		exps = []pipemem.Experiment{pipemem.FabricScaleExperiment()}
 	}
 	if *list {
 		for _, e := range exps {

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pipemem/internal/clos"
+	"pipemem/internal/fabric"
+	"pipemem/internal/obs"
+	"pipemem/internal/stats"
+	"pipemem/internal/traffic"
+)
+
+// fabricOpts carries the -fabric mode configuration: a multistage
+// network (butterfly or three-stage Clos) built on the sharded fabric
+// engine, driven by terminal traffic.
+type fabricOpts struct {
+	kind      string // "butterfly" or "clos"
+	terminals int
+	radix     int
+	middles   int
+	cells     int
+	credits   int
+	workers   int
+
+	load     float64
+	saturate bool
+	bursty   float64
+	hotFrac  float64
+	cycles   int64
+	warmup   int64
+	seed     uint64
+	policy   string
+
+	metrics     bool
+	metricsJSON bool
+}
+
+// fabricNet is the surface shared by the butterfly and Clos nets that
+// the -fabric driver needs.
+type fabricNet interface {
+	Close()
+	Audit() error
+	Latency() *stats.Hist
+	RegisterMetrics(reg *obs.Registry, prefix string)
+	SyncMetrics()
+}
+
+// runFabric builds the requested multistage network, drives it with the
+// shared traffic flags, prints the run summary, and audits the final
+// state (conservation, credit bounds, per-node invariants).
+func runFabric(o fabricOpts) {
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+	tcfg := traffic.Config{Kind: traffic.Bernoulli, Load: o.load, Seed: o.seed}
+	switch {
+	case o.saturate:
+		tcfg.Kind = traffic.Saturation
+	case o.bursty > 0:
+		tcfg.Kind, tcfg.BurstLen = traffic.Bursty, o.bursty
+	case o.hotFrac > 0:
+		tcfg.Kind, tcfg.HotFrac = traffic.Hotspot, o.hotFrac
+	}
+
+	var (
+		net       fabricNet
+		terminals int
+		stages    int
+		res       interface{ String() string }
+	)
+	switch o.kind {
+	case "butterfly":
+		f, err := fabric.New(fabric.Config{
+			Terminals: o.terminals, Radix: o.radix, WordBits: 16,
+			SwitchCells: o.cells, Credits: o.credits, CutThrough: true,
+			Policy: o.policy, Workers: o.workers,
+		})
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		r, err := fabric.Run(f, tcfg, o.warmup, o.cycles)
+		if err != nil {
+			die(err)
+		}
+		net, terminals, stages, res = f, o.terminals, f.Stages(), r
+	case "clos":
+		f, err := clos.New(clos.Config{
+			Radix: o.radix, Middles: o.middles, WordBits: 16,
+			SwitchCells: o.cells, Credits: o.credits, CutThrough: true,
+			Policy: o.policy, Workers: o.workers,
+		})
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		r, err := clos.Run(f, tcfg, o.warmup, o.cycles)
+		if err != nil {
+			die(err)
+		}
+		net, terminals, stages, res = f, o.radix*o.radix, 3, r
+	default:
+		fmt.Fprintf(os.Stderr, "pmsim: -fabric %q: want butterfly or clos\n", o.kind)
+		os.Exit(2)
+	}
+
+	fmt.Printf("fabric %s terminals=%d stages=%d workers=%d\n%s\n",
+		o.kind, terminals, stages, o.workers, res)
+	if q := net.Latency(); q.N() > 0 {
+		fmt.Printf("latency p50=%d p99=%d max=%d\n",
+			q.Quantile(0.50), q.Quantile(0.99), q.Max())
+	}
+	if err := net.Audit(); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim: post-run audit FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("post-run audit passed")
+
+	if o.metrics || o.metricsJSON {
+		reg := obs.NewRegistry()
+		net.RegisterMetrics(reg, "fabric")
+		net.SyncMetrics()
+		var err error
+		if o.metricsJSON {
+			err = reg.WriteJSON(os.Stdout)
+		} else {
+			err = reg.WritePrometheus(os.Stdout)
+		}
+		if err != nil {
+			die(err)
+		}
+	}
+}

@@ -84,6 +84,13 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "PRNG seed")
 		sweep    = flag.Bool("sweep", false, "sweep load 0.1..0.95 instead of a single point")
 
+		fabricKind = flag.String("fabric", "", "multistage fabric run: butterfly|clos (overrides -arch; uses -terminals/-radix/-middles/-credits/-fabric-workers and the shared traffic flags)")
+		terminals  = flag.Int("terminals", 64, "fabric run: external terminal count (butterfly; must be radix^s)")
+		radix      = flag.Int("radix", 8, "fabric run: per-node port count (clos terminals = radix²)")
+		middles    = flag.Int("middles", 0, "fabric run: populated Clos middle switches (0 = radix)")
+		credits    = flag.Int("credits", 4, "fabric run: per-inter-stage-link credits (0 disables flow control)")
+		fworkers   = flag.Int("fabric-workers", 1, "fabric run: engine shard workers (0 = GOMAXPROCS; results are bit-identical across counts)")
+
 		faultplan = flag.String("faultplan", "", "fault-injection run: plan file, '-' for stdin, or 'random' (overrides -arch)")
 		ecc       = flag.Bool("ecc", false, "fault run: SEC-DED protect the memory banks")
 		bypass    = flag.Int("bypass", 0, "fault run: map out a bank after this many unrecovered ECC errors (0 = off; implies -ecc)")
@@ -106,6 +113,30 @@ func main() {
 	if err := ckptf.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "pmsim:", err)
 		os.Exit(2)
+	}
+
+	// A -fabric run drives the multistage engine, which has its own
+	// metrics surface; it composes with the traffic and -bufpolicy flags
+	// but not with the single-switch fault/checkpoint/trace harnesses.
+	if *fabricKind != "" {
+		if *faultplan != "" || ckptf.Active() || *traceOut != "" || *pprofAddr != "" {
+			fmt.Fprintln(os.Stderr, "pmsim: -fabric does not combine with -faultplan, -checkpoint/-restore, -trace or -pprof")
+			os.Exit(2)
+		}
+		archSet := false
+		flag.Visit(func(f *flag.Flag) { archSet = archSet || f.Name == "arch" })
+		if archSet {
+			fmt.Fprintln(os.Stderr, "pmsim: -fabric builds a multistage network, not -arch; drop -arch")
+			os.Exit(2)
+		}
+		runFabric(fabricOpts{
+			kind: *fabricKind, terminals: *terminals, radix: *radix,
+			middles: *middles, cells: *buf, credits: *credits, workers: *fworkers,
+			load: *load, saturate: *saturate, bursty: *bursty, hotFrac: *hotFrac,
+			cycles: *slots, warmup: *warmup, seed: *seed, policy: bufpol.Spec(),
+			metrics: *metrics, metricsJSON: *metricsJSON,
+		})
+		return
 	}
 
 	observe := *metrics || *metricsJSON || *traceOut != "" || *pprofAddr != ""

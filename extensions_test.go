@@ -9,8 +9,8 @@ import (
 // TestExtensionIndex: the extension experiments are present and well-formed.
 func TestExtensionIndex(t *testing.T) {
 	exts := ExtensionExperiments()
-	if len(exts) != 5 {
-		t.Fatalf("%d extension experiments, want 5", len(exts))
+	if len(exts) != 6 {
+		t.Fatalf("%d extension experiments, want 6", len(exts))
 	}
 	for i, e := range exts {
 		want := "X" + string(rune('1'+i))
@@ -26,7 +26,7 @@ func TestExtensionIndex(t *testing.T) {
 // TestX1X2Pass: the cheap extension experiments pass at Quick scale.
 func TestX1X2Pass(t *testing.T) {
 	for _, e := range ExtensionExperiments() {
-		if e.ID == "X3" || e.ID == "X4" || e.ID == "X5" {
+		if e.ID == "X3" || e.ID == "X4" || e.ID == "X5" || e.ID == "X6" {
 			continue // simulation-heavy; covered by the dedicated tests
 		}
 		res, err := e.Run(Quick)
@@ -81,6 +81,21 @@ func TestX5Pass(t *testing.T) {
 	}
 	if !res.Pass() {
 		t.Errorf("X5 failed:\n%s", res)
+	}
+}
+
+// TestX6Pass runs the sharded-fabric-engine extension: bit-identity
+// across worker counts at Quick scale. Skipped with -short.
+func TestX6Pass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; run without -short")
+	}
+	res, err := X6FabricScale(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass() {
+		t.Errorf("X6 failed:\n%s", res)
 	}
 }
 

@@ -21,16 +21,16 @@ func TestAuditOverheadBudget(t *testing.T) {
 	if os.Getenv("PIPEMEM_AUDIT_OVERHEAD") != "1" {
 		t.Skip("wall-clock overhead check is opt-in: set PIPEMEM_AUDIT_OVERHEAD=1 (make audit-overhead)")
 	}
-	const cycles, warmup, rounds = 1_000_000, 8192, 4
+	const cycles, warmup, rounds, reps = 1_000_000, 8192, 2, 3
 	const cadence = 64
 	p := overheadPoint(cycles)
 	measure := func(audit bool) (rate float64, allocs float64) {
 		var rec Record
 		var err error
 		if audit {
-			rec, err = MeasureAudited(p, warmup, cadence)
+			rec, err = MeasureAudited(p, warmup, cadence, reps)
 		} else {
-			rec, err = Measure(p, warmup)
+			rec, err = MeasureBest(p, warmup, reps)
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -63,12 +63,12 @@ func TestAuditOverheadBudget(t *testing.T) {
 // cadences and the dual organization (which has no auditor).
 func TestMeasureAuditedValidation(t *testing.T) {
 	p := overheadPoint(64)
-	if _, err := MeasureAudited(p, 0, 0); err == nil {
+	if _, err := MeasureAudited(p, 0, 0, 1); err == nil {
 		t.Fatal("auditEvery=0 accepted")
 	}
 	p.Dual = true
 	p.Config.Cells = 128
-	if _, err := MeasureAudited(p, 0, 16); err == nil {
+	if _, err := MeasureAudited(p, 0, 16, 1); err == nil {
 		t.Fatal("dual organization accepted for auditing")
 	}
 }
@@ -76,7 +76,7 @@ func TestMeasureAuditedValidation(t *testing.T) {
 // TestMeasureAuditedRuns: a short audited measurement on the pipelined
 // organization completes cleanly and delivers cells.
 func TestMeasureAuditedRuns(t *testing.T) {
-	rec, err := MeasureAudited(overheadPoint(2048), 256, 16)
+	rec, err := MeasureAudited(overheadPoint(2048), 256, 16, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

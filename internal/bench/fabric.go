@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pipemem/internal/fabric"
+	"pipemem/internal/traffic"
+)
+
+// FabricPoint is one multistage-fabric measurement: a butterfly
+// configuration driven by a terminal traffic pattern for a number of
+// cycles.
+type FabricPoint struct {
+	// Label names the point in reports ("fabric-64term").
+	Label string
+	// Config is the fabric configuration (terminals, radix, credits,
+	// policy, worker count).
+	Config fabric.Config
+	// Traffic drives the terminals; its N is forced to Config.Terminals.
+	Traffic traffic.Config
+	Cycles  int64
+}
+
+// MeasureFabric drives one fabric point with untimed warmup cycles and
+// then reps timed windows of p.Cycles each, keeping the fastest window's
+// wall-clock rate and the worst window's allocation counts (see
+// MeasureBest for why).
+//
+// The reported CellsPerSec is the aggregate switching rate: end-to-end
+// delivered cells multiplied by the stage count — every delivered cell
+// traversed one switch node per stage — divided by wall-clock time. The
+// Delivered field stays end-to-end. The run is audited (conservation,
+// credit bounds, per-node invariants) after the measured windows.
+func MeasureFabric(p FabricPoint, warmup int64, reps int) (Record, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	f, err := fabric.New(p.Config)
+	if err != nil {
+		return Record{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	defer f.Close()
+	tc := p.Traffic
+	tc.N = p.Config.Terminals
+	cs, err := traffic.NewCellStream(tc, f.CellWords())
+	if err != nil {
+		return Record{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	heads := make([]int, p.Config.Terminals)
+	var seq uint64
+	step := func() error {
+		cs.Heads(heads)
+		for term, dst := range heads {
+			if dst != traffic.NoArrival {
+				seq++
+				f.Inject(term, dst, seq)
+			}
+		}
+		return f.Step()
+	}
+	for c := int64(0); c < warmup; c++ {
+		if err := step(); err != nil {
+			return Record{}, fmt.Errorf("%s: warmup cycle %d: %w", p.Label, c, err)
+		}
+	}
+	cy := float64(p.Cycles)
+	stages := float64(f.Stages())
+	var rec Record
+	for rep := 0; rep < reps; rep++ {
+		d0 := f.Delivered()
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for c := int64(0); c < p.Cycles; c++ {
+			if err := step(); err != nil {
+				return Record{}, fmt.Errorf("%s: cycle %d: %w", p.Label, c, err)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		delivered := f.Delivered() - d0
+		win := Record{
+			Name:          p.Label,
+			CellsPerSec:   float64(delivered) * stages / elapsed.Seconds(),
+			NsPerCycle:    float64(elapsed.Nanoseconds()) / cy,
+			AllocsPerTick: float64(m1.Mallocs-m0.Mallocs) / cy,
+			BytesPerTick:  float64(m1.TotalAlloc-m0.TotalAlloc) / cy,
+			Cycles:        p.Cycles,
+			Delivered:     delivered,
+		}
+		if rep == 0 {
+			rec = win
+			continue
+		}
+		wa, wb := rec.AllocsPerTick, rec.BytesPerTick
+		if win.AllocsPerTick > wa {
+			wa = win.AllocsPerTick
+		}
+		if win.BytesPerTick > wb {
+			wb = win.BytesPerTick
+		}
+		if win.CellsPerSec > rec.CellsPerSec {
+			rec = win
+		}
+		rec.AllocsPerTick, rec.BytesPerTick = wa, wb
+	}
+	if err := f.Audit(); err != nil {
+		return Record{}, fmt.Errorf("%s: post-run audit: %w", p.Label, err)
+	}
+	rec.CutLatencyOverflow = f.LatencyOverflow()
+	overflowRun(rec.CutLatencyOverflow)
+	return rec, nil
+}

@@ -25,7 +25,7 @@ type Ticker interface {
 // allocations. Unlike RunPoint it does not verify departures or drain the
 // switch at the end — it measures the steady state, not a complete run.
 func Measure(p Point, warmup int64) (Record, error) {
-	return MeasureObserved(p, warmup, nil)
+	return MeasureObserved(p, warmup, nil, 1)
 }
 
 // MeasureBest is Measure with the timed region split into reps
@@ -42,22 +42,26 @@ func MeasureBest(p Point, warmup int64, reps int) (Record, error) {
 
 // MeasureObserved is Measure with an observer installed on the switch
 // before the warmup — the harness behind the enabled-metrics overhead
-// benchmark (make obs-overhead). Observers apply only to the
-// full-quantum organization; a Dual point ignores obs.
-func MeasureObserved(p Point, warmup int64, obs *core.Observer) (Record, error) {
-	return measure(p, warmup, obs, 0, 1)
+// benchmark (make obs-overhead) — and the timed region split into reps
+// best-of windows like MeasureBest: overhead ratios computed from single
+// windows on a shared host compare two different noise draws, not two
+// configurations. Observers apply only to the full-quantum organization;
+// a Dual point ignores obs.
+func MeasureObserved(p Point, warmup int64, obs *core.Observer, reps int) (Record, error) {
+	return measure(p, warmup, obs, 0, reps)
 }
 
 // MeasureAudited is Measure with the online invariant auditor run every
 // auditEvery cycles of the timed region (and of the warmup, so the
 // auditor's one-time scratch allocation stays out of the measurement) —
-// the harness behind the audit-overhead gate (make audit-overhead). Only
-// the pipelined organization is auditable.
-func MeasureAudited(p Point, warmup, auditEvery int64) (Record, error) {
+// the harness behind the audit-overhead gate (make audit-overhead). The
+// timed region is split into reps best-of windows like MeasureBest.
+// Only the pipelined organization is auditable.
+func MeasureAudited(p Point, warmup, auditEvery int64, reps int) (Record, error) {
 	if auditEvery <= 0 {
 		return Record{}, fmt.Errorf("%s: auditEvery must be positive", p.Label)
 	}
-	return measure(p, warmup, nil, auditEvery, 1)
+	return measure(p, warmup, nil, auditEvery, reps)
 }
 
 func measure(p Point, warmup int64, obs *core.Observer, auditEvery int64, reps int) (Record, error) {

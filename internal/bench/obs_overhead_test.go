@@ -36,21 +36,22 @@ func TestObsOverheadBudget(t *testing.T) {
 	if os.Getenv("PIPEMEM_OBS_OVERHEAD") != "1" {
 		t.Skip("wall-clock overhead check is opt-in: set PIPEMEM_OBS_OVERHEAD=1 (make obs-overhead)")
 	}
-	const cycles, warmup, rounds = 1_000_000, 8192, 4
+	const cycles, warmup, rounds, reps = 1_000_000, 8192, 2, 3
 	p := overheadPoint(cycles)
 	measure := func(observe bool) (rate float64, allocs float64) {
 		var o *core.Observer
 		if observe {
 			o = core.NewObserver(obs.NewRegistry(), p.Config.Ports)
 		}
-		rec, err := MeasureObserved(p, warmup, o)
+		rec, err := MeasureObserved(p, warmup, o, reps)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return rec.CellsPerSec, rec.AllocsPerTick
 	}
-	// Interleave the two configurations so CPU frequency drift and
-	// scheduler noise hit both sides equally, and take each side's best.
+	// Each measure call is already best-of-reps back-to-back windows;
+	// interleaving whole rounds on top makes CPU frequency drift and
+	// scheduler noise hit both sides equally. Take each side's best.
 	var offRate, offAllocs, onRate, onAllocs float64
 	for i := 0; i < rounds; i++ {
 		if r, a := measure(false); r > offRate {

@@ -13,14 +13,18 @@
 //
 // As in internal/fabric, each node is a full cycle-accurate core.Switch,
 // cut-through chains across stages via the transmit hook, and inter-stage
-// links run credit-based flow control.
+// links run credit-based flow control. The cycle loop is the shared
+// sharded engine (internal/fabric/engine); this package contributes the
+// Clos wiring and the round-robin middle selection.
 package clos
 
 import (
 	"fmt"
 
-	"pipemem/internal/cell"
+	"pipemem/internal/bufmgr"
 	"pipemem/internal/core"
+	"pipemem/internal/fabric/engine"
+	"pipemem/internal/obs"
 	"pipemem/internal/stats"
 	"pipemem/internal/traffic"
 )
@@ -40,6 +44,13 @@ type Config struct {
 	Credits int
 	// CutThrough enables automatic cut-through in every node.
 	CutThrough bool
+	// Policy optionally names a bufmgr admission policy spec
+	// (name:key=val) installed on every node. Malformed specs fail
+	// Validate with an error wrapping bufmgr.ErrBadConfig.
+	Policy string
+	// Workers is the engine shard count (0 = GOMAXPROCS, 1 = sequential
+	// reference). Results are bit-identical across worker counts.
+	Workers int
 }
 
 // Validate reports whether the configuration is buildable.
@@ -56,23 +67,56 @@ func (c Config) Validate() error {
 	if c.Credits < 0 {
 		return fmt.Errorf("clos: negative credits")
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("clos: negative workers")
+	}
+	if c.Policy != "" {
+		if _, err := bufmgr.Parse(c.Policy); err != nil {
+			return fmt.Errorf("clos: %w", err)
+		}
+	}
 	return nil
 }
 
-// flight tracks one cell crossing the network.
-type flight struct {
-	orig    *cell.Cell
-	dst     int // terminal
-	inject  int64
-	stage   int
-	inbound int // port index on the current stage's switch (for credits)
-	sw      int // current switch index within its stage
+// topology is the C(n, n, n) wiring in the engine's vocabulary: stage 0
+// output j uplinks to middle j's port i (the ingress index); middle j's
+// output e goes to egress e's port j; outputs into unpopulated middles
+// (j ≥ m) are unroutable and gated off by the engine.
+type topology struct {
+	n, m int
 }
 
-type injection struct {
-	stage, sw, port int
-	c               *cell.Cell
+func (t topology) Stages() int    { return 3 }
+func (t topology) Radix() int     { return t.n }
+func (t topology) Terminals() int { return t.n * t.n }
+
+func (t topology) NodesAt(stage int) int {
+	if stage == 1 {
+		return t.m
+	}
+	return t.n
 }
+
+func (t topology) Downstream(stage, sw, out int) (int, int) {
+	if stage == 0 && out >= t.m {
+		return -1, -1
+	}
+	return out, sw
+}
+
+// RouteDst: the middle routes on the egress-switch digit, the egress on
+// the terminal's port digit. (Stage 0's output — the middle choice — is
+// the injector's routing freedom, not a function of dst.)
+func (t topology) RouteDst(stage, dst int) int {
+	if stage == 1 {
+		return dst / t.n
+	}
+	return dst % t.n
+}
+
+func (t topology) InjectPoint(term int) (int, int) { return term / t.n, term % t.n }
+
+func (t topology) EjectTerminal(esw, out int) int { return esw*t.n + out }
 
 // Net is the three-stage Clos network.
 type Net struct {
@@ -82,27 +126,17 @@ type Net struct {
 	terms int
 	cellK int
 
-	cycle int64
-
-	// sw[0][i]: ingress i; sw[1][j]: middle j; sw[2][e]: egress e.
-	sw [3][]*core.Switch
-
-	pending map[int64][]injection
-	// credits[stage][sw][port]: allowance on the link INTO (stage, sw,
-	// port) for stage ∈ {1, 2}.
-	credits [3][][]int
-
 	// midRR per ingress switch: round-robin middle selection pointer.
 	midRR []int
 
-	flights map[uint64]*flight
-
-	injected, delivered, badEject int64
-	midLoad                       []int64 // cells routed via each middle
-	latency                       *stats.Hist
+	eng *engine.Engine
+	// sw[0][i]: ingress i; sw[1][j]: middle j; sw[2][e]: egress e —
+	// views into the engine's nodes.
+	sw [3][]*core.Switch
 }
 
-// New builds the network.
+// New builds the network. A Net with Workers > 1 owns goroutines; Close
+// it when done.
 func New(cfg Config) (*Net, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -112,185 +146,47 @@ func New(cfg Config) (*Net, error) {
 	if m == 0 {
 		m = n
 	}
-	net := &Net{
+	f := &Net{
 		cfg: cfg, n: n, m: m, terms: n * n, cellK: 2 * n,
-		pending: make(map[int64][]injection),
-		midRR:   make([]int, n),
-		flights: make(map[uint64]*flight),
-		midLoad: make([]int64, m),
-		latency: stats.NewHist(1 << 14),
+		midRR: make([]int, n),
 	}
+	eng, err := engine.New(engine.Config{
+		Topo: topology{n: n, m: m}, WordBits: cfg.WordBits,
+		SwitchCells: cfg.SwitchCells, Credits: cfg.Credits,
+		CutThrough: cfg.CutThrough, Policy: cfg.Policy, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.eng = eng
 	for st := 0; st < 3; st++ {
 		count := n
 		if st == 1 {
 			count = m
 		}
-		net.sw[st] = make([]*core.Switch, count)
-		net.credits[st] = make([][]int, count)
-		for i := range net.sw[st] {
-			swc, err := core.New(core.Config{
-				Ports: n, WordBits: cfg.WordBits, Cells: cfg.SwitchCells,
-				CutThrough: cfg.CutThrough,
-			})
-			if err != nil {
-				return nil, err
-			}
-			net.credits[st][i] = make([]int, n)
-			for p := range net.credits[st][i] {
-				net.credits[st][i][p] = cfg.Credits
-			}
-			st, i := st, i
-			if cfg.Credits > 0 && st < 2 {
-				swc.SetOutputGate(func(out int) bool {
-					dsw, dport := net.downstream(st, i, out)
-					if dsw < 0 {
-						return false // unpopulated middle
-					}
-					return net.credits[st+1][dsw][dport] > 0
-				})
-			}
-			if st == 0 && cfg.Credits == 0 {
-				// Even without credits, never route into an
-				// unpopulated middle.
-				swc.SetOutputGate(func(out int) bool { return out < net.m })
-			}
-			swc.SetTransmitCellHook(func(out int, c *cell.Cell, start int64) {
-				net.onTransmit(st, i, out, c, start)
-			})
-			net.sw[st][i] = swc
+		f.sw[st] = make([]*core.Switch, count)
+		for i := range f.sw[st] {
+			f.sw[st][i] = eng.NodeAt(st, i)
 		}
 	}
-	return net, nil
-}
-
-// downstream maps (stage, switch, output port) to the next stage's
-// (switch, input port). Stage 0 output j goes to middle j's port
-// (ingress index); middle j's output e goes to egress e's port j.
-func (f *Net) downstream(stage, sw, out int) (dsw, dport int) {
-	switch stage {
-	case 0:
-		if out >= f.m {
-			return -1, -1
-		}
-		return out, sw
-	case 1:
-		return out, sw
-	default:
-		return -1, -1
-	}
-}
-
-// onTransmit chains a departing cell to the next stage.
-func (f *Net) onTransmit(stage, sw, out int, c *cell.Cell, start int64) {
-	fl := f.flights[c.Seq]
-	if fl == nil {
-		panic(fmt.Sprintf("clos: transmit of unknown cell %d", c.Seq))
-	}
-	if stage > 0 && f.cfg.Credits > 0 {
-		f.credits[stage][sw][fl.inbound]++
-	}
-	if stage == 2 {
-		return // ejection
-	}
-	dsw, dport := f.downstream(stage, sw, out)
-	if dsw < 0 {
-		panic(fmt.Sprintf("clos: transmit into unpopulated middle %d", out))
-	}
-	if f.cfg.Credits > 0 {
-		if f.credits[stage+1][dsw][dport] <= 0 {
-			panic("clos: credit underflow")
-		}
-		f.credits[stage+1][dsw][dport]--
-	}
-	if stage == 0 {
-		f.midLoad[dsw]++
-	}
-	next := c.Clone()
-	switch stage {
-	case 0: // at the middle, route to the egress switch
-		next.Dst = fl.dst / f.n
-	case 1: // at the egress, route to the terminal's port
-		next.Dst = fl.dst % f.n
-	}
-	fl.stage = stage + 1
-	fl.sw = dsw
-	fl.inbound = dport
-	at := start + 2
-	f.pending[at] = append(f.pending[at], injection{stage: stage + 1, sw: dsw, port: dport, c: next})
+	return f, nil
 }
 
 // Inject offers a cell at terminal term (= ingressSwitch·n + port) for
 // terminal dst in the current cycle. Middle selection is round-robin per
 // ingress switch — the Clos routing freedom, exercised fairly.
 func (f *Net) Inject(term, dst int, seq uint64) {
-	isw, iport := term/f.n, term%f.n
-	c := cell.New(seq, term, dst, f.cellK, f.cfg.WordBits)
-	fl := &flight{orig: c.Clone(), dst: dst, inject: f.cycle, sw: isw, inbound: iport}
-	f.flights[seq] = fl
-	hop := c.Clone()
-	hop.Dst = f.midRR[isw] % f.m // chosen middle (uplink port index)
+	isw := term / f.n
+	mid := f.midRR[isw] % f.m
 	f.midRR[isw]++
-	f.pending[f.cycle] = append(f.pending[f.cycle], injection{stage: 0, sw: isw, port: iport, c: hop})
-	f.injected++
+	f.eng.Inject(term, dst, seq, mid)
 }
 
 // Step advances the whole network one clock cycle.
-func (f *Net) Step() error {
-	byNode := map[[2]int][]*cell.Cell{}
-	for _, inj := range f.pending[f.cycle] {
-		key := [2]int{inj.stage, inj.sw}
-		hs := byNode[key]
-		if hs == nil {
-			hs = make([]*cell.Cell, f.n)
-		}
-		if hs[inj.port] != nil {
-			return fmt.Errorf("clos: two heads on stage %d switch %d port %d", inj.stage, inj.sw, inj.port)
-		}
-		hs[inj.port] = inj.c
-		byNode[key] = hs
-	}
-	delete(f.pending, f.cycle)
+func (f *Net) Step() error { return f.eng.Step() }
 
-	for st := 0; st < 3; st++ {
-		for i, s := range f.sw[st] {
-			s.Tick(byNode[[2]int{st, i}])
-			deps := s.Drain()
-			if st < 2 {
-				continue
-			}
-			for _, d := range deps {
-				if err := f.eject(i, d); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	f.cycle++
-	return nil
-}
-
-// eject verifies a cell leaving an egress switch.
-func (f *Net) eject(esw int, d core.Departure) error {
-	fl := f.flights[d.Expected.Seq]
-	if fl == nil {
-		return fmt.Errorf("clos: ejection of unknown cell %d", d.Expected.Seq)
-	}
-	term := esw*f.n + d.Output
-	if term != fl.dst {
-		f.badEject++
-		return fmt.Errorf("clos: cell %d for terminal %d ejected at %d", d.Expected.Seq, fl.dst, term)
-	}
-	for i := range d.Cell.Words {
-		if d.Cell.Words[i] != fl.orig.Words[i] {
-			f.badEject++
-			return fmt.Errorf("clos: cell %d corrupted", d.Expected.Seq)
-		}
-	}
-	f.delivered++
-	f.latency.Add(d.HeadOut - fl.inject)
-	delete(f.flights, d.Expected.Seq)
-	return nil
-}
+// Close stops the engine's worker pool (no-op for Workers ≤ 1).
+func (f *Net) Close() { f.eng.Close() }
 
 // Terminals returns n².
 func (f *Net) Terminals() int { return f.terms }
@@ -299,15 +195,38 @@ func (f *Net) Terminals() int { return f.terms }
 func (f *Net) CellWords() int { return f.cellK }
 
 // Delivered returns end-to-end delivered cells.
-func (f *Net) Delivered() int64 { return f.delivered }
+func (f *Net) Delivered() int64 { return f.eng.Delivered() }
+
+// Injected returns cells offered at the terminals.
+func (f *Net) Injected() int64 { return f.eng.Injected() }
 
 // Latency returns the inject→head-ejection histogram.
-func (f *Net) Latency() *stats.Hist { return f.latency }
+func (f *Net) Latency() *stats.Hist { return f.eng.Latency() }
 
-// MiddleLoad returns cells routed through each populated middle switch.
-func (f *Net) MiddleLoad() []int64 {
-	return append([]int64(nil), f.midLoad...)
+// LatencyOverflow returns latency samples beyond the histogram range
+// (counted but not binned — nonzero means the tail is understated; Audit
+// fails on it).
+func (f *Net) LatencyOverflow() int64 { return f.eng.LatencyOverflow() }
+
+// MiddleLoad returns cells routed through each populated middle switch
+// (head arrivals observed at the middle stage).
+func (f *Net) MiddleLoad() []int64 { return f.eng.ArrivalsAt(1) }
+
+// Engine exposes the underlying fabric engine.
+func (f *Net) Engine() *engine.Engine { return f.eng }
+
+// RegisterMetrics pre-registers network metrics on reg under prefix.
+func (f *Net) RegisterMetrics(reg *obs.Registry, prefix string) {
+	f.eng.RegisterMetrics(reg, prefix)
 }
+
+// SyncMetrics publishes current network state into registered metrics.
+func (f *Net) SyncMetrics() { f.eng.SyncMetrics() }
+
+// Audit runs the network's conservation-style checks (per-node switch
+// invariants, credit bounds, ejection integrity, latency-histogram
+// overflow).
+func (f *Net) Audit() error { return f.eng.Audit() }
 
 // Drops sums overrun drops across all nodes.
 func (f *Net) Drops() int64 {
@@ -339,7 +258,7 @@ func (f *Net) Corrupt() int64 {
 			c += s.Counters().Get("corrupt")
 		}
 	}
-	return c + f.badEject
+	return c + f.eng.BadEjects()
 }
 
 // Result summarizes a run.
@@ -350,9 +269,28 @@ type Result struct {
 	Drops         int64
 	InteriorDrops int64
 	Corrupt       int64
-	Throughput    float64 // delivered cell-words per cycle per terminal
-	MeanLatency   float64
-	MinLatency    int64
+	// LatencyOverflow counts latency samples that exceeded the histogram
+	// range: nonzero means MeanLatency understates the tail.
+	LatencyOverflow int64
+	Throughput      float64 // delivered cell-words per cycle per terminal
+	MeanLatency     float64
+	MinLatency      int64
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	s := fmt.Sprintf("cycles=%d injected=%d delivered=%d drops=%d thru=%.4f lat=%.2f minlat=%d",
+		r.Cycles, r.Injected, r.Delivered, r.Drops, r.Throughput, r.MeanLatency, r.MinLatency)
+	if r.InteriorDrops > 0 {
+		s += fmt.Sprintf(" interior-drops=%d", r.InteriorDrops)
+	}
+	if r.Corrupt > 0 {
+		s += fmt.Sprintf(" corrupt=%d", r.Corrupt)
+	}
+	if r.LatencyOverflow > 0 {
+		s += fmt.Sprintf(" latency-overflow=%d", r.LatencyOverflow)
+	}
+	return s
 }
 
 // Run drives the network with terminal traffic for warmup+measure cycles.
@@ -365,7 +303,7 @@ func Run(f *Net, tcfg traffic.Config, warmup, measure int64) (Result, error) {
 	heads := make([]int, f.terms)
 	var seq uint64
 	drive := func(cycles int64) (int64, error) {
-		start := f.delivered
+		start := f.Delivered()
 		for i := int64(0); i < cycles; i++ {
 			cs.Heads(heads)
 			for term, dst := range heads {
@@ -378,7 +316,7 @@ func Run(f *Net, tcfg traffic.Config, warmup, measure int64) (Result, error) {
 				return 0, err
 			}
 		}
-		return f.delivered - start, nil
+		return f.Delivered() - start, nil
 	}
 	if _, err := drive(warmup); err != nil {
 		return Result{}, err
@@ -388,14 +326,15 @@ func Run(f *Net, tcfg traffic.Config, warmup, measure int64) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Cycles:        measure,
-		Injected:      f.injected,
-		Delivered:     f.delivered,
-		Drops:         f.Drops(),
-		InteriorDrops: f.InteriorDrops(),
-		Corrupt:       f.Corrupt(),
-		Throughput:    float64(delivered*int64(f.cellK)) / float64(measure*int64(f.terms)),
-		MeanLatency:   f.latency.Mean(),
-		MinLatency:    f.latency.Quantile(0),
+		Cycles:          measure,
+		Injected:        f.Injected(),
+		Delivered:       f.Delivered(),
+		Drops:           f.Drops(),
+		InteriorDrops:   f.InteriorDrops(),
+		Corrupt:         f.Corrupt(),
+		LatencyOverflow: f.LatencyOverflow(),
+		Throughput:      float64(delivered*int64(f.cellK)) / float64(measure*int64(f.terms)),
+		MeanLatency:     f.Latency().Mean(),
+		MinLatency:      f.Latency().Quantile(0),
 	}, nil
 }

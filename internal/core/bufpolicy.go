@@ -87,6 +87,11 @@ func (s *Switch) dropPolicy(in int, a *arrival) {
 			o.Tracer.Emit(obs.Event{Kind: obs.EvDrop, Cycle: s.cycle, In: int32(in), Out: int32(a.c.Dst), Addr: -1})
 		}
 	}
+	if s.onDropCell != nil {
+		// Not reusable: the inert input register keeps streaming the
+		// victim's words until its cell time ends.
+		s.onDropCell(a.c, false)
+	}
 }
 
 // pushOut evicts the head descriptor of queue (out, vc) on a PushOut
@@ -125,5 +130,12 @@ func (s *Switch) pushOut(out, vc int) {
 		if o.Tracer != nil {
 			o.Tracer.Emit(obs.Event{Kind: obs.EvDrop, Cycle: s.cycle, In: -1, Out: int32(out), Addr: int32(addr)})
 		}
+	}
+	if s.onDropCell != nil && s.refcnt[addr] == 0 {
+		// Fire only when the last copy is gone. Not reusable: the
+		// victim's write wave may still be in flight (the §3.2 argument
+		// makes those late writes unobservable, but they do read the
+		// cell).
+		s.onDropCell(d.c, false)
 	}
 }

@@ -180,7 +180,7 @@ type Switch struct {
 	memLazy   []*cell.Cell // [address]
 	lazyCount int
 	inReg     [][]cell.Word // [input][stage]
-	outReg []outWord     // [stage]
+	outReg    []outWord     // [stage]
 	// ctrl is the pipelined control path stored as a ring indexed by wave
 	// initiation cycle: slot c0%k holds the op initiated at cycle c0, and
 	// stage st executes slot (c-st)%k at cycle c. This is the same
@@ -251,6 +251,10 @@ type Switch struct {
 	cellFree  []*cell.Cell
 	doneOut   []Departure
 	recycle   bool
+	// leanDepart elides the reassembled observed cell (Departure.Cell is
+	// nil), the per-departure corruption compare, and the per-switch
+	// cut-latency histogram; see SetLeanDepartures.
+	leanDepart bool
 	// pendingWrites counts input rows holding a cell whose write wave has
 	// not been initiated (active && !written): pickWrite skips its scan
 	// when zero.
@@ -269,6 +273,15 @@ type Switch struct {
 	// initiation cycle; the multistage fabric uses it to chain
 	// cut-through across switches.
 	onTransmitCell func(out int, c *cell.Cell, startCycle int64)
+	// onDropCell, when set, receives every cell the switch loses
+	// (overrun displacement, policy refusal, push-out eviction), so an
+	// outer engine can retire per-cell bookkeeping instead of leaking
+	// it. reusable reports that the switch holds no remaining reference
+	// of any kind — true only for overrun victims, whose arrival
+	// register is overwritten in the same cycle; a policy or push-out
+	// victim may still be streaming words into the (now inert) input
+	// register for the rest of its cell time.
+	onDropCell func(c *cell.Cell, reusable bool)
 
 	// Fault-tolerance state (defense layers; see degrade.go). eccMem holds
 	// the per-word SEC-DED check bits when Config.ECC is on. stuck marks
@@ -782,6 +795,29 @@ func (s *Switch) SetTransmitCellHook(f func(out int, c *cell.Cell, startCycle in
 	s.onTransmitCell = f
 }
 
+// SetDropCellHook installs a callback invoked once per cell the switch
+// loses, whatever the loss mode (overrun displacement, policy refusal,
+// push-out eviction; bypass flushes are fault-layer state and do not
+// fire it). reusable is true only when the switch provably holds no
+// remaining reference to the cell — the caller may recycle it
+// immediately; otherwise the cell's payload may still be read (and
+// discarded) by the inert input register until its cell time ends. The
+// multistage fabric uses the hook to retire per-cell flight state and
+// free the dead cell's credit.
+func (s *Switch) SetDropCellHook(f func(c *cell.Cell, reusable bool)) {
+	s.onDropCell = f
+}
+
+// SetLeanDepartures elides per-departure work no consumer will read: the
+// reassembled observed cell (Departure.Cell is left nil — Expected and
+// the timing fields are still booked), the per-departure corruption
+// compare, and the per-switch cut-latency histogram. The multistage
+// fabric enables it on interior nodes, where drains are consumed only
+// for cell accounting and integrity is verified end-to-end at ejection;
+// leave it off wherever Departure.Cell, the Corrupt counter, or
+// CutLatency() are observed.
+func (s *Switch) SetLeanDepartures(on bool) { s.leanDepart = on }
+
 // Drain returns the departures completed since the last call.
 //
 // By default every call hands ownership of a freshly allocated slice (and
@@ -1041,6 +1077,9 @@ func (s *Switch) tickExact(heads []*cell.Cell) {
 				if s.obs != nil {
 					s.obs.DropOverrun.Inc()
 				}
+				if s.onDropCell != nil {
+					s.onDropCell(a.c, true)
+				}
 			}
 		}
 		s.pendSet(i)
@@ -1192,6 +1231,9 @@ func (s *Switch) tickFast(heads []*cell.Cell) {
 					s.outDrops[a.c.Dst]++
 					if s.obs != nil {
 						s.obs.DropOverrun.Inc()
+					}
+					if s.onDropCell != nil {
+						s.onDropCell(a.c, true)
 					}
 				}
 			}
@@ -1694,12 +1736,18 @@ func (s *Switch) finishDeparture(o int, r *reasm, c int64) {
 	}
 	// The observed cell swaps its word buffer with the record's (both stay
 	// at capacity K) so the record can return to the pool immediately; the
-	// cell itself is reclaimed by the next Drain under recycle mode.
-	got := s.getCell()
-	got.Seq, got.Src, got.Dst, got.VC = r.d.c.Seq, r.d.c.Src, r.d.c.Dst, r.d.c.VC
-	got.Copies = nil
-	got.Enqueue = r.d.head
-	got.Words, r.words = r.words, got.Words[:0]
+	// cell itself is reclaimed by the next Drain under recycle mode. Lean
+	// mode skips the materialization and hands out a nil Cell.
+	var got *cell.Cell
+	if !s.leanDepart {
+		got = s.getCell()
+		got.Seq, got.Src, got.Dst, got.VC = r.d.c.Seq, r.d.c.Src, r.d.c.Dst, r.d.c.VC
+		got.Copies = nil
+		got.Enqueue = r.d.head
+		got.Words, r.words = r.words, got.Words[:0]
+	} else {
+		r.words = r.words[:0]
+	}
 	// With §4.3 link pipelining, timestamps are reported at the switch
 	// boundary: the head entered LinkPipeline cycles before it reached
 	// the input registers and leaves LinkPipeline cycles after the
@@ -1716,11 +1764,13 @@ func (s *Switch) finishDeparture(o int, r *reasm, c int64) {
 		VC:        r.d.vc,
 	}
 	*s.cDelivered++
-	if !r.clean && !got.Equal(r.d.c) {
-		*s.cCorrupt++
-	}
 	lat := dep.HeadOut - dep.HeadIn
-	s.cutLatency.Add(lat)
+	if !s.leanDepart {
+		if !r.clean && !got.Equal(r.d.c) {
+			*s.cCorrupt++
+		}
+		s.cutLatency.Add(lat)
+	}
 	if o := s.obs; o != nil {
 		s.obsLocal.delivered++
 		s.obsCutLat.Observe(lat)

@@ -1,0 +1,40 @@
+package fabric
+
+import (
+	"testing"
+
+	"pipemem/internal/traffic"
+)
+
+func BenchmarkStepAlloc(b *testing.B) {
+	f, err := New(Config{
+		Terminals: 64, Radix: 8, WordBits: 16, SwitchCells: 32,
+		Credits: 4, CutThrough: true, Workers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, _ := traffic.NewCellStream(traffic.Config{Kind: traffic.Saturation, Seed: 11, N: f.n}, f.cellK)
+	heads := make([]int, f.n)
+	var seq uint64
+	cycle := func() {
+		cs.Heads(heads)
+		for term, dst := range heads {
+			if dst != traffic.NoArrival {
+				seq++
+				f.Inject(term, dst, seq)
+			}
+		}
+		if err := f.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		cycle()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}

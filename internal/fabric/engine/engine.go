@@ -1,0 +1,749 @@
+// Package engine is the shared multistage-fabric engine behind
+// internal/fabric (k-ary butterfly) and internal/clos (three-stage Clos):
+// a topology-agnostic mesh of cycle-accurate core.Switch nodes, chained
+// cut-through via the per-node transmit hooks, credit-based flow control
+// on every inter-stage link — and the ability to tick every node of every
+// stage in parallel across a worker pool while staying bit-identical to
+// the sequential reference.
+//
+// # Determinism under parallelism
+//
+// Within one cycle the nodes are data-independent: inter-stage traffic
+// moves only through the transmit hooks into a cycle-indexed injection
+// ring (a head booked at cycle c is latched downstream at c+2, one wire
+// register after it appears on the link), so no node reads another node's
+// cycle-c work. The only cross-node state is the credit array, and its
+// accesses factor cleanly:
+//
+//   - decrements (taking a credit on the downstream link) and the gate
+//     reads that observe them happen only in the one upstream node that
+//     owns the link — node-local, no contention;
+//   - increments (releasing the inbound link when a cell leaves a stage-t
+//     node) are only ever read by stage t-1 gates, which the sequential
+//     engine runs earlier in the same cycle — so a release is first
+//     observable one cycle later no matter what.
+//
+// Deferring every release to the end-of-cycle barrier therefore preserves
+// every value any gate ever observes, and the whole fabric ticks in a
+// single parallel region per cycle — one barrier, not one per stage.
+// Everything order-sensitive (latency histogram adds are float sums,
+// ejection verification, error surfacing) is staged per shard and merged
+// at the barrier in ascending node order, exactly the order the
+// sequential engine produces; the outcome is independent of the worker
+// count, which the equivalence tests verify bit for bit.
+//
+// # Zero-allocation steady state
+//
+// The per-cycle loop allocates nothing once warm: head arrivals live in a
+// preallocated ring of 4 cycle slots × (node, port) (transmit hooks book
+// at +2, injections at +0), per-cell bookkeeping is pooled in an
+// open-addressed flight table, hop cells are drawn from per-node pools
+// (refilled by Drain under the recycle contract — flow conservation keeps
+// them balanced), and quiescent nodes are skipped entirely via occupancy
+// bitmaps, catching up through core.TickN's event-driven fast-forward
+// when traffic returns.
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+
+	"pipemem/internal/bufmgr"
+	"pipemem/internal/cell"
+	"pipemem/internal/core"
+	"pipemem/internal/stats"
+)
+
+// Topology describes a multistage network to the engine: uniform-radix
+// stages, a wiring function, per-stage routing digits, and the terminal
+// maps at the edges. Implementations must be pure (the engine precomputes
+// flat tables from them at construction).
+type Topology interface {
+	// Stages returns the stage count s ≥ 2.
+	Stages() int
+	// NodesAt returns the switch count of a stage.
+	NodesAt(stage int) int
+	// Radix returns the uniform port count of every node.
+	Radix() int
+	// Terminals returns the external terminal count.
+	Terminals() int
+	// Downstream maps (stage, node, out) to the next stage's (node,
+	// port), both stage-local, for stage < Stages()-1. (-1, -1) marks an
+	// output that must never carry traffic (e.g. an unpopulated Clos
+	// middle); the engine gates it off.
+	Downstream(stage, node, out int) (int, int)
+	// RouteDst returns the output port a cell for terminal dst requests
+	// at a node of the given stage (called for stages ≥ 1; the stage-0
+	// request is chosen by the injector, e.g. Clos middle selection).
+	RouteDst(stage, dst int) int
+	// InjectPoint maps a terminal to its stage-0 (node, port).
+	InjectPoint(term int) (int, int)
+	// EjectTerminal maps a last-stage (node, out) to the terminal served.
+	EjectTerminal(node, out int) int
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	Topo Topology
+	// WordBits is the link width.
+	WordBits int
+	// SwitchCells is each node's buffer capacity in cells.
+	SwitchCells int
+	// Credits is the per-inter-stage-link credit allowance (0 disables
+	// flow control).
+	Credits int
+	// CutThrough enables automatic cut-through in every node.
+	CutThrough bool
+	// Policy optionally names a bufmgr admission policy (spec grammar
+	// name:key=val) installed on every node. Malformed specs fail New
+	// with an error wrapping bufmgr.ErrBadConfig.
+	Policy string
+	// Workers is the shard count ticking the fabric in parallel
+	// (0 = GOMAXPROCS, clamped to the fabric's bitmap word count so tiny
+	// nets do not spin idle goroutines). 1 runs inline on the caller.
+	Workers int
+}
+
+// Engine is the sharded fabric core. It is not safe for concurrent use by
+// multiple callers; one goroutine drives Inject/Step and the engine fans
+// the per-cycle work out internally.
+type Engine struct {
+	topo     Topology
+	stages   int
+	k        int // radix (ports per node)
+	cellK    int // words per cell (2·radix)
+	wordBits int
+	creditOn bool
+	maxCred  int32
+
+	cycle int64
+
+	nodes []*core.Switch // flat, stage-major
+	base  []int          // base[stage] = global index of the stage's node 0
+	last  int            // base of the last stage
+
+	// down maps packed (node, out) to the packed downstream (node, port)
+	// — which is simultaneously the ring index the hop cell lands at and
+	// the credit slot the hop consumes. -1 marks outputs with no
+	// downstream (last-stage ejects, unpopulated middles).
+	down []int32
+	// credits[g*k+port] is the allowance of the link INTO node g's port.
+	credits []int32
+	// route[t][dst] is the output digit requested at stage t ≥ 1.
+	route [][]int32
+	// ejectTerm maps packed last-stage (local node, out) to terminals.
+	ejectTerm []int32
+	// injIdx maps terminals to their packed stage-0 (node, port).
+	injIdx []int32
+
+	// ring[c&3][g*k+port] holds the head cell arriving at that input in
+	// cycle c. Hooks book at +2, Inject at +0; depth 4 covers both with
+	// room to detect stragglers as duplicates rather than overwrites.
+	ring [4][]*cell.Cell
+	// mask[c&3] is the per-node has-arrivals bitmap for cycle c
+	// (injections set it directly; hook arrivals merge in via the shard
+	// staging masks at the barrier).
+	mask [4][]uint64
+	// busy marks nodes that were not quiescent after their last tick.
+	// busy ∪ mask[cycle&3] is the set ticked this cycle; everyone else is
+	// skipped and caught up later with TickN's O(1) fast-forward.
+	busy []uint64
+
+	// pools[g] recycles hop cells: node g's transmit hook draws from it,
+	// node g's Drain refills it (flow conservation balances them), and
+	// only g's shard touches it. injPool is the coordinator's: Inject
+	// draws, ejection returns.
+	pools   []*cell.Pool
+	injPool *cell.Pool
+
+	flights *flightTable
+	scratch *cell.Cell // eject-verification payload regeneration
+
+	// arrivals counts heads consumed per node (by the owning shard) —
+	// per-element forwarding load, e.g. Clos middle balance.
+	arrivals []int64
+
+	nw     int
+	shards []shard
+	bar    barrier
+	closed bool
+
+	injected, delivered, badEject, dropped int64
+	latency                                *stats.Hist
+	pendErr                                error
+
+	met *metrics
+}
+
+// New builds the engine (and starts its worker pool when Workers > 1).
+// Callers that request Workers > 1 must Close the engine when done.
+func New(cfg Config) (*Engine, error) {
+	t := cfg.Topo
+	if t == nil {
+		return nil, fmt.Errorf("engine: nil topology")
+	}
+	s, k := t.Stages(), t.Radix()
+	if s < 2 || k < 2 {
+		return nil, fmt.Errorf("engine: %d stages of radix %d", s, k)
+	}
+	if cfg.SwitchCells < 1 {
+		return nil, fmt.Errorf("engine: %d cells per switch", cfg.SwitchCells)
+	}
+	if cfg.Credits < 0 {
+		return nil, fmt.Errorf("engine: negative credits")
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("engine: negative workers")
+	}
+	var pol bufmgr.Policy
+	if cfg.Policy != "" {
+		p, err := bufmgr.Parse(cfg.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		pol = p
+	}
+
+	e := &Engine{
+		topo: t, stages: s, k: k, cellK: 2 * k, wordBits: cfg.WordBits,
+		creditOn: cfg.Credits > 0, maxCred: int32(cfg.Credits),
+		base:    make([]int, s),
+		flights: newFlightTable(),
+		latency: stats.NewHist(1 << 14),
+	}
+	total := 0
+	for st := 0; st < s; st++ {
+		e.base[st] = total
+		total += t.NodesAt(st)
+	}
+	e.last = e.base[s-1]
+	words := (total + 63) / 64
+
+	e.nodes = make([]*core.Switch, total)
+	e.down = make([]int32, total*k)
+	e.credits = make([]int32, total*k)
+	e.arrivals = make([]int64, total)
+	e.busy = make([]uint64, words)
+	e.pools = make([]*cell.Pool, total)
+	for i := range e.ring {
+		e.ring[i] = make([]*cell.Cell, total*k)
+		e.mask[i] = make([]uint64, words)
+	}
+	for g := range e.pools {
+		e.pools[g] = cell.NewPool(e.cellK)
+	}
+	e.injPool = cell.NewPool(e.cellK)
+	e.scratch = &cell.Cell{Words: make([]cell.Word, e.cellK)}
+	for i := range e.credits {
+		e.credits[i] = int32(cfg.Credits)
+	}
+
+	// Flat topology tables: wiring, routing digits, terminal maps.
+	nTerm := t.Terminals()
+	e.route = make([][]int32, s)
+	for st := 1; st < s; st++ {
+		e.route[st] = make([]int32, nTerm)
+		for dst := 0; dst < nTerm; dst++ {
+			e.route[st][dst] = int32(t.RouteDst(st, dst))
+		}
+	}
+	for st := 0; st < s; st++ {
+		cnt := t.NodesAt(st)
+		for i := 0; i < cnt; i++ {
+			g := e.base[st] + i
+			for out := 0; out < k; out++ {
+				e.down[g*k+out] = -1
+				if st == s-1 {
+					continue
+				}
+				if dn, dp := t.Downstream(st, i, out); dn >= 0 {
+					if dn >= t.NodesAt(st+1) || dp < 0 || dp >= k {
+						return nil, fmt.Errorf("engine: downstream(%d,%d,%d) = (%d,%d) out of range", st, i, out, dn, dp)
+					}
+					e.down[g*k+out] = int32((e.base[st+1]+dn)*k + dp)
+				}
+			}
+		}
+	}
+	lastCnt := t.NodesAt(s - 1)
+	e.ejectTerm = make([]int32, lastCnt*k)
+	for i := 0; i < lastCnt; i++ {
+		for out := 0; out < k; out++ {
+			e.ejectTerm[i*k+out] = int32(t.EjectTerminal(i, out))
+		}
+	}
+	e.injIdx = make([]int32, nTerm)
+	for term := 0; term < nTerm; term++ {
+		n0, p0 := t.InjectPoint(term)
+		if n0 < 0 || n0 >= t.NodesAt(0) || p0 < 0 || p0 >= k {
+			return nil, fmt.Errorf("engine: inject point (%d,%d) for terminal %d out of range", n0, p0, term)
+		}
+		e.injIdx[term] = int32((e.base[0]+n0)*k + p0)
+	}
+
+	// Shards: contiguous word-aligned node ranges, coordinator included.
+	nw := cfg.Workers
+	if nw == 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > words {
+		nw = words
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	e.nw = nw
+	e.shards = make([]shard, nw)
+	for w := 0; w < nw; w++ {
+		e.shards[w].lo = w * words / nw
+		e.shards[w].hi = (w + 1) * words / nw
+		e.shards[w].arr = make([]uint64, words)
+	}
+	wordOwner := make([]int32, words)
+	for w := 0; w < nw; w++ {
+		for wi := e.shards[w].lo; wi < e.shards[w].hi; wi++ {
+			wordOwner[wi] = int32(w)
+		}
+	}
+
+	// The nodes, wired with gates and chained-cut-through hooks.
+	for st := 0; st < s; st++ {
+		for i := 0; i < t.NodesAt(st); i++ {
+			g := e.base[st] + i
+			sw, err := core.New(core.Config{
+				Ports: k, WordBits: cfg.WordBits, Cells: cfg.SwitchCells,
+				CutThrough: cfg.CutThrough,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if pol != nil {
+				sw.SetBufferPolicy(pol)
+			}
+			sw.SetDrainRecycle(true)
+			sh := &e.shards[wordOwner[g>>6]]
+			e.installDropHook(sw, g, sh)
+			if st < s-1 {
+				// Interior drains are consumed only for cell accounting
+				// (integrity is verified end-to-end at ejection), so skip
+				// the per-departure reassembly and histogram work.
+				sw.SetLeanDepartures(true)
+				e.installGate(sw, g)
+				e.installHook(sw, st, g, sh)
+			} else {
+				e.installLastHook(sw, sh)
+			}
+			e.nodes[g] = sw
+		}
+	}
+	if nw > 1 {
+		e.startWorkers()
+	}
+	return e, nil
+}
+
+// installGate wires the interior output gate: an output may transmit only
+// when it has a downstream link (unpopulated outputs never do) with a
+// credit available. Without flow control only the routability check
+// remains, and when every output is routable the gate is omitted
+// entirely — the node arbitrates at full speed.
+func (e *Engine) installGate(sw *core.Switch, g int) {
+	base := int32(g * e.k)
+	anyDead := false
+	for out := 0; out < e.k; out++ {
+		if e.down[int(base)+out] < 0 {
+			anyDead = true
+		}
+	}
+	switch {
+	case e.creditOn:
+		sw.SetOutputGate(func(out int) bool {
+			d := e.down[base+int32(out)]
+			return d >= 0 && e.credits[d] > 0
+		})
+	case anyDead:
+		sw.SetOutputGate(func(out int) bool {
+			return e.down[base+int32(out)] >= 0
+		})
+	}
+}
+
+// installHook wires the interior transmit hook — the chained cut-through
+// seam. Booked at wave initiation (head on the wire at start+1), the hop
+// cell is latched into the downstream node's input ring at start+2, while
+// the tail is still K-2 cycles from leaving this node.
+func (e *Engine) installHook(sw *core.Switch, st, g int, sh *shard) {
+	base := int32(g * e.k)
+	releases := st > 0 && e.creditOn
+	route := e.route[st+1]
+	pool := e.pools[g]
+	k := uint32(e.k)
+	sw.SetTransmitCellHook(func(out int, c *cell.Cell, start int64) {
+		fl := e.flights.get(c.Seq)
+		if fl == nil {
+			panic(fmt.Sprintf("engine: transmit of unknown cell seq %d", c.Seq))
+		}
+		if releases {
+			// Deferred to the barrier: see the package comment's
+			// determinism argument.
+			sh.rel = append(sh.rel, fl.inbound)
+		}
+		d := e.down[base+int32(out)]
+		if d < 0 {
+			panic(fmt.Sprintf("engine: transmit on unroutable output %d of node %d", out, g))
+		}
+		if e.creditOn {
+			if e.credits[d] <= 0 {
+				panic(fmt.Sprintf("engine: credit underflow on link %d", d))
+			}
+			e.credits[d]--
+		}
+		// The hop cell: payloads are a pure function of (seq, src, dst),
+		// so regenerating into a pooled cell is equivalent to cloning the
+		// arrival — per-node corruption is still caught by each switch's
+		// own integrity counters and the final eject comparison.
+		next := pool.Get()
+		cell.Fill(next, c.Seq, int(fl.src), int(fl.dst), e.cellK, e.wordBits)
+		next.Dst = int(route[fl.dst])
+		fl.inbound = d
+		slot := (start + 2) & 3
+		if e.ring[slot][d] != nil {
+			sh.fail(fmt.Errorf("engine: two heads on input slot %d in cycle %d", d, start+2))
+			pool.Put(next)
+			return
+		}
+		e.ring[slot][d] = next
+		dg := uint32(d) / k
+		sh.arr[dg>>6] |= 1 << (dg & 63)
+	})
+}
+
+// installLastHook wires the last stage: leaving the fabric releases the
+// inbound credit; the departure itself is verified from Drain at the
+// barrier.
+func (e *Engine) installLastHook(sw *core.Switch, sh *shard) {
+	if !e.creditOn {
+		return
+	}
+	sw.SetTransmitCellHook(func(out int, c *cell.Cell, start int64) {
+		fl := e.flights.get(c.Seq)
+		if fl == nil {
+			panic(fmt.Sprintf("engine: transmit of unknown cell seq %d", c.Seq))
+		}
+		sh.rel = append(sh.rel, fl.inbound)
+	})
+}
+
+// installDropHook wires loss accounting: a cell dropped inside a node
+// must retire its flight record (or the table leaks one record per drop
+// forever), release the credit it is holding on its inbound link (or the
+// link's allowance shrinks permanently with every interior drop), and —
+// when the switch provably holds no remaining reference — return the
+// cell to the inject pool. All of it is staged and applied at the
+// barrier in shard order, keeping the merge deterministic.
+func (e *Engine) installDropHook(sw *core.Switch, g int, sh *shard) {
+	sw.SetDropCellHook(func(c *cell.Cell, reusable bool) {
+		sh.drops = append(sh.drops, dropRec{seq: c.Seq, c: c, node: int32(g), reusable: reusable})
+	})
+}
+
+// Inject offers a cell at a terminal in the current cycle, requesting
+// firstHop as its stage-0 output (the injector's routing freedom: the
+// butterfly's digit 0, the Clos middle choice). seq must be nonzero and
+// unique among in-flight cells. The caller must respect the word-serial
+// spacing (one head per 2·radix cycles per terminal).
+func (e *Engine) Inject(term, dst int, seq uint64, firstHop int) {
+	fl, err := e.flights.insert(seq)
+	if err != nil {
+		e.fail(fmt.Errorf("engine: inject at terminal %d: %w", term, err))
+		return
+	}
+	idx := e.injIdx[term]
+	fl.src, fl.dst, fl.inject, fl.inbound = int32(term), int32(dst), e.cycle, idx
+	c := e.injPool.Get()
+	cell.Fill(c, seq, term, dst, e.cellK, e.wordBits)
+	c.Dst = firstHop
+	slot := e.cycle & 3
+	if e.ring[slot][idx] != nil {
+		e.fail(fmt.Errorf("engine: two heads injected at terminal %d in cycle %d", term, e.cycle))
+		e.injPool.Put(c)
+		return
+	}
+	e.ring[slot][idx] = c
+	g := uint32(idx) / uint32(e.k)
+	e.mask[slot][g>>6] |= 1 << (g & 63)
+	e.injected++
+}
+
+func (e *Engine) fail(err error) {
+	if e.pendErr == nil {
+		e.pendErr = err
+	}
+}
+
+// Step advances the whole fabric one clock cycle: one parallel region
+// over all active nodes of all stages, then the deterministic barrier
+// merge (credit releases, staged arrival masks, ejection verification in
+// ascending node order).
+func (e *Engine) Step() error {
+	slot := e.cycle & 3
+	e.parallelCycle()
+
+	firstErr := e.pendErr
+	e.pendErr = nil
+	nslot := (e.cycle + 2) & 3
+	nm := e.mask[nslot]
+	for w := 0; w < e.nw; w++ {
+		sh := &e.shards[w]
+		if sh.err != nil {
+			if firstErr == nil {
+				firstErr = sh.err
+			}
+			sh.err = nil
+		}
+		for _, idx := range sh.rel {
+			e.credits[idx]++
+		}
+		sh.rel = sh.rel[:0]
+		for i, v := range sh.arr {
+			if v != 0 {
+				nm[i] |= v
+				sh.arr[i] = 0
+			}
+		}
+		for bi := range sh.ejects {
+			b := &sh.ejects[bi]
+			for di := range b.deps {
+				if err := e.eject(int(b.node), &b.deps[di]); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			sh.ejects[bi] = ejectBatch{}
+		}
+		sh.ejects = sh.ejects[:0]
+		for di := range sh.drops {
+			if err := e.retireDrop(&sh.drops[di]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			sh.drops[di] = dropRec{}
+		}
+		sh.drops = sh.drops[:0]
+	}
+	// The consumed slot's mask was cleared word-by-word inside the
+	// shards; its ring entries were nilled right after each Tick.
+	_ = slot
+	if firstErr != nil {
+		return firstErr
+	}
+	e.cycle++
+	return nil
+}
+
+// runShard ticks the shard's active nodes for the current cycle. Active =
+// has arrivals this cycle or was not quiescent after its last tick;
+// everyone else is skipped, and a skipped node catches up with TickN(nil,
+// gap) — O(1) once drained — before its next real work.
+func (e *Engine) runShard(w int) {
+	sh := &e.shards[w]
+	cyc := e.cycle
+	slot := cyc & 3
+	cm := e.mask[slot]
+	ring := e.ring[slot]
+	k := e.k
+	for wi := sh.lo; wi < sh.hi; wi++ {
+		arrived := cm[wi]
+		act := arrived | e.busy[wi]
+		if act == 0 {
+			continue
+		}
+		cm[wi] = 0
+		newBusy := e.busy[wi]
+		gbase := wi << 6
+		for act != 0 {
+			b := bits.TrailingZeros64(act)
+			bit := uint64(1) << b
+			act &^= bit
+			g := gbase + b
+			nd := e.nodes[g]
+			if gap := cyc - nd.Cycle(); gap > 0 {
+				nd.TickN(nil, gap)
+			}
+			var heads []*cell.Cell
+			if arrived&bit != 0 {
+				heads = ring[g*k : g*k+k : g*k+k]
+				cnt := 0
+				for _, h := range heads {
+					if h != nil {
+						cnt++
+					}
+				}
+				e.arrivals[g] += int64(cnt)
+			}
+			nd.Tick(heads)
+			if deps := nd.Drain(); len(deps) > 0 {
+				if g >= e.last {
+					sh.ejects = append(sh.ejects, ejectBatch{node: int32(g), deps: deps})
+				} else {
+					pool := e.pools[g]
+					for di := range deps {
+						pool.Put(deps[di].Expected)
+					}
+				}
+			}
+			for i := range heads {
+				heads[i] = nil
+			}
+			if nd.Quiescent() {
+				newBusy &^= bit
+			} else {
+				newBusy |= bit
+			}
+		}
+		e.busy[wi] = newBusy
+	}
+}
+
+// retireDrop settles a cell lost inside a node: the flight record is
+// removed (so the table cannot leak one record per drop), the credit the
+// cell held on its inbound inter-stage link is released (terminal
+// injection at stage 0 holds none), and a victim the switch no longer
+// references goes back to the inject pool — which is what keeps the
+// steady state allocation-free even under sustained edge drops.
+func (e *Engine) retireDrop(dr *dropRec) error {
+	fl := e.flights.get(dr.seq)
+	if fl == nil {
+		return fmt.Errorf("engine: drop of unknown cell %d at node %d", dr.seq, dr.node)
+	}
+	if e.creditOn && int(dr.node) >= e.base[1] {
+		e.credits[fl.inbound]++
+	}
+	e.dropped++
+	e.flights.remove(dr.seq)
+	if dr.reusable {
+		e.injPool.Put(dr.c)
+	}
+	return nil
+}
+
+// eject verifies a cell leaving the last stage: right terminal, identity
+// and payload intact (regenerated from the flight — see installHook).
+func (e *Engine) eject(g int, d *core.Departure) error {
+	seq := d.Expected.Seq
+	fl := e.flights.get(seq)
+	if fl == nil {
+		return fmt.Errorf("engine: ejection of unknown cell %d", seq)
+	}
+	term := e.ejectTerm[(g-e.last)*e.k+d.Output]
+	if term != fl.dst {
+		e.badEject++
+		return fmt.Errorf("engine: cell %d for terminal %d ejected at %d", seq, fl.dst, term)
+	}
+	if d.Cell.Seq != seq || len(d.Cell.Words) != e.cellK {
+		e.badEject++
+		return fmt.Errorf("engine: cell %d identity mangled", seq)
+	}
+	cell.Fill(e.scratch, seq, int(fl.src), int(fl.dst), e.cellK, e.wordBits)
+	for i := range d.Cell.Words {
+		if d.Cell.Words[i] != e.scratch.Words[i] {
+			e.badEject++
+			return fmt.Errorf("engine: cell %d corrupted at word %d", seq, i)
+		}
+	}
+	e.delivered++
+	e.latency.Add(d.HeadOut - fl.inject)
+	e.injPool.Put(d.Expected)
+	e.flights.remove(seq)
+	return nil
+}
+
+// Cycle returns the current global cycle.
+func (e *Engine) Cycle() int64 { return e.cycle }
+
+// Injected returns cells offered at the terminals.
+func (e *Engine) Injected() int64 { return e.injected }
+
+// Delivered returns end-to-end delivered cells.
+func (e *Engine) Delivered() int64 { return e.delivered }
+
+// BadEjects returns fabric-level integrity violations seen at ejection.
+func (e *Engine) BadEjects() int64 { return e.badEject }
+
+// Dropped returns cells lost inside the fabric (flights retired by the
+// drop hook); Injected = Delivered + Dropped + InFlight at all times.
+func (e *Engine) Dropped() int64 { return e.dropped }
+
+// InFlight returns cells injected but not yet delivered (including any
+// that were dropped inside a node and will never arrive).
+func (e *Engine) InFlight() int { return e.flights.n }
+
+// Latency returns the inject→head-ejection histogram in cycles.
+func (e *Engine) Latency() *stats.Hist { return e.latency }
+
+// LatencyOverflow returns end-to-end latency samples that exceeded the
+// histogram range and were only counted, not binned. A nonzero value
+// means MeanLatency/quantiles silently understate the tail; Audit fails
+// on it.
+func (e *Engine) LatencyOverflow() int64 { return e.latency.Overflow() }
+
+// CellWords returns the cell size in words (2·radix).
+func (e *Engine) CellWords() int { return e.cellK }
+
+// Workers returns the resolved shard count.
+func (e *Engine) Workers() int { return e.nw }
+
+// NodeAt returns the switch at (stage, i).
+func (e *Engine) NodeAt(stage, i int) *core.Switch { return e.nodes[e.base[stage]+i] }
+
+// ArrivalsAt returns per-node head-arrival counts for one stage (a copy):
+// the per-element forwarding load, e.g. the Clos middle balance.
+func (e *Engine) ArrivalsAt(stage int) []int64 {
+	lo := e.base[stage]
+	return append([]int64(nil), e.arrivals[lo:lo+e.topo.NodesAt(stage)]...)
+}
+
+// CreditState returns the packed per-link credit array (a copy) — the
+// equivalence tests compare it across worker counts.
+func (e *Engine) CreditState() []int32 {
+	return append([]int32(nil), e.credits...)
+}
+
+// Audit runs the engine's conservation-style checks: per-node switch
+// invariants (occupancy, refcounts, per-switch conservation), credit
+// bounds, fabric-level integrity, and — same failure class as truncated
+// cut-latency quantiles — a latency histogram that silently overflowed.
+func (e *Engine) Audit() error {
+	if ovf := e.latency.Overflow(); ovf > 0 {
+		return fmt.Errorf("engine: %d latency samples ≥ %d cycles overflowed the histogram (tail statistics are truncated)", ovf, e.latency.Limit())
+	}
+	if e.badEject > 0 {
+		return fmt.Errorf("engine: %d corrupt or misrouted ejections", e.badEject)
+	}
+	if inFlight := int64(e.flights.n); e.injected != e.delivered+e.dropped+inFlight {
+		return fmt.Errorf("engine: cell conservation violated: injected %d ≠ delivered %d + dropped %d + in-flight %d",
+			e.injected, e.delivered, e.dropped, inFlight)
+	}
+	if e.creditOn {
+		for i, c := range e.credits {
+			if c < 0 || c > e.maxCred {
+				return fmt.Errorf("engine: credit slot %d holds %d of %d", i, c, e.maxCred)
+			}
+		}
+	}
+	for g, nd := range e.nodes {
+		if err := nd.AuditInvariants(); err != nil {
+			return fmt.Errorf("engine: node %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// PoolLens reports each node pool's idle count followed by the inject
+// pool's — a diagnostic for flow-balance tests.
+func (e *Engine) PoolLens() []int {
+	out := make([]int, 0, len(e.pools)+1)
+	for _, p := range e.pools {
+		out = append(out, p.Len())
+	}
+	return append(out, e.injPool.Len())
+}

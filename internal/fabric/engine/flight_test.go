@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFlightTableVsMap drives the open-addressed table with a random
+// insert/lookup/remove mix and checks every observable against a plain
+// map reference — the backward-shift deletion is the part worth
+// hammering.
+func TestFlightTableVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ft := newFlightTable()
+	ref := map[uint64]*flight{}
+	live := []uint64{}
+	for op := 0; op < 200000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // insert a fresh seq
+			seq := uint64(rng.Int63n(1<<20) + 1)
+			fl, err := ft.insert(seq)
+			if _, dup := ref[seq]; dup {
+				if err == nil {
+					t.Fatalf("op %d: duplicate insert of %d accepted", op, seq)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d: insert(%d): %v", op, seq, err)
+			}
+			fl.src = int32(seq % 997)
+			ref[seq] = fl
+			live = append(live, seq)
+		case r < 8: // lookup (live or random)
+			var seq uint64
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				seq = live[rng.Intn(len(live))]
+			} else {
+				seq = uint64(rng.Int63n(1<<20) + 1)
+			}
+			got, want := ft.get(seq), ref[seq]
+			if got != want {
+				t.Fatalf("op %d: get(%d) = %p, want %p", op, seq, got, want)
+			}
+			if got != nil && got.src != int32(seq%997) {
+				t.Fatalf("op %d: get(%d) returned foreign record", op, seq)
+			}
+		default: // remove
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			seq := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if !ft.remove(seq) {
+				t.Fatalf("op %d: remove(%d) missed a live entry", op, seq)
+			}
+			delete(ref, seq)
+			if ft.remove(seq) {
+				t.Fatalf("op %d: remove(%d) succeeded twice", op, seq)
+			}
+		}
+		if ft.n != len(ref) {
+			t.Fatalf("op %d: table count %d, reference %d", op, ft.n, len(ref))
+		}
+	}
+	// Everything still live must still resolve after all that churn.
+	for _, seq := range live {
+		if ft.get(seq) != ref[seq] {
+			t.Fatalf("final: get(%d) lost", seq)
+		}
+	}
+}
+
+func TestFlightTableRejectsZeroAndDuplicates(t *testing.T) {
+	ft := newFlightTable()
+	if _, err := ft.insert(0); err == nil {
+		t.Fatal("seq 0 accepted")
+	}
+	if _, err := ft.insert(7); err != nil {
+		t.Fatalf("insert(7): %v", err)
+	}
+	if _, err := ft.insert(7); err == nil {
+		t.Fatal("duplicate seq 7 accepted")
+	}
+	if ft.remove(9) {
+		t.Fatal("remove of absent seq reported true")
+	}
+}
+
+// TestFlightTableGrow crosses several growth thresholds and keeps every
+// record reachable.
+func TestFlightTableGrow(t *testing.T) {
+	ft := newFlightTable()
+	const n = 5000
+	for seq := uint64(1); seq <= n; seq++ {
+		fl, err := ft.insert(seq)
+		if err != nil {
+			t.Fatalf("insert(%d): %v", seq, err)
+		}
+		fl.dst = int32(seq)
+	}
+	for seq := uint64(1); seq <= n; seq++ {
+		fl := ft.get(seq)
+		if fl == nil || fl.dst != int32(seq) {
+			t.Fatalf("get(%d) after growth = %+v", seq, fl)
+		}
+	}
+}

@@ -22,13 +22,20 @@
 // topology that collapses to ≈0.4 saturation with input-FIFO wormhole
 // nodes (internal/wormhole) sustains far higher throughput when the nodes
 // are shared-buffer switches.
+//
+// The cycle loop itself lives in internal/fabric/engine, which ticks all
+// stages in parallel across a worker shard pool while staying
+// bit-identical to a sequential sweep; this package contributes only the
+// butterfly wiring and digit routing.
 package fabric
 
 import (
 	"fmt"
 
-	"pipemem/internal/cell"
+	"pipemem/internal/bufmgr"
 	"pipemem/internal/core"
+	"pipemem/internal/fabric/engine"
+	"pipemem/internal/obs"
 	"pipemem/internal/stats"
 	"pipemem/internal/traffic"
 )
@@ -48,6 +55,14 @@ type Config struct {
 	Credits int
 	// CutThrough enables automatic cut-through in every node.
 	CutThrough bool
+	// Policy optionally names a bufmgr admission policy spec
+	// (name:key=val) installed on every node; empty keeps the default
+	// complete sharing. Malformed specs fail Validate with an error
+	// wrapping bufmgr.ErrBadConfig.
+	Policy string
+	// Workers is the engine shard count (0 = GOMAXPROCS, 1 = sequential
+	// reference). Results are bit-identical across worker counts.
+	Workers int
 }
 
 // Validate reports whether the configuration is buildable.
@@ -69,6 +84,14 @@ func (c Config) Validate() error {
 	if c.Credits < 0 {
 		return fmt.Errorf("fabric: negative credits")
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("fabric: negative workers")
+	}
+	if c.Policy != "" {
+		if _, err := bufmgr.Parse(c.Policy); err != nil {
+			return fmt.Errorf("fabric: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -81,19 +104,67 @@ func stagesOf(n, k int) int {
 	return s
 }
 
-// flight tracks one cell crossing the fabric.
-type flight struct {
-	orig    *cell.Cell
-	dst     int
-	inject  int64
-	inbound int // line the cell most recently entered a stage through
-	stage   int
+// topology is the k-ary butterfly wiring, in the engine's vocabulary.
+type topology struct {
+	n, k, stages int
 }
 
-// injection is a scheduled head arrival at a switch input.
-type injection struct {
-	stage, sw, port int
-	c               *cell.Cell
+func (t topology) Stages() int     { return t.stages }
+func (t topology) NodesAt(int) int { return t.n / t.k }
+func (t topology) Radix() int      { return t.k }
+func (t topology) Terminals() int  { return t.n }
+
+// digit returns digit b (base k) of v.
+func (t topology) digit(v, b int) int {
+	for i := 0; i < b; i++ {
+		v /= t.k
+	}
+	return v % t.k
+}
+
+// routeDigit returns the digit of dst examined at stage st.
+func (t topology) routeDigit(dst, st int) int { return t.digit(dst, t.stages-1-st) }
+
+// pow returns k^b.
+func (t topology) pow(b int) int {
+	v := 1
+	for i := 0; i < b; i++ {
+		v *= t.k
+	}
+	return v
+}
+
+// switchOf returns the switch and port that line l connects to at stage
+// st (the switch groups the k lines differing only in digit s-1-st).
+func (t topology) switchOf(st, l int) (sw, port int) {
+	b := t.stages - 1 - st
+	p := t.pow(b)
+	lo := l % p
+	hi := l / (p * t.k)
+	return hi*p + lo, (l / p) % t.k
+}
+
+// lineOf is the inverse of switchOf: the line of (stage st, switch sw,
+// port).
+func (t topology) lineOf(st, sw, port int) int {
+	b := t.stages - 1 - st
+	p := t.pow(b)
+	lo := sw % p
+	hi := sw / p
+	return hi*p*t.k + port*p + lo
+}
+
+// Downstream follows stage st's output line to the next stage's input.
+func (t topology) Downstream(st, node, out int) (int, int) {
+	return t.switchOf(st+1, t.lineOf(st, node, out))
+}
+
+func (t topology) RouteDst(st, dst int) int { return t.routeDigit(dst, st) }
+
+func (t topology) InjectPoint(term int) (int, int) { return t.switchOf(0, term) }
+
+func (t topology) EjectTerminal(node, out int) int {
+	return t.lineOf(t.stages-1, node, out)
 }
 
 // Net is the multistage fabric.
@@ -103,24 +174,14 @@ type Net struct {
 	k      int // radix
 	stages int
 	cellK  int // cell length in words (2·radix)
+	topo   topology
 
-	cycle int64
-
-	sw [][]*core.Switch // [stage][switch]
-
-	// pending[cycle] holds head injections scheduled for that cycle.
-	pending map[int64][]injection
-	// credits[t][line], t ≥ 1: available credits on the link into
-	// stage t, line index.
-	credits [][]int
-
-	flights map[uint64]*flight
-
-	injected, delivered, badEject int64
-	latency                       *stats.Hist
+	eng *engine.Engine
+	sw  [][]*core.Switch // [stage][switch] views into the engine's nodes
 }
 
-// New builds the fabric.
+// New builds the fabric. A Net with Workers > 1 owns goroutines; Close it
+// when done.
 func New(cfg Config) (*Net, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -128,211 +189,87 @@ func New(cfg Config) (*Net, error) {
 	k := cfg.Radix
 	n := cfg.Terminals
 	s := stagesOf(n, k)
-	net := &Net{
+	f := &Net{
 		cfg: cfg, n: n, k: k, stages: s, cellK: 2 * k,
-		sw:      make([][]*core.Switch, s),
-		pending: make(map[int64][]injection),
-		credits: make([][]int, s),
-		flights: make(map[uint64]*flight),
-		latency: stats.NewHist(1 << 14),
+		topo: topology{n: n, k: k, stages: s},
 	}
+	eng, err := engine.New(engine.Config{
+		Topo: f.topo, WordBits: cfg.WordBits, SwitchCells: cfg.SwitchCells,
+		Credits: cfg.Credits, CutThrough: cfg.CutThrough,
+		Policy: cfg.Policy, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.eng = eng
+	f.sw = make([][]*core.Switch, s)
 	for t := 0; t < s; t++ {
-		net.sw[t] = make([]*core.Switch, n/k)
-		net.credits[t] = make([]int, n)
-		for l := range net.credits[t] {
-			net.credits[t][l] = cfg.Credits
-		}
-		for i := range net.sw[t] {
-			swc, err := core.New(core.Config{
-				Ports: k, WordBits: cfg.WordBits, Cells: cfg.SwitchCells,
-				CutThrough: cfg.CutThrough,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t, i := t, i
-			if cfg.Credits > 0 && t < s-1 {
-				swc.SetOutputGate(func(out int) bool {
-					return net.credits[t+1][net.lineOf(t, i, out)] > 0
-				})
-			}
-			swc.SetTransmitCellHook(func(out int, c *cell.Cell, start int64) {
-				net.onTransmit(t, i, out, c, start)
-			})
-			net.sw[t][i] = swc
+		f.sw[t] = make([]*core.Switch, n/k)
+		for i := range f.sw[t] {
+			f.sw[t][i] = eng.NodeAt(t, i)
 		}
 	}
-	return net, nil
+	return f, nil
 }
 
-// digit returns digit b (base k) of v.
-func (f *Net) digit(v, b int) int {
-	for i := 0; i < b; i++ {
-		v /= f.k
-	}
-	return v % f.k
-}
-
-// routeDigit returns the digit of dst examined at stage t.
-func (f *Net) routeDigit(dst, t int) int { return f.digit(dst, f.stages-1-t) }
-
-// pow returns k^b.
-func (f *Net) pow(b int) int {
-	v := 1
-	for i := 0; i < b; i++ {
-		v *= f.k
-	}
-	return v
-}
-
-// switchOf returns the switch and port that line l connects to at stage t
-// (the switch groups the k lines differing only in digit s-1-t).
-func (f *Net) switchOf(t, l int) (sw, port int) {
-	b := f.stages - 1 - t
-	p := f.pow(b)
-	lo := l % p
-	hi := l / (p * f.k)
-	return hi*p + lo, (l / p) % f.k
-}
-
-// lineOf is the inverse of switchOf: the line of (stage t, switch sw,
-// port).
-func (f *Net) lineOf(t, sw, port int) int {
-	b := f.stages - 1 - t
-	p := f.pow(b)
-	lo := sw % p
-	hi := sw / p
-	return hi*p*f.k + port*p + lo
-}
-
-// onTransmit chains a departing cell into the next stage (or seals its
-// credit accounting at the last stage).
-func (f *Net) onTransmit(t, sw, out int, c *cell.Cell, start int64) {
-	fl := f.flights[c.Seq]
-	if fl == nil {
-		panic(fmt.Sprintf("fabric: transmit of unknown cell seq %d", c.Seq))
-	}
-	// The cell is leaving stage t: its inbound link's buffer slot frees.
-	if t > 0 && f.cfg.Credits > 0 {
-		f.credits[t][fl.inbound]++
-	}
-	if t == f.stages-1 {
-		return // ejection to the terminal; Drain verifies it
-	}
-	m := f.lineOf(t, sw, out)
-	if f.cfg.Credits > 0 {
-		if f.credits[t+1][m] <= 0 {
-			panic(fmt.Sprintf("fabric: credit underflow on stage %d line %d", t+1, m))
-		}
-		f.credits[t+1][m]--
-	}
-	nsw, nport := f.switchOf(t+1, m)
-	next := c.Clone()
-	next.Dst = f.routeDigit(fl.dst, t+1)
-	fl.inbound = m
-	fl.stage = t + 1
-	// Head on the wire at start+1, latched downstream one wire register
-	// later: the downstream arrival wave starts at start+2 while the
-	// upstream tail is still K-2 cycles from leaving — chained
-	// cut-through.
-	at := start + 2
-	f.pending[at] = append(f.pending[at], injection{stage: t + 1, sw: nsw, port: nport, c: next})
-}
+// Thin delegations so tests and callers keep addressing the butterfly
+// math through the Net.
+func (f *Net) routeDigit(dst, t int) int    { return f.topo.routeDigit(dst, t) }
+func (f *Net) switchOf(t, l int) (int, int) { return f.topo.switchOf(t, l) }
+func (f *Net) lineOf(t, sw, port int) int   { return f.topo.lineOf(t, sw, port) }
 
 // Inject offers a cell at terminal term destined for terminal dst in the
 // current cycle. The caller must respect the word-serial spacing (one
 // head per K = 2·radix cycles per terminal); core.Switch panics otherwise.
 func (f *Net) Inject(term, dst int, seq uint64) {
-	c := cell.New(seq, term, dst, f.cellK, f.cfg.WordBits)
-	fl := &flight{orig: c.Clone(), dst: dst, inject: f.cycle, inbound: term}
-	f.flights[seq] = fl
-	hop := c.Clone()
-	hop.Dst = f.routeDigit(dst, 0)
-	sw, port := f.switchOf(0, term)
-	f.pending[f.cycle] = append(f.pending[f.cycle], injection{stage: 0, sw: sw, port: port, c: hop})
-	f.injected++
+	f.eng.Inject(term, dst, seq, f.topo.routeDigit(dst, 0))
 }
 
 // Step advances the whole fabric one clock cycle.
-func (f *Net) Step() error {
-	// Distribute this cycle's scheduled head arrivals.
-	byNode := map[[2]int][]*cell.Cell{}
-	for _, inj := range f.pending[f.cycle] {
-		key := [2]int{inj.stage, inj.sw}
-		hs := byNode[key]
-		if hs == nil {
-			hs = make([]*cell.Cell, f.k)
-		}
-		if hs[inj.port] != nil {
-			return fmt.Errorf("fabric: two heads on stage %d switch %d port %d in cycle %d",
-				inj.stage, inj.sw, inj.port, f.cycle)
-		}
-		hs[inj.port] = inj.c
-		byNode[key] = hs
-	}
-	delete(f.pending, f.cycle)
+func (f *Net) Step() error { return f.eng.Step() }
 
-	for t := 0; t < f.stages; t++ {
-		for i, s := range f.sw[t] {
-			s.Tick(byNode[[2]int{t, i}])
-			deps := s.Drain()
-			if t < f.stages-1 {
-				continue // interior departures feed the next stage via hooks
-			}
-			for _, d := range deps {
-				if err := f.eject(i, d); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	f.cycle++
-	return nil
-}
-
-// eject verifies a cell leaving the last stage.
-func (f *Net) eject(sw int, d core.Departure) error {
-	fl := f.flights[d.Expected.Seq]
-	if fl == nil {
-		return fmt.Errorf("fabric: ejection of unknown cell %d", d.Expected.Seq)
-	}
-	term := f.lineOf(f.stages-1, sw, d.Output)
-	if term != fl.dst {
-		f.badEject++
-		return fmt.Errorf("fabric: cell %d for terminal %d ejected at %d", d.Expected.Seq, fl.dst, term)
-	}
-	// Payload must match the original end to end (Dst metadata differs
-	// per hop by design; compare words and identity).
-	if d.Cell.Seq != fl.orig.Seq || len(d.Cell.Words) != len(fl.orig.Words) {
-		f.badEject++
-		return fmt.Errorf("fabric: cell %d identity mangled", d.Expected.Seq)
-	}
-	for i := range d.Cell.Words {
-		if d.Cell.Words[i] != fl.orig.Words[i] {
-			f.badEject++
-			return fmt.Errorf("fabric: cell %d corrupted at word %d", d.Expected.Seq, i)
-		}
-	}
-	f.delivered++
-	f.latency.Add(d.HeadOut - fl.inject)
-	delete(f.flights, d.Expected.Seq)
-	return nil
-}
+// Close stops the engine's worker pool (no-op for Workers ≤ 1).
+func (f *Net) Close() { f.eng.Close() }
 
 // Cycle returns the current global cycle.
-func (f *Net) Cycle() int64 { return f.cycle }
+func (f *Net) Cycle() int64 { return f.eng.Cycle() }
 
 // Delivered returns end-to-end delivered cells.
-func (f *Net) Delivered() int64 { return f.delivered }
+func (f *Net) Delivered() int64 { return f.eng.Delivered() }
 
 // Injected returns cells offered at the terminals.
-func (f *Net) Injected() int64 { return f.injected }
+func (f *Net) Injected() int64 { return f.eng.Injected() }
 
 // Latency returns the inject→head-ejection histogram in cycles.
-func (f *Net) Latency() *stats.Hist { return f.latency }
+func (f *Net) Latency() *stats.Hist { return f.eng.Latency() }
+
+// LatencyOverflow returns end-to-end latency samples beyond the
+// histogram range (counted but not binned — nonzero means the mean and
+// quantiles understate the tail; Audit fails on it).
+func (f *Net) LatencyOverflow() int64 { return f.eng.LatencyOverflow() }
 
 // CellWords returns the cell size in words (2·radix).
 func (f *Net) CellWords() int { return f.cellK }
+
+// Stages returns the number of switching stages (log_k N).
+func (f *Net) Stages() int { return f.stages }
+
+// Engine exposes the underlying fabric engine (metrics registration,
+// per-node arrival counts).
+func (f *Net) Engine() *engine.Engine { return f.eng }
+
+// RegisterMetrics pre-registers fabric metrics on reg under prefix.
+func (f *Net) RegisterMetrics(reg *obs.Registry, prefix string) {
+	f.eng.RegisterMetrics(reg, prefix)
+}
+
+// SyncMetrics publishes current fabric state into registered metrics.
+func (f *Net) SyncMetrics() { f.eng.SyncMetrics() }
+
+// Audit runs the fabric's conservation-style checks: per-node switch
+// invariants, credit bounds, ejection integrity, and a silently
+// overflowed latency histogram.
+func (f *Net) Audit() error { return f.eng.Audit() }
 
 // Drops sums overrun drops across all nodes. With credits enabled, only
 // stage 0 can drop (terminal injection is not credit-protected; the
@@ -368,7 +305,7 @@ func (f *Net) Corrupt() int64 {
 			c += s.Counters().Get("corrupt")
 		}
 	}
-	return c + f.badEject
+	return c + f.eng.BadEjects()
 }
 
 // Result summarizes a run.
@@ -381,9 +318,28 @@ type Result struct {
 	// zero whenever flow control is on.
 	InteriorDrops int64
 	Corrupt       int64
-	Throughput    float64 // delivered cell-words per cycle per terminal
-	MeanLatency   float64 // inject→ejection head latency, cycles
-	MinLatency    int64
+	// LatencyOverflow counts latency samples that exceeded the histogram
+	// range: nonzero means MeanLatency understates the tail.
+	LatencyOverflow int64
+	Throughput      float64 // delivered cell-words per cycle per terminal
+	MeanLatency     float64 // inject→ejection head latency, cycles
+	MinLatency      int64
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	s := fmt.Sprintf("cycles=%d injected=%d delivered=%d drops=%d thru=%.4f lat=%.2f minlat=%d",
+		r.Cycles, r.Injected, r.Delivered, r.Drops, r.Throughput, r.MeanLatency, r.MinLatency)
+	if r.InteriorDrops > 0 {
+		s += fmt.Sprintf(" interior-drops=%d", r.InteriorDrops)
+	}
+	if r.Corrupt > 0 {
+		s += fmt.Sprintf(" corrupt=%d", r.Corrupt)
+	}
+	if r.LatencyOverflow > 0 {
+		s += fmt.Sprintf(" latency-overflow=%d", r.LatencyOverflow)
+	}
+	return s
 }
 
 // Run drives the fabric with the given traffic for warmup+measure cycles.
@@ -396,8 +352,7 @@ func Run(f *Net, tcfg traffic.Config, warmup, measure int64) (Result, error) {
 	heads := make([]int, f.n)
 	var seq uint64
 	drive := func(cycles int64) (int64, error) {
-		delivered := int64(0)
-		start := f.delivered
+		start := f.Delivered()
 		for i := int64(0); i < cycles; i++ {
 			cs.Heads(heads)
 			for term, dst := range heads {
@@ -410,8 +365,7 @@ func Run(f *Net, tcfg traffic.Config, warmup, measure int64) (Result, error) {
 				return 0, err
 			}
 		}
-		delivered = f.delivered - start
-		return delivered, nil
+		return f.Delivered() - start, nil
 	}
 	if _, err := drive(warmup); err != nil {
 		return Result{}, err
@@ -421,15 +375,16 @@ func Run(f *Net, tcfg traffic.Config, warmup, measure int64) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{
-		Cycles:        measure,
-		Injected:      f.injected,
-		Delivered:     f.delivered,
-		Drops:         f.Drops(),
-		InteriorDrops: f.InteriorDrops(),
-		Corrupt:       f.Corrupt(),
-		Throughput:    float64(delivered*int64(f.cellK)) / float64(measure*int64(f.n)),
-		MeanLatency:   f.latency.Mean(),
-		MinLatency:    f.latency.Quantile(0),
+		Cycles:          measure,
+		Injected:        f.Injected(),
+		Delivered:       f.Delivered(),
+		Drops:           f.Drops(),
+		InteriorDrops:   f.InteriorDrops(),
+		Corrupt:         f.Corrupt(),
+		LatencyOverflow: f.LatencyOverflow(),
+		Throughput:      float64(delivered*int64(f.cellK)) / float64(measure*int64(f.n)),
+		MeanLatency:     f.Latency().Mean(),
+		MinLatency:      f.Latency().Quantile(0),
 	}
 	return res, nil
 }

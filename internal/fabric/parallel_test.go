@@ -1,0 +1,200 @@
+package fabric
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pipemem/internal/bufmgr"
+	"pipemem/internal/traffic"
+)
+
+// driveCollect runs a fabric under a traffic stream and collects the
+// per-cycle delivered deltas — the finest-grained externally visible
+// timeline.
+func driveCollect(t *testing.T, f *Net, tcfg traffic.Config, cycles int) []int64 {
+	t.Helper()
+	tcfg.N = f.n
+	cs, err := traffic.NewCellStream(tcfg, f.cellK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := make([]int, f.n)
+	var seq uint64
+	out := make([]int64, cycles)
+	prev := int64(0)
+	for i := 0; i < cycles; i++ {
+		cs.Heads(heads)
+		for term, dst := range heads {
+			if dst != traffic.NoArrival {
+				seq++
+				f.Inject(term, dst, seq)
+			}
+		}
+		if err := f.Step(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		out[i] = f.Delivered() - prev
+		prev = f.Delivered()
+	}
+	return out
+}
+
+// TestParallelBitIdentical proves the sharded engine is bit-identical to
+// the sequential reference: same traffic → the same cells delivered in
+// the same cycles, the same credit state, and the same latency histogram
+// (including the order-sensitive float mean), at every worker count.
+// 256 terminals of radix 2 give 1024 nodes — 16 occupancy words, so
+// workers 2 and 4 genuinely shard. This test also runs under -race in CI
+// (make race), which checks the cross-shard publication edges.
+func TestParallelBitIdentical(t *testing.T) {
+	cfg := Config{
+		Terminals: 256, Radix: 2, WordBits: 16, SwitchCells: 16,
+		Credits: 4, CutThrough: true,
+	}
+	traffics := []traffic.Config{
+		{Kind: traffic.Saturation, Seed: 909},
+		{Kind: traffic.Hotspot, Load: 0.8, HotFrac: 0.3, Seed: 910},
+	}
+	const cycles = 700
+	for _, tc := range traffics {
+		cfg.Workers = 1
+		ref, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refTimeline := driveCollect(t, ref, tc, cycles)
+		for _, workers := range []int{2, 4} {
+			cfg.Workers = workers
+			par, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			timeline := driveCollect(t, par, tc, cycles)
+			if !reflect.DeepEqual(timeline, refTimeline) {
+				for i := range timeline {
+					if timeline[i] != refTimeline[i] {
+						t.Fatalf("%s workers=%d: delivered delta diverges at cycle %d: %d vs %d",
+							tc.Kind, workers, i, timeline[i], refTimeline[i])
+					}
+				}
+			}
+			if par.Injected() != ref.Injected() || par.Delivered() != ref.Delivered() {
+				t.Fatalf("%s workers=%d: totals %d/%d vs %d/%d", tc.Kind, workers,
+					par.Injected(), par.Delivered(), ref.Injected(), ref.Delivered())
+			}
+			if !reflect.DeepEqual(par.Engine().CreditState(), ref.Engine().CreditState()) {
+				t.Fatalf("%s workers=%d: credit state diverged", tc.Kind, workers)
+			}
+			if !reflect.DeepEqual(par.Latency().State(), ref.Latency().State()) {
+				t.Fatalf("%s workers=%d: latency histogram diverged", tc.Kind, workers)
+			}
+			for st := 0; st < par.stages; st++ {
+				if !reflect.DeepEqual(par.Engine().ArrivalsAt(st), ref.Engine().ArrivalsAt(st)) {
+					t.Fatalf("%s workers=%d: stage %d arrival counts diverged", tc.Kind, workers, st)
+				}
+			}
+			if err := par.Audit(); err != nil {
+				t.Fatalf("%s workers=%d: audit: %v", tc.Kind, workers, err)
+			}
+			par.Close()
+		}
+		ref.Close()
+	}
+}
+
+// TestStepZeroAlloc is the regression test for the Step hot loop: after
+// warmup the whole inject+step cycle — ring distribution, every node's
+// Tick/Drain, flight bookkeeping, ejection verification — allocates
+// nothing.
+func TestStepZeroAlloc(t *testing.T) {
+	f, err := New(Config{
+		Terminals: 64, Radix: 8, WordBits: 16, SwitchCells: 32,
+		Credits: 4, CutThrough: true, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cs, err := traffic.NewCellStream(traffic.Config{Kind: traffic.Saturation, Seed: 11, N: f.n}, f.cellK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := make([]int, f.n)
+	var seq uint64
+	cycle := func() {
+		cs.Heads(heads)
+		for term, dst := range heads {
+			if dst != traffic.NoArrival {
+				seq++
+				f.Inject(term, dst, seq)
+			}
+		}
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4096; i++ { // warm pools, rings, staging buffers
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("%.1f allocs per steady-state fabric cycle, want 0", allocs)
+	}
+}
+
+func TestBadPolicySpec(t *testing.T) {
+	_, err := New(Config{
+		Terminals: 16, Radix: 4, WordBits: 16, SwitchCells: 8,
+		Credits: 2, Policy: "nonsense:key=val",
+	})
+	if !errors.Is(err, bufmgr.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+	if err := (Config{
+		Terminals: 16, Radix: 4, WordBits: 16, SwitchCells: 8,
+		Policy: "dt:alpha=wat",
+	}).Validate(); !errors.Is(err, bufmgr.ErrBadConfig) {
+		t.Fatalf("Validate err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestPolicyPlumbs checks a real policy reaches the nodes: a tiny static
+// partition on stage-0 switches must drop under saturation where
+// complete sharing would not, without breaking fabric integrity.
+func TestPolicyPlumbs(t *testing.T) {
+	run := func(policy string) (Result, int64) {
+		f, err := New(Config{
+			Terminals: 16, Radix: 4, WordBits: 16, SwitchCells: 8,
+			Credits: 0, CutThrough: true, Policy: policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		res, err := Run(f, traffic.Config{Kind: traffic.Saturation, Seed: 77}, 200, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var polDrops int64
+		for st := range f.sw {
+			for _, s := range f.sw[st] {
+				polDrops += s.Counters().Get("drop-policy")
+			}
+		}
+		return res, polDrops
+	}
+	share, sharePol := run("")
+	part, partPol := run("static:quota=1")
+	if part.Corrupt != 0 || share.Corrupt != 0 {
+		t.Fatal("corruption under policy plumb")
+	}
+	if part.Delivered == 0 {
+		t.Fatal("static partition delivered nothing")
+	}
+	if sharePol != 0 {
+		t.Fatalf("complete sharing booked %d policy drops", sharePol)
+	}
+	if partPol == 0 {
+		t.Fatal("static:quota=1 never refused a cell under saturation — policy not applied")
+	}
+}
