@@ -10,7 +10,7 @@ ifneq ($(AMD64LEVEL),)
 BENCH_ENV := GOAMD64=$(AMD64LEVEL)
 endif
 
-.PHONY: build vet staticcheck test race fuzz check vulncheck bench bench-check profile obs-overhead audit-overhead fabric-perf ckpt-soak
+.PHONY: build vet staticcheck test race fuzz check vulncheck bench bench-check profile obs-overhead audit-overhead trace-overhead fabric-perf ckpt-soak
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,16 @@ obs-overhead:
 audit-overhead:
 	$(GO) test ./internal/core -run TestAuditZeroAlloc
 	PIPEMEM_AUDIT_OVERHEAD=1 $(GO) test ./internal/bench -run TestAuditOverheadBudget -v
+
+# Flight-tracing overhead gate: the deterministic half (the span JSONL
+# schema golden file; the trace stream is byte-identical at every worker
+# count; per-hop latencies reconcile with the end-to-end figure) and the
+# opt-in wall-clock budget (1-in-64 sampled tracing keeps ≥ 90% of the
+# untraced fabric cells/sec).
+trace-overhead:
+	$(GO) test ./internal/fabric -run 'TestFlightTrace|TestTelemetryRing'
+	$(GO) test ./internal/trace ./internal/obs -run 'Test'
+	PIPEMEM_TRACE_OVERHEAD=1 $(GO) test ./internal/bench -run TestTraceOverheadBudget -v
 
 # Multistage-fabric throughput gate: the deterministic half (a steady
 # fabric Step allocates nothing; the sharded engine is bit-identical to

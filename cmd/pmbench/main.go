@@ -113,6 +113,7 @@ func main() {
 		only     = flag.String("point", "", "measure only the named regression point (e.g. tick-steady-8x8)")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS)")
 		sweep    = flag.Bool("sweep", false, "run a parallel load sweep instead of the regression points")
+		phases   = flag.Bool("phases", false, "profile the fabric points' phase breakdown (step phases + arbitration share) instead of gating throughput")
 		metrics  = flag.Bool("metrics", false, "print a Prometheus-style snapshot of the sweep-engine metrics after the run")
 		pprofA   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address while running")
 	)
@@ -148,6 +149,39 @@ func main() {
 		if err := runSweep(*workers, *cycles, bufpol.Spec()); err != nil {
 			fmt.Fprintln(os.Stderr, "pmbench:", err)
 			os.Exit(1)
+		}
+		return
+	}
+
+	// -phases is a diagnostic read, not a gate: the profilers add clock
+	// reads to the hot path, so its numbers must never feed the -check
+	// baselines.
+	if *phases {
+		if *check || *jsonPath != "" {
+			fmt.Fprintln(os.Stderr, "pmbench: -phases profiles with timers in the hot path; it cannot gate or record baselines (-check/-json)")
+			os.Exit(2)
+		}
+		fpts := fabricPoints(*cycles)
+		if *only != "" {
+			var keep []bench.FabricPoint
+			for _, p := range fpts {
+				if p.Label == *only {
+					keep = append(keep, p)
+				}
+			}
+			if keep == nil {
+				fmt.Fprintf(os.Stderr, "pmbench: no fabric point named %q (-phases profiles the fabric points)\n", *only)
+				os.Exit(2)
+			}
+			fpts = keep
+		}
+		for _, p := range fpts {
+			rep, err := bench.MeasurePhases(p, *warmup)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmbench:", err)
+				os.Exit(1)
+			}
+			fmt.Println(rep)
 		}
 		return
 	}

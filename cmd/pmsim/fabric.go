@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"pipemem/internal/cli"
 	"pipemem/internal/clos"
 	"pipemem/internal/fabric"
 	"pipemem/internal/obs"
@@ -34,6 +35,7 @@ type fabricOpts struct {
 
 	metrics     bool
 	metricsJSON bool
+	trace       *cli.TraceValue
 }
 
 // fabricNet is the surface shared by the butterfly and Clos nets that
@@ -43,12 +45,17 @@ type fabricNet interface {
 	Audit() error
 	Latency() *stats.Hist
 	RegisterMetrics(reg *obs.Registry, prefix string)
+	RegisterHopHists(reg *obs.Registry, prefix string)
+	SetFlightTrace(tr *obs.Tracer, sample int) error
+	EnableTelemetry(ringCap int, every int64) *obs.TimeSeries
 	SyncMetrics()
 }
 
-// runFabric builds the requested multistage network, drives it with the
-// shared traffic flags, prints the run summary, and audits the final
-// state (conservation, credit bounds, per-node invariants).
+// runFabric builds the requested multistage network, attaches the
+// requested observability (flight trace, hop-latency histograms,
+// telemetry ring) before driving it with the shared traffic flags,
+// prints the run summary, and audits the final state (conservation,
+// credit bounds, per-node invariants).
 func runFabric(o fabricOpts) {
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "pmsim:", err)
@@ -68,7 +75,7 @@ func runFabric(o fabricOpts) {
 		net       fabricNet
 		terminals int
 		stages    int
-		res       interface{ String() string }
+		run       func() (interface{ String() string }, error)
 	)
 	switch o.kind {
 	case "butterfly":
@@ -81,11 +88,10 @@ func runFabric(o fabricOpts) {
 			die(err)
 		}
 		defer f.Close()
-		r, err := fabric.Run(f, tcfg, o.warmup, o.cycles)
-		if err != nil {
-			die(err)
+		net, terminals, stages = f, o.terminals, f.Stages()
+		run = func() (interface{ String() string }, error) {
+			return fabric.Run(f, tcfg, o.warmup, o.cycles)
 		}
-		net, terminals, stages, res = f, o.terminals, f.Stages(), r
 	case "clos":
 		f, err := clos.New(clos.Config{
 			Radix: o.radix, Middles: o.middles, WordBits: 16,
@@ -96,14 +102,68 @@ func runFabric(o fabricOpts) {
 			die(err)
 		}
 		defer f.Close()
-		r, err := clos.Run(f, tcfg, o.warmup, o.cycles)
-		if err != nil {
-			die(err)
+		net, terminals, stages = f, o.radix*o.radix, 3
+		run = func() (interface{ String() string }, error) {
+			return clos.Run(f, tcfg, o.warmup, o.cycles)
 		}
-		net, terminals, stages, res = f, o.radix*o.radix, 3, r
 	default:
 		fmt.Fprintf(os.Stderr, "pmsim: -fabric %q: want butterfly or clos\n", o.kind)
 		os.Exit(2)
+	}
+
+	// Observability attaches before the first Step: the metrics registry
+	// is created up front so hop-latency histograms collect during the
+	// run, the flight tracer samples deterministically by flight sequence
+	// number, and the telemetry ring snapshots per-stage state on a fixed
+	// cadence.
+	var reg *obs.Registry
+	if o.metrics || o.metricsJSON {
+		reg = obs.NewRegistry()
+		net.RegisterMetrics(reg, "fabric")
+		net.RegisterHopHists(reg, "fabric")
+	}
+	var tracer *obs.Tracer
+	if o.trace != nil && o.trace.Out != "" {
+		f, err := os.Create(o.trace.Out)
+		if err != nil {
+			die(err)
+		}
+		// Sampling is done engine-side by flight seq; the tracer itself
+		// passes everything through (sampleEvery 1, unbounded). The sink
+		// owns the file and closes it with the tracer.
+		tracer = obs.NewTracer(obs.NewJSONLSink(f), 0, 1)
+		if err := net.SetFlightTrace(tracer, o.trace.Sample); err != nil {
+			die(err)
+		}
+	}
+	var ts *obs.TimeSeries
+	if o.trace != nil && o.trace.TelemetryOut != "" {
+		ts = net.EnableTelemetry(0, o.trace.EffectiveTelemetryEvery(o.warmup+o.cycles))
+	}
+
+	res, err := run()
+	if err != nil {
+		die(err)
+	}
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			die(err)
+		}
+	}
+	if ts != nil {
+		f, err := os.Create(o.trace.TelemetryOut)
+		if err != nil {
+			die(err)
+		}
+		werr := ts.WriteJSONL(f)
+		cerr := f.Close()
+		if werr != nil {
+			die(werr)
+		}
+		if cerr != nil {
+			die(cerr)
+		}
 	}
 
 	fmt.Printf("fabric %s terminals=%d stages=%d workers=%d\n%s\n",
@@ -118,9 +178,7 @@ func runFabric(o fabricOpts) {
 	}
 	fmt.Println("post-run audit passed")
 
-	if o.metrics || o.metricsJSON {
-		reg := obs.NewRegistry()
-		net.RegisterMetrics(reg, "fabric")
+	if reg != nil {
 		net.SyncMetrics()
 		var err error
 		if o.metricsJSON {

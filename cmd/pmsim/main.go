@@ -100,12 +100,11 @@ func main() {
 
 		metrics     = flag.Bool("metrics", false, "observed RTL run: print a Prometheus-style metrics snapshot after the run")
 		metricsJSON = flag.Bool("metrics-json", false, "with -metrics: print the JSON snapshot instead of the text exposition")
-		traceOut    = flag.String("trace", "", "observed RTL run: write the structured JSONL event trace to this file")
-		traceSample = flag.Int("trace-sample", 1, "keep 1 in N trace events (bounds trace overhead)")
 		pprofAddr   = flag.String("pprof", "", "serve /metrics and /debug/pprof on this address while running")
 	)
 	bufpol := cli.BufPolicyFlag(nil)
 	ckptf := cli.CheckpointFlags(nil)
+	tracef := cli.TraceFlags(nil)
 	flag.Parse()
 	if *warmup == 0 {
 		*warmup = *slots / 10
@@ -114,13 +113,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pmsim:", err)
 		os.Exit(2)
 	}
+	if err := tracef.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(2)
+	}
 
 	// A -fabric run drives the multistage engine, which has its own
 	// metrics surface; it composes with the traffic and -bufpolicy flags
 	// but not with the single-switch fault/checkpoint/trace harnesses.
 	if *fabricKind != "" {
-		if *faultplan != "" || ckptf.Active() || *traceOut != "" || *pprofAddr != "" {
-			fmt.Fprintln(os.Stderr, "pmsim: -fabric does not combine with -faultplan, -checkpoint/-restore, -trace or -pprof")
+		if *faultplan != "" || ckptf.Active() || *pprofAddr != "" {
+			fmt.Fprintln(os.Stderr, "pmsim: -fabric does not combine with -faultplan, -checkpoint/-restore or -pprof")
 			os.Exit(2)
 		}
 		archSet := false
@@ -134,16 +137,20 @@ func main() {
 			middles: *middles, cells: *buf, credits: *credits, workers: *fworkers,
 			load: *load, saturate: *saturate, bursty: *bursty, hotFrac: *hotFrac,
 			cycles: *slots, warmup: *warmup, seed: *seed, policy: bufpol.Spec(),
-			metrics: *metrics, metricsJSON: *metricsJSON,
+			metrics: *metrics, metricsJSON: *metricsJSON, trace: tracef,
 		})
 		return
 	}
+	if tracef.TelemetryOut != "" {
+		fmt.Fprintln(os.Stderr, "pmsim: -telemetry samples the multistage engine; it needs -fabric butterfly|clos")
+		os.Exit(2)
+	}
 
-	observe := *metrics || *metricsJSON || *traceOut != "" || *pprofAddr != ""
+	observe := *metrics || *metricsJSON || tracef.Out != "" || *pprofAddr != ""
 	var ob *observed
 	if observe {
 		var err error
-		if ob, err = newObserved(*n, *traceOut, *traceSample, *pprofAddr); err != nil {
+		if ob, err = newObserved(*n, tracef.Out, tracef.Sample, *pprofAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "pmsim:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,70 @@
+// Command pmtrace reduces a flight-span JSONL trace (pmsim -fabric
+// -trace output) into per-hop latency breakdowns, a worst-path report,
+// and the hop/e2e reconciliation check.
+//
+//	pmsim -fabric butterfly -trace flights.jsonl ...
+//	pmtrace -top 10 flights.jsonl
+//
+// Reads stdin when the file argument is "-" or absent. Exits 1 when the
+// reconciliation check fails — the sampled per-hop latencies of every
+// completed flight must sum (plus one wire cycle per stage boundary) to
+// the engine's end-to-end latency, so a mismatch is a tracing bug, not
+// a property of the workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pipemem/internal/core"
+	"pipemem/internal/trace"
+)
+
+func main() {
+	top := flag.Int("top", 5, "report the K slowest completed flights with their per-hop breakdown (0 disables)")
+	flag.Parse()
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		os.Exit(2)
+	}
+	if *top < 0 {
+		die(fmt.Errorf("%w: -top %d: must be >= 0", core.ErrBadConfig, *top))
+	}
+	if flag.NArg() > 1 {
+		die(fmt.Errorf("%w: want one trace file (or none for stdin), got %d arguments", core.ErrBadConfig, flag.NArg()))
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	set, err := trace.Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		os.Exit(1)
+	}
+	if len(set.Flights) == 0 {
+		fmt.Fprintln(os.Stderr, "pmtrace: no flight spans in input (is this a -fabric -trace stream?)")
+		os.Exit(1)
+	}
+	rep := trace.Analyze(set, *top)
+	if err := rep.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		os.Exit(1)
+	}
+	if set.Orphans > 0 {
+		fmt.Fprintf(os.Stderr, "pmtrace: WARNING: %d span records referenced unknown flights (truncated stream?)\n", set.Orphans)
+	}
+	if len(rep.Mismatches) > 0 {
+		os.Exit(1)
+	}
+}

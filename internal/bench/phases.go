@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pipemem/internal/core"
+	"pipemem/internal/fabric"
+	"pipemem/internal/fabric/engine"
+	"pipemem/internal/traffic"
+)
+
+// PhaseReport attributes the wall time of one fabric run: where each
+// engine.Step went (the parallel node-step region, the coordinator's
+// barrier merge, the Inject path) and, inside the node step, how much
+// was arbitration — the pickRead/pickWrite pair that the warm profile
+// blames for roughly 39% of tick time. ArbShare turns that figure into
+// a measured, regression-trackable number.
+type PhaseReport struct {
+	Label   string
+	Cycles  int64
+	Elapsed time.Duration
+
+	// Step is the engine's phase breakdown (coordinator clock).
+	Step engine.StepProf
+	// Arb is the per-node arbitration profile summed across all nodes.
+	// ArbNS still includes the profiler's own clock reads; use ArbAdjNS.
+	Arb core.PhaseProf
+
+	// TimerNS is the calibrated cost of one profiler clock read;
+	// ArbAdjNS is Arb.ArbNS with the 2·calls·TimerNS measurement
+	// overhead subtracted (floored at 0).
+	TimerNS  float64
+	ArbAdjNS float64
+}
+
+// ArbShare is arbitration's fraction of the node-step phase, timer cost
+// subtracted. The quotient compares summed per-node wall time against
+// the coordinator's region clock, so with more than one worker shares
+// above 1.0 are possible (parallel node time vs. elapsed region time);
+// with Workers=1 it is a straight fraction.
+func (r PhaseReport) ArbShare() float64 {
+	if r.Step.NodeStepNS <= 0 {
+		return 0
+	}
+	return r.ArbAdjNS / float64(r.Step.NodeStepNS)
+}
+
+// String renders the report as the pmbench -phases block.
+func (r PhaseReport) String() string {
+	var b strings.Builder
+	total := r.Step.NodeStepNS + r.Step.MergeNS + r.Step.InjectNS
+	pct := func(ns int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(ns) / float64(total)
+	}
+	fmt.Fprintf(&b, "%s phases (cycles=%d, wall=%s)\n", r.Label, r.Cycles, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  step: node-step %.1f%%  merge %.1f%%  inject %.1f%%  (attributed %s)\n",
+		pct(r.Step.NodeStepNS), pct(r.Step.MergeNS), pct(r.Step.InjectNS),
+		time.Duration(total).Round(time.Millisecond))
+	fmt.Fprintf(&b, "  arbitration: %.1f%% of node-step (%.1fns/call over %d calls, timer-adjusted)\n",
+		100*r.ArbShare(), safeDiv(r.ArbAdjNS, r.Arb.ArbCalls), r.Arb.ArbCalls)
+	fmt.Fprintf(&b, "  read:  calls=%d hit=%.1f%% scans/call=%.2f\n",
+		r.Arb.ReadCalls, 100*safeDiv(float64(r.Arb.ReadHits), r.Arb.ReadCalls),
+		safeDiv(float64(r.Arb.ReadScans), r.Arb.ReadCalls))
+	fmt.Fprintf(&b, "  write: calls=%d hit=%.1f%% scans/call=%.2f",
+		r.Arb.WriteCalls, 100*safeDiv(float64(r.Arb.WriteHits), r.Arb.WriteCalls),
+		safeDiv(float64(r.Arb.WriteScans), r.Arb.WriteCalls))
+	return b.String()
+}
+
+func safeDiv(num float64, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / float64(den)
+}
+
+// MeasurePhases drives one fabric point for warmup untimed plus p.Cycles
+// timed cycles with the step-phase and per-node arbitration profilers
+// attached, and reduces the counters into a PhaseReport. Profiling adds
+// two clock reads per arbitrate call, so the absolute rate is slower
+// than MeasureFabric's — the shares, not the throughput, are the
+// product here.
+func MeasurePhases(p FabricPoint, warmup int64) (PhaseReport, error) {
+	f, err := fabric.New(p.Config)
+	if err != nil {
+		return PhaseReport{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	defer f.Close()
+	tc := p.Traffic
+	tc.N = p.Config.Terminals
+	cs, err := traffic.NewCellStream(tc, f.CellWords())
+	if err != nil {
+		return PhaseReport{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	heads := make([]int, p.Config.Terminals)
+	var seq uint64
+	step := func() error {
+		cs.Heads(heads)
+		for term, dst := range heads {
+			if dst != traffic.NoArrival {
+				seq++
+				f.Inject(term, dst, seq)
+			}
+		}
+		return f.Step()
+	}
+	for c := int64(0); c < warmup; c++ {
+		if err := step(); err != nil {
+			return PhaseReport{}, fmt.Errorf("%s: warmup cycle %d: %w", p.Label, c, err)
+		}
+	}
+
+	eng := f.Engine()
+	var sp engine.StepProf
+	eng.SetStepProf(&sp)
+	profs := eng.AttachPhaseProfs()
+
+	start := time.Now()
+	for c := int64(0); c < p.Cycles; c++ {
+		if err := step(); err != nil {
+			return PhaseReport{}, fmt.Errorf("%s: cycle %d: %w", p.Label, c, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	r := PhaseReport{
+		Label:   p.Label,
+		Cycles:  p.Cycles,
+		Elapsed: elapsed,
+		Step:    sp,
+		TimerNS: core.TimerCostNS(),
+	}
+	for _, pp := range profs {
+		r.Arb.Add(pp)
+	}
+	r.ArbAdjNS = float64(r.Arb.ArbNS) - 2*float64(r.Arb.ArbCalls)*r.TimerNS
+	if r.ArbAdjNS < 0 {
+		r.ArbAdjNS = 0
+	}
+	if err := f.Audit(); err != nil {
+		return PhaseReport{}, fmt.Errorf("%s: post-run audit: %w", p.Label, err)
+	}
+	return r, nil
+}

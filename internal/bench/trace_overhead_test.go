@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"pipemem/internal/fabric"
+	"pipemem/internal/obs"
+	"pipemem/internal/traffic"
+)
+
+// TestTraceOverheadBudget asserts the flight-tracing overhead budget:
+// with 1-in-64 sampling enabled (spans streamed to a discarded JSONL
+// sink), the 64-terminal fabric point must sustain at least 90% of the
+// untraced cells/sec. The per-cell cost when tracing is on is one flight
+// lookup per arrival plus span staging for the sampled 1/64; the
+// disabled path's zero cost is asserted unconditionally by
+// TestStepZeroAlloc.
+//
+// Wall-clock comparisons are host-sensitive, so the test is opt-in via
+// PIPEMEM_TRACE_OVERHEAD=1 (run by `make trace-overhead`).
+func TestTraceOverheadBudget(t *testing.T) {
+	if os.Getenv("PIPEMEM_TRACE_OVERHEAD") != "1" {
+		t.Skip("wall-clock overhead check is opt-in: set PIPEMEM_TRACE_OVERHEAD=1 (make trace-overhead)")
+	}
+	const cycles, warmup, rounds, sample = 120_000, 4096, 3, 64
+	cfg := fabric.Config{
+		Terminals: 64, Radix: 8, WordBits: 16, SwitchCells: 32,
+		Credits: 4, CutThrough: true, Workers: 1,
+	}
+
+	measure := func(traced bool) float64 {
+		f, err := fabric.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var tr *obs.Tracer
+		if traced {
+			tr = obs.NewTracer(obs.NewJSONLSink(io.Discard), 0, 1)
+			if err := f.SetFlightTrace(tr, sample); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cs, err := traffic.NewCellStream(
+			traffic.Config{Kind: traffic.Saturation, Seed: 42, N: cfg.Terminals}, f.CellWords())
+		if err != nil {
+			t.Fatal(err)
+		}
+		heads := make([]int, cfg.Terminals)
+		var seq uint64
+		step := func() {
+			cs.Heads(heads)
+			for term, dst := range heads {
+				if dst != traffic.NoArrival {
+					seq++
+					f.Inject(term, dst, seq)
+				}
+			}
+			if err := f.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for c := int64(0); c < warmup; c++ {
+			step()
+		}
+		d0 := f.Delivered()
+		start := time.Now()
+		for c := int64(0); c < cycles; c++ {
+			step()
+		}
+		elapsed := time.Since(start)
+		if traced {
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(f.Delivered()-d0) / elapsed.Seconds()
+	}
+
+	// Interleave rounds so frequency drift hits both sides equally; take
+	// each side's best (same discipline as TestObsOverheadBudget).
+	var offRate, onRate float64
+	for i := 0; i < rounds; i++ {
+		if r := measure(false); r > offRate {
+			offRate = r
+		}
+		if r := measure(true); r > onRate {
+			onRate = r
+		}
+	}
+	t.Logf("untraced: %.0f cells/sec; traced 1-in-%d: %.0f cells/sec; ratio %.3f",
+		offRate, sample, onRate, onRate/offRate)
+	if onRate < 0.90*offRate {
+		t.Fatalf("traced rate %.0f cells/sec is below 90%% of untraced %.0f (%.1f%%)",
+			onRate, offRate, 100*onRate/offRate)
+	}
+}

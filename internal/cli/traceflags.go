@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"pipemem/internal/core"
+)
+
+// TraceValue holds the trace/telemetry flag group shared by the observed
+// runs: where to write the JSONL event/span trace, the sampling rate, and
+// the fixed-cadence telemetry ring.
+//
+// The same -trace/-trace-sample pair serves both observed modes: on the
+// single-switch RTL path the sample thins the event stream 1-in-N by
+// emission order, on the -fabric path it selects flights whose sequence
+// number is divisible by N (deterministic across worker counts).
+type TraceValue struct {
+	// Out receives the JSONL event/span trace ("" = no trace).
+	Out string
+	// Sample keeps 1 in N trace events (RTL run) or traces every N-th
+	// flight by sequence number (fabric run). Must be ≥ 1.
+	Sample int
+	// TelemetryOut receives the fabric time-series ring as JSONL after
+	// the run ("" = no telemetry).
+	TelemetryOut string
+	// TelemetryEvery is the sampling cadence in cycles (0 = an automatic
+	// cadence derived from the run length).
+	TelemetryEvery int64
+}
+
+// TraceFlags registers the -trace, -trace-sample, -telemetry and
+// -telemetry-every flags on fs (nil means flag.CommandLine).
+func TraceFlags(fs *flag.FlagSet) *TraceValue {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	v := &TraceValue{}
+	fs.StringVar(&v.Out, "trace", "",
+		"observed run: write the structured JSONL event trace (RTL) or flight-span trace (-fabric) to this file")
+	fs.IntVar(&v.Sample, "trace-sample", 1,
+		"keep 1 in N trace events; on a -fabric run, trace flights whose sequence number is divisible by N")
+	fs.StringVar(&v.TelemetryOut, "telemetry", "",
+		"fabric run: write the per-stage occupancy/credit time series as JSONL to this file")
+	fs.Int64Var(&v.TelemetryEvery, "telemetry-every", 0,
+		"cycles between telemetry samples (0 = run length / 512, at least 1)")
+	return v
+}
+
+// Validate rejects nonsensical trace flag values. All rejections wrap
+// core.ErrBadConfig so callers (and the cmdtest audit) can classify them.
+func (v *TraceValue) Validate() error {
+	if v.Sample < 1 {
+		return fmt.Errorf("%w: -trace-sample %d: must be >= 1 (N traces 1 in N)", core.ErrBadConfig, v.Sample)
+	}
+	if v.TelemetryEvery < 0 {
+		return fmt.Errorf("%w: -telemetry-every %d: must be >= 0", core.ErrBadConfig, v.TelemetryEvery)
+	}
+	if v.TelemetryEvery > 0 && v.TelemetryOut == "" {
+		return fmt.Errorf("%w: -telemetry-every needs -telemetry FILE to write to", core.ErrBadConfig)
+	}
+	return nil
+}
+
+// EffectiveTelemetryEvery resolves the telemetry cadence for a run of the
+// given cycle count: the explicit -telemetry-every, or cycles/512 (at
+// least 1).
+func (v *TraceValue) EffectiveTelemetryEvery(cycles int64) int64 {
+	if v.TelemetryEvery > 0 {
+		return v.TelemetryEvery
+	}
+	if e := cycles / 512; e > 0 {
+		return e
+	}
+	return 1
+}

@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"testing"
+
+	"pipemem/internal/core"
+)
+
+func TestTraceFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	v := TraceFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if v.Out != "" || v.Sample != 1 || v.TelemetryOut != "" || v.TelemetryEvery != 0 {
+		t.Fatalf("unexpected defaults: %+v", v)
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatalf("defaults must validate: %v", err)
+	}
+}
+
+func TestTraceFlagsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		v    TraceValue
+		ok   bool
+	}{
+		{"sample-1", TraceValue{Sample: 1}, true},
+		{"sample-0", TraceValue{Sample: 0}, false},
+		{"sample-negative", TraceValue{Sample: -8}, false},
+		{"telemetry-with-cadence", TraceValue{Sample: 1, TelemetryOut: "x.jsonl", TelemetryEvery: 100}, true},
+		{"cadence-without-file", TraceValue{Sample: 1, TelemetryEvery: 100}, false},
+		{"negative-cadence", TraceValue{Sample: 1, TelemetryOut: "x.jsonl", TelemetryEvery: -1}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.v.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !c.ok {
+				if err == nil {
+					t.Fatal("want error, got nil")
+				}
+				if !errors.Is(err, core.ErrBadConfig) {
+					t.Fatalf("error %v does not wrap core.ErrBadConfig", err)
+				}
+			}
+		})
+	}
+}
+
+func TestEffectiveTelemetryEvery(t *testing.T) {
+	v := TraceValue{Sample: 1, TelemetryEvery: 64}
+	if got := v.EffectiveTelemetryEvery(1_000_000); got != 64 {
+		t.Fatalf("explicit cadence: got %d", got)
+	}
+	v.TelemetryEvery = 0
+	if got := v.EffectiveTelemetryEvery(512_000); got != 1000 {
+		t.Fatalf("auto cadence: got %d, want 1000", got)
+	}
+	if got := v.EffectiveTelemetryEvery(10); got != 1 {
+		t.Fatalf("tiny run cadence: got %d, want 1", got)
+	}
+}

@@ -220,6 +220,24 @@ func (f *Net) RegisterMetrics(reg *obs.Registry, prefix string) {
 	f.eng.RegisterMetrics(reg, prefix)
 }
 
+// SetFlightTrace enables deterministic per-flight span tracing (see
+// engine.SetFlightTrace). Call before the first Step.
+func (f *Net) SetFlightTrace(tr *obs.Tracer, sample int) error {
+	return f.eng.SetFlightTrace(tr, sample)
+}
+
+// RegisterHopHists pre-registers per-stage hop-latency histograms on reg
+// and starts feeding them for every cell.
+func (f *Net) RegisterHopHists(reg *obs.Registry, prefix string) {
+	f.eng.RegisterHopHists(reg, prefix)
+}
+
+// EnableTelemetry attaches a fixed-cadence time-series ring (per-stage
+// occupancy, deepest queue, credit levels) sampled every `every` cycles.
+func (f *Net) EnableTelemetry(ringCap int, every int64) *obs.TimeSeries {
+	return f.eng.EnableTelemetry(ringCap, every)
+}
+
 // SyncMetrics publishes current network state into registered metrics.
 func (f *Net) SyncMetrics() { f.eng.SyncMetrics() }
 

@@ -1,0 +1,77 @@
+package clos
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pipemem/internal/obs"
+	"pipemem/internal/trace"
+	"pipemem/internal/traffic"
+)
+
+// TestClosFlightTraceReconciles is the Clos arm of the hop/e2e identity:
+// at sampling 1 every delivered cell must appear as a completed
+// three-hop flight whose hop latencies sum (plus the two wire cycles)
+// to the EvEject latency, with the traced mean equal to
+// Result.MeanLatency. The middle-stage round-robin makes the Clos path
+// spread, so this also exercises hop records across all populated
+// middles.
+func TestClosFlightTraceReconciles(t *testing.T) {
+	f, err := New(Config{
+		Radix: 6, Middles: 4, WordBits: 16, SwitchCells: 16,
+		Credits: 4, CutThrough: true, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(obs.NewJSONLSink(&buf), 0, 1)
+	if err := f.SetFlightTrace(tr, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(f, traffic.Config{Kind: traffic.Bernoulli, Load: 0.6, Seed: 41}, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	set, err := trace.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Stages != 3 {
+		t.Fatalf("trace shows %d stages, want 3", set.Stages)
+	}
+	rep := trace.Analyze(set, 0)
+	if len(rep.Mismatches) > 0 {
+		m := rep.Mismatches[0]
+		t.Fatalf("%d flights fail e2e = Σhops + 2; first: seq=%d hopsum=%d e2e=%d",
+			len(rep.Mismatches), m.Seq, m.HopSum, m.E2E)
+	}
+	if rep.Incomplete != 0 {
+		t.Fatalf("%d ejected flights missing hop records", rep.Incomplete)
+	}
+	if rep.E2E.Count != res.Delivered {
+		t.Fatalf("completed flights %d != delivered %d", rep.E2E.Count, res.Delivered)
+	}
+	if math.Abs(rep.E2E.Mean-res.MeanLatency) > 1e-9 {
+		t.Fatalf("trace mean %.9f != clos mean %.9f", rep.E2E.Mean, res.MeanLatency)
+	}
+	// Traced middle-stage hops must land on every populated middle —
+	// the round-robin freedom is visible in the span stream.
+	seen := map[int]bool{}
+	for _, fl := range set.Flights {
+		for _, h := range fl.Hops {
+			if h.Stage == 1 {
+				seen[h.Node] = true
+			}
+		}
+	}
+	if len(seen) != f.m {
+		t.Fatalf("middle hops landed on %d of %d middles", len(seen), f.m)
+	}
+}

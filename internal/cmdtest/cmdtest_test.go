@@ -1,4 +1,4 @@
-// Package cmdtest exercises the five command-line tools as real
+// Package cmdtest exercises the six command-line tools as real
 // subprocesses: every malformed -faultplan/-bufpolicy/flag combination
 // must exit non-zero with a one-line actionable message on stderr, and the
 // checkpoint surface must round-trip bit-identically through the actual
@@ -18,7 +18,7 @@ import (
 
 var binDir string
 
-// TestMain builds the five tools once into a temp dir; every test then
+// TestMain builds the six tools once into a temp dir; every test then
 // execs the real binaries.
 func TestMain(m *testing.M) {
 	if _, err := exec.LookPath("go"); err != nil {
@@ -126,6 +126,19 @@ func TestBadConfigExitsNonZero(t *testing.T) {
 			[]string{"-check", "-json", filepath.Join(t.TempDir(), "none.json")}, "no baseline"},
 		{"pmbench/bufpolicy-without-sweep", "pmbench", "", []string{"-bufpolicy", "share"}, "-sweep"},
 
+		// pmsim: trace/telemetry flag group.
+		{"pmsim/trace-sample-zero", "pmsim", "", []string{"-trace-sample", "0"}, ">= 1"},
+		{"pmsim/trace-sample-negative", "pmsim", "", []string{"-fabric", "butterfly", "-trace-sample", "-3"}, ">= 1"},
+		{"pmsim/telemetry-every-without-file", "pmsim", "", []string{"-telemetry-every", "100"}, "-telemetry"},
+		{"pmsim/telemetry-without-fabric", "pmsim", "", []string{"-telemetry", "ts.jsonl"}, "-fabric"},
+
+		// pmtrace: analyzer input validation.
+		{"pmtrace/negative-top", "pmtrace", "", []string{"-top", "-1"}, ">= 0"},
+		{"pmtrace/two-files", "pmtrace", "", []string{"a.jsonl", "b.jsonl"}, "one trace file"},
+		{"pmtrace/missing-file", "pmtrace", "", []string{"/nonexistent/spans.jsonl"}, "no such file"},
+		{"pmtrace/no-spans", "pmtrace", "{\"ev\":\"read-wave\",\"cycle\":1,\"in\":0,\"out\":1,\"addr\":2}\n",
+			[]string{"-"}, "no flight spans"},
+
 		// pmexp: unknown experiment id no longer passes silently.
 		{"pmexp/unknown-only-id", "pmexp", "", []string{"-only", "E999"}, "unknown experiment id"},
 
@@ -144,6 +157,29 @@ func TestBadConfigExitsNonZero(t *testing.T) {
 				t.Fatalf("%s %v: first stderr line %q does not mention %q", c.tool, c.args, first, c.wantSub)
 			}
 		})
+	}
+}
+
+// TestPmtraceRoundTrip drives the flight-trace pipeline through the real
+// binaries: pmsim -fabric writes a span trace, pmtrace reduces it, and
+// the reconciliation check (Σhops + stages−1 = e2e for every completed
+// flight) must pass — pmtrace exits 1 when it does not.
+func TestPmtraceRoundTrip(t *testing.T) {
+	spans := filepath.Join(t.TempDir(), "spans.jsonl")
+	_, stderr, code := run(t, "pmsim", "",
+		"-fabric", "butterfly", "-terminals", "64", "-radix", "4", "-slots", "2000",
+		"-load", "0.7", "-trace", spans, "-trace-sample", "9")
+	if code != 0 {
+		t.Fatalf("pmsim -fabric -trace failed (%d): %s", code, stderr)
+	}
+	out, stderr, code := run(t, "pmtrace", "", "-top", "3", spans)
+	if code != 0 {
+		t.Fatalf("pmtrace failed (%d): %s\n%s", code, stderr, out)
+	}
+	for _, want := range []string{"stages=3", "hop0", "hop2", "worst paths:", "reconciliation: all"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pmtrace output missing %q:\n%s", want, out)
+		}
 	}
 }
 

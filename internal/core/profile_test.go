@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"pipemem/internal/traffic"
+)
+
+// TestPhaseProfCounts drives a loaded switch with a profile attached and
+// checks the arbitration accounting is internally consistent: every cycle
+// arbitrates once, hits never exceed calls, scans only happen on calls,
+// and the measured arbitration time is nonzero.
+func TestPhaseProfCounts(t *testing.T) {
+	s, err := New(Config{Ports: 8, WordBits: 16, Cells: 256, CutThrough: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p PhaseProf
+	s.SetPhaseProf(&p)
+	cs, err := traffic.NewCellStream(
+		traffic.Config{Kind: traffic.Bernoulli, N: 8, Load: 0.8, Seed: 11},
+		s.Config().Stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 20_000
+	res, err := RunTraffic(s, cs, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no traffic delivered; test is vacuous")
+	}
+	if p.ArbCalls == 0 || p.ArbNS <= 0 {
+		t.Fatalf("arbitration never measured: calls %d, ns %d", p.ArbCalls, p.ArbNS)
+	}
+	// One picker runs first every arbitrate call; the second only on the
+	// first's miss. Read priority is the default, so ReadCalls equals
+	// ArbCalls and WriteCalls covers exactly the read misses.
+	if p.ReadCalls != p.ArbCalls {
+		t.Errorf("read calls %d ≠ arbitrate calls %d", p.ReadCalls, p.ArbCalls)
+	}
+	if want := p.ReadCalls - p.ReadHits; p.WriteCalls != want {
+		t.Errorf("write calls %d ≠ read misses %d", p.WriteCalls, want)
+	}
+	if p.ReadHits > p.ReadCalls || p.WriteHits > p.WriteCalls {
+		t.Errorf("hits exceed calls: read %d/%d, write %d/%d",
+			p.ReadHits, p.ReadCalls, p.WriteHits, p.WriteCalls)
+	}
+	// Every delivered cell claimed exactly one read or write-through wave.
+	if got := p.ReadHits + p.WriteHits; got < res.Delivered {
+		t.Errorf("wave initiations %d < delivered %d", got, res.Delivered)
+	}
+	if p.WriteScans < p.WriteHits {
+		t.Errorf("write scans %d < write hits %d (a hit examines ≥ 1 arrival)", p.WriteScans, p.WriteHits)
+	}
+	if p.ReadHits > 0 && p.ReadScans < p.ReadHits {
+		t.Errorf("read scans %d < read hits %d", p.ReadScans, p.ReadHits)
+	}
+
+	// Add must sum every field.
+	var sum PhaseProf
+	sum.Add(&p)
+	sum.Add(&p)
+	if sum.ArbCalls != 2*p.ArbCalls || sum.ReadScans != 2*p.ReadScans ||
+		sum.WriteScans != 2*p.WriteScans || sum.ArbNS != 2*p.ArbNS {
+		t.Errorf("Add did not sum: %+v vs %+v", sum, p)
+	}
+}
+
+// TestPhaseProfIdenticalRun checks profiling is observation only: the
+// same workload with and without a profile attached delivers the same
+// result.
+func TestPhaseProfIdenticalRun(t *testing.T) {
+	run := func(attach bool) RunResult {
+		s, err := New(Config{Ports: 4, WordBits: 16, Cells: 32, CutThrough: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			s.SetPhaseProf(&PhaseProf{})
+		}
+		cs, err := traffic.NewCellStream(
+			traffic.Config{Kind: traffic.Saturation, N: 4, Seed: 3},
+			s.Config().Stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunTraffic(s, cs, 8_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	if a.Delivered != b.Delivered || a.Dropped != b.Dropped ||
+		a.MeanCutLatency != b.MeanCutLatency || a.Utilization != b.Utilization ||
+		a.MaxBuffered != b.MaxBuffered {
+		t.Errorf("profiling changed the run:\nwithout %+v\nwith    %+v", a, b)
+	}
+}
+
+func TestTimerCostNS(t *testing.T) {
+	c := TimerCostNS()
+	if c <= 0 || c > 10_000 {
+		t.Fatalf("timer cost %.1f ns implausible", c)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"pipemem/internal/bufmgr"
 	"pipemem/internal/cell"
@@ -239,6 +240,9 @@ type Switch struct {
 	obsLocal     obsTally
 	obsCutLat    *obs.HistShadow
 	obsInitDelay *obs.HistShadow
+	// prof is the optional arbitration phase profile (profile.go): nil —
+	// the default — costs one pointer test per arbitrate call.
+	prof *PhaseProf
 
 	// Hot-path recycling. reasmFree and cellFree pool the reassembly
 	// records and the reassembled ("observed") cells deliver builds;
@@ -1367,6 +1371,17 @@ func (s *Switch) accrueStalls(c int64) {
 // caller and is left untouched on a no-initiation cycle — so the 40-byte
 // Op never rides a return-value copy through the picker call chain.
 func (s *Switch) arbitrate(c int64, op *Op) bool {
+	if s.prof == nil {
+		return s.arbitrateInner(c, op)
+	}
+	t0 := time.Now()
+	ok := s.arbitrateInner(c, op)
+	s.prof.ArbNS += time.Since(t0).Nanoseconds()
+	s.prof.ArbCalls++
+	return ok
+}
+
+func (s *Switch) arbitrateInner(c int64, op *Op) bool {
 	if s.halved && c-s.lastInit < 2 {
 		return false
 	}
@@ -1402,8 +1417,10 @@ func (s *Switch) pickRead(c int64, op *Op) bool {
 		// Nothing buffered anywhere: no read wave can be initiated. (With
 		// cut-through under admissible load this is the common case — most
 		// cells depart via write-through and never touch the queues.)
+		s.noteRead(0, false)
 		return false
 	}
+	scanned := 0
 	if s.n <= 64 {
 		// Fail-fast: a prior full scan proved no occupied link frees up
 		// before readFloor, and nothing since has invalidated that bound
@@ -1411,6 +1428,7 @@ func (s *Switch) pickRead(c int64, op *Op) bool {
 		// failed scan has no side effects (readRR moves only on success),
 		// so skipping is bit-identical.
 		if s.readFloor > c {
+			s.noteRead(0, false)
 			return false
 		}
 		// Split the occupancy mask at the round-robin pointer: outputs
@@ -1424,6 +1442,7 @@ func (s *Switch) pickRead(c int64, op *Op) bool {
 		hi := s.occMask >> uint(s.readRR) << uint(s.readRR)
 		for m := hi; m != 0; m &= m - 1 {
 			o := bits.TrailingZeros64(m)
+			scanned++
 			if f := s.linkFree[o]; f > c {
 				if minLink != 0 && (minLink < 0 || f < minLink) {
 					minLink = f
@@ -1431,12 +1450,14 @@ func (s *Switch) pickRead(c int64, op *Op) bool {
 				continue
 			}
 			if s.tryRead(o, c, op) {
+				s.noteRead(scanned, true)
 				return true
 			}
 			minLink = 0
 		}
 		for m := s.occMask &^ hi; m != 0; m &= m - 1 {
 			o := bits.TrailingZeros64(m)
+			scanned++
 			if f := s.linkFree[o]; f > c {
 				if minLink != 0 && (minLink < 0 || f < minLink) {
 					minLink = f
@@ -1444,6 +1465,7 @@ func (s *Switch) pickRead(c int64, op *Op) bool {
 				continue
 			}
 			if s.tryRead(o, c, op) {
+				s.noteRead(scanned, true)
 				return true
 			}
 			minLink = 0
@@ -1451,16 +1473,20 @@ func (s *Switch) pickRead(c int64, op *Op) bool {
 		if minLink > 0 {
 			s.readFloor = minLink
 		}
+		s.noteRead(scanned, false)
 		return false
 	}
 	for j, o := 0, s.readRR; j < s.n; j, o = j+1, o+1 {
 		if o >= s.n {
 			o -= s.n
 		}
+		scanned++
 		if s.tryRead(o, c, op) {
+			s.noteRead(scanned, true)
 			return true
 		}
 	}
+	s.noteRead(scanned, false)
 	return false
 }
 
@@ -1556,8 +1582,10 @@ func (s *Switch) tryRead(o int, c int64, op *Op) bool {
 // remaining arrivals, since one of them may be admittable by push-out.
 func (s *Switch) pickWrite(c int64, op *Op) bool {
 	if s.pendingWrites == 0 {
+		s.noteWrite(0, false)
 		return false
 	}
+	scanned := 0
 retry:
 	best := -1
 	var bestHead int64
@@ -1570,6 +1598,7 @@ retry:
 		// distance tie-break, making the two scans pick identically.
 		for m := s.pendMask; m != 0; m &= m - 1 {
 			i := bits.TrailingZeros64(m)
+			scanned++
 			a := &s.inflight[i]
 			if c <= a.head || s.wrSkip[i] > c {
 				continue // head arrived only this cycle, or tried already
@@ -1585,8 +1614,12 @@ retry:
 				i -= s.n
 			}
 			a := &s.inflight[i]
-			if !a.active || a.written || c <= a.head || s.wrSkip[i] > c {
-				continue // no pending cell, or its head arrived only this cycle
+			if !a.active || a.written {
+				continue // no pending cell
+			}
+			scanned++
+			if c <= a.head || s.wrSkip[i] > c {
+				continue // head arrived only this cycle, or tried already
 			}
 			if best == -1 || a.head < bestHead {
 				best, bestHead = i, a.head
@@ -1594,6 +1627,7 @@ retry:
 		}
 	}
 	if best == -1 {
+		s.noteWrite(scanned, false)
 		return false
 	}
 	a := &s.inflight[best]
@@ -1617,6 +1651,7 @@ retry:
 			s.wrSkip[best] = c + 1
 			goto retry
 		}
+		s.noteWrite(scanned, false)
 		return false
 	}
 	a.written = true
@@ -1647,6 +1682,7 @@ retry:
 		s.startTransmit(dst, &d, c)
 		s.free.Put(addr)
 		op.Kind, op.In, op.Out, op.Addr = OpWriteThrough, best, dst, addr
+		s.noteWrite(scanned, true)
 		return true
 	}
 
@@ -1665,6 +1701,7 @@ retry:
 		s.queues.Push(s.qidx(dst, vc), node)
 		s.occInc(dst)
 		op.Kind, op.In, op.Addr = OpWrite, best, addr
+		s.noteWrite(scanned, true)
 		return true
 	}
 	d := desc{c: a.c, head: a.head, writeStart: c, vc: vc, addr: addr}
@@ -1686,6 +1723,7 @@ retry:
 		enqueue(o)
 	}
 	op.Kind, op.In, op.Addr = OpWrite, best, addr
+	s.noteWrite(scanned, true)
 	return true
 }
 

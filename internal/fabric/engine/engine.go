@@ -52,6 +52,7 @@ import (
 	"pipemem/internal/bufmgr"
 	"pipemem/internal/cell"
 	"pipemem/internal/core"
+	"pipemem/internal/obs"
 	"pipemem/internal/stats"
 )
 
@@ -174,6 +175,17 @@ type Engine struct {
 	pendErr                                error
 
 	met *metrics
+
+	// Flight tracing / telemetry / profiling — see trace.go. flightObs
+	// gates the per-arrival flight-record updates (hopStart, depth) that
+	// both span tracing and the hop-latency histograms consume.
+	trace      *obs.Tracer
+	traceEvery uint64
+	flightObs  bool
+	hopHists   []*obs.Histogram
+	ts         *obs.TimeSeries
+	tsEvery    int64
+	prof       *StepProf
 }
 
 // New builds the engine (and starts its worker pool when Workers > 1).
@@ -389,6 +401,18 @@ func (e *Engine) installHook(sw *core.Switch, st, g int, sh *shard) {
 			// determinism argument.
 			sh.rel = append(sh.rel, fl.inbound)
 		}
+		if e.flightObs {
+			// Head on the wire at start+1; fl.hopStart was stamped when
+			// the head arrived here. Staged, not emitted: see trace.go.
+			lat := start + 1 - fl.hopStart
+			if sh.hop != nil {
+				sh.hop[st].Observe(lat)
+			}
+			if fl.traced {
+				sh.spans = append(sh.spans, spanRec{seq: c.Seq, lat: lat,
+					node: int32(g), stage: int32(st), depth: fl.depth})
+			}
+		}
 		d := e.down[base+int32(out)]
 		if d < 0 {
 			panic(fmt.Sprintf("engine: transmit on unroutable output %d of node %d", out, g))
@@ -454,6 +478,10 @@ func (e *Engine) installDropHook(sw *core.Switch, g int, sh *shard) {
 // unique among in-flight cells. The caller must respect the word-serial
 // spacing (one head per 2·radix cycles per terminal).
 func (e *Engine) Inject(term, dst int, seq uint64, firstHop int) {
+	var t0 int64
+	if e.prof != nil {
+		t0 = nowNS()
+	}
 	fl, err := e.flights.insert(seq)
 	if err != nil {
 		e.fail(fmt.Errorf("engine: inject at terminal %d: %w", term, err))
@@ -461,6 +489,11 @@ func (e *Engine) Inject(term, dst int, seq uint64, firstHop int) {
 	}
 	idx := e.injIdx[term]
 	fl.src, fl.dst, fl.inject, fl.inbound = int32(term), int32(dst), e.cycle, idx
+	if e.trace != nil && seq%e.traceEvery == 0 {
+		fl.traced = true
+		e.trace.Emit(obs.Event{Kind: obs.EvInject, Cycle: e.cycle,
+			In: int32(term), Out: int32(dst), Addr: idx / int32(e.k), Seq: seq})
+	}
 	c := e.injPool.Get()
 	cell.Fill(c, seq, term, dst, e.cellK, e.wordBits)
 	c.Dst = firstHop
@@ -474,6 +507,10 @@ func (e *Engine) Inject(term, dst int, seq uint64, firstHop int) {
 	g := uint32(idx) / uint32(e.k)
 	e.mask[slot][g>>6] |= 1 << (g & 63)
 	e.injected++
+	if e.prof != nil {
+		e.prof.InjectNS += nowNS() - t0
+		e.prof.Injects++
+	}
 }
 
 func (e *Engine) fail(err error) {
@@ -484,14 +521,29 @@ func (e *Engine) fail(err error) {
 
 // Step advances the whole fabric one clock cycle: one parallel region
 // over all active nodes of all stages, then the deterministic barrier
-// merge (credit releases, staged arrival masks, ejection verification in
-// ascending node order).
+// merge. The merge runs in three passes, each covering the shards in
+// ascending order — staged hop spans, then credit releases / arrival
+// masks / ejection verification, then drop retirement — so every
+// externally visible sequence (trace bytes, histogram adds) is the
+// sequential engine's ascending-node order at any worker count.
 func (e *Engine) Step() error {
+	var t0 int64
+	if e.prof != nil {
+		t0 = nowNS()
+	}
 	slot := e.cycle & 3
 	e.parallelCycle()
+	if e.prof != nil {
+		t1 := nowNS()
+		e.prof.NodeStepNS += t1 - t0
+		t0 = t1
+	}
 
 	firstErr := e.pendErr
 	e.pendErr = nil
+	if e.trace != nil {
+		e.flushSpans()
+	}
 	nslot := (e.cycle + 2) & 3
 	nm := e.mask[nslot]
 	for w := 0; w < e.nw; w++ {
@@ -522,6 +574,9 @@ func (e *Engine) Step() error {
 			sh.ejects[bi] = ejectBatch{}
 		}
 		sh.ejects = sh.ejects[:0]
+	}
+	for w := 0; w < e.nw; w++ {
+		sh := &e.shards[w]
 		for di := range sh.drops {
 			if err := e.retireDrop(&sh.drops[di]); err != nil && firstErr == nil {
 				firstErr = err
@@ -530,9 +585,16 @@ func (e *Engine) Step() error {
 		}
 		sh.drops = sh.drops[:0]
 	}
+	if e.ts != nil && e.cycle%e.tsEvery == 0 {
+		e.sampleTelemetry()
+	}
 	// The consumed slot's mask was cleared word-by-word inside the
 	// shards; its ring entries were nilled right after each Tick.
 	_ = slot
+	if e.prof != nil {
+		e.prof.MergeNS += nowNS() - t0
+		e.prof.Cycles++
+	}
 	if firstErr != nil {
 		return firstErr
 	}
@@ -573,9 +635,25 @@ func (e *Engine) runShard(w int) {
 			if arrived&bit != 0 {
 				heads = ring[g*k : g*k+k : g*k+k]
 				cnt := 0
-				for _, h := range heads {
-					if h != nil {
-						cnt++
+				if e.flightObs {
+					// Stamp each arriving flight with its hop start and the
+					// occupancy it found — read back by this node's transmit
+					// hook (same shard), so the writes stay shard-local.
+					buffered := int32(nd.Buffered())
+					for _, h := range heads {
+						if h != nil {
+							cnt++
+							if fl := e.flights.get(h.Seq); fl != nil {
+								fl.hopStart = cyc
+								fl.depth = buffered
+							}
+						}
+					}
+				} else {
+					for _, h := range heads {
+						if h != nil {
+							cnt++
+						}
 					}
 				}
 				e.arrivals[g] += int64(cnt)
@@ -619,6 +697,10 @@ func (e *Engine) retireDrop(dr *dropRec) error {
 		e.credits[fl.inbound]++
 	}
 	e.dropped++
+	if fl.traced {
+		e.trace.Emit(obs.Event{Kind: obs.EvDrop, Cycle: e.cycle,
+			In: -1, Out: fl.dst, Addr: dr.node, V: e.cycle - fl.inject, Seq: dr.seq})
+	}
 	e.flights.remove(dr.seq)
 	if dr.reusable {
 		e.injPool.Put(dr.c)
@@ -652,6 +734,20 @@ func (e *Engine) eject(g int, d *core.Departure) error {
 	}
 	e.delivered++
 	e.latency.Add(d.HeadOut - fl.inject)
+	if e.flightObs {
+		// The last stage has no interior transmit hook; close out its hop
+		// and the whole flight here (coordinator side, node order).
+		if e.hopHists != nil {
+			e.hopHists[e.stages-1].Observe(d.HeadOut - fl.hopStart)
+		}
+		if fl.traced {
+			e.trace.Emit(obs.Event{Kind: obs.EvHop, Cycle: e.cycle,
+				In: int32(e.stages - 1), Out: fl.depth, Addr: int32(g),
+				V: d.HeadOut - fl.hopStart, Seq: seq})
+			e.trace.Emit(obs.Event{Kind: obs.EvEject, Cycle: e.cycle,
+				In: term, Out: -1, Addr: int32(g), V: d.HeadOut - fl.inject, Seq: seq})
+		}
+	}
 	e.injPool.Put(d.Expected)
 	e.flights.remove(seq)
 	return nil

@@ -13,6 +13,13 @@ type flight struct {
 	dst     int32
 	inbound int32 // packed (node, port) credit slot of the inbound link
 	inject  int64
+	// Flight-observation fields, maintained only when the engine's
+	// flightObs gate is on: the cycle the head arrived at its current
+	// node, the occupancy it found there, and whether this flight was
+	// sampled into the span trace.
+	hopStart int64
+	depth    int32
+	traced   bool
 }
 
 // flightTable maps in-flight sequence numbers to pooled *flight records

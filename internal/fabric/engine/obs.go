@@ -43,8 +43,12 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry, prefix string) {
 // SyncMetrics publishes the current engine state into the registered
 // metrics. Safe to call at any cadence (it reads counters the engine
 // already maintains — no extra hot-loop work); a no-op when
-// RegisterMetrics was never called.
+// RegisterMetrics was never called. Must run between Steps (it flushes
+// the shard-local hop-latency shadows).
 func (e *Engine) SyncMetrics() {
+	if e.hopHists != nil {
+		e.flushHopHists()
+	}
 	m := e.met
 	if m == nil {
 		return

@@ -6,6 +6,7 @@ import (
 
 	"pipemem/internal/cell"
 	"pipemem/internal/core"
+	"pipemem/internal/obs"
 )
 
 // shard is one worker's slice of the fabric plus its staging queues. A
@@ -39,6 +40,14 @@ type shard struct {
 	// cell's inbound credit, and recycles the victim when the switch
 	// holds no remaining reference.
 	drops []dropRec
+
+	// spans stages hop records of traced flights (appended in the shard's
+	// tick order = ascending node order) for the barrier's trace flush.
+	spans []spanRec
+
+	// hop is the shard's per-stage hop-latency shadow (nil unless
+	// RegisterHopHists armed it); flushed by the coordinator.
+	hop []*obs.HistShadow
 
 	// err is the shard's first staged error (duplicate heads, transmits
 	// on unroutable outputs); the coordinator surfaces it from Step.

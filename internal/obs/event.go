@@ -47,6 +47,20 @@ const (
 	// EvCheckpoint: a checkpoint of the full simulation state was written.
 	// V = 1 for a periodic auto-checkpoint, 2 for a watchdog diagnostic.
 	EvCheckpoint
+	// EvInject: a traced cell entered a fabric at a terminal — the opening
+	// span of a flight trace. Seq = flight sequence number, In = source
+	// terminal, Out = destination terminal, Addr = stage-0 node.
+	EvInject
+	// EvHop: a traced cell's head left one fabric node — one span of a
+	// flight trace. Seq = flight, In = stage, Addr = global node index,
+	// Out = the node's buffered-cell count when the head was admitted
+	// (queue depth at admission), V = hop latency in cycles (head arrival
+	// at the node → head on the outgoing link).
+	EvHop
+	// EvEject: a traced cell left the fabric — the closing span. Seq =
+	// flight, In = destination terminal, Addr = last-stage node, V =
+	// end-to-end latency in cycles (inject → head ejection).
+	EvEject
 )
 
 // String returns the kind's stable wire name (used by the JSONL sink).
@@ -72,6 +86,12 @@ func (k EventKind) String() string {
 		return "watchdog"
 	case EvCheckpoint:
 		return "checkpoint"
+	case EvInject:
+		return "inject"
+	case EvHop:
+		return "hop"
+	case EvEject:
+		return "eject"
 	default:
 		return "unknown"
 	}
@@ -89,6 +109,9 @@ type Event struct {
 	In, Out, Addr int32
 	// V is the kind-specific magnitude (latency, pending count, attempt).
 	V int64
+	// Seq is the flight sequence number for the span kinds
+	// (EvInject/EvHop/EvEject and flight-level EvDrop); 0 elsewhere.
+	Seq uint64
 }
 
 // Sink consumes sampled trace events. Sinks are driven by the simulator's

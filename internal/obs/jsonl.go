@@ -51,7 +51,16 @@ type JSONAppender interface {
 	AppendJSON(buf []byte) []byte
 }
 
-// Event writes one typed event line.
+// Event writes one typed event line. The flight-span kinds
+// (EvInject/EvHop/EvEject) carry their own key vocabulary — the span
+// JSONL schema the pmtrace analyzer consumes:
+//
+//	{"ev":"inject","cycle":C,"seq":S,"term":T,"dst":D,"node":G}
+//	{"ev":"hop","cycle":C,"seq":S,"stage":T,"node":G,"depth":Q,"latency":L}
+//	{"ev":"eject","cycle":C,"seq":S,"term":T,"node":G,"latency":E}
+//
+// while every other kind keeps the generic in/out/addr keys (plus "seq"
+// when a flight is attached, e.g. a fabric-level drop).
 func (s *JSONLSink) Event(e Event) {
 	if s.err != nil {
 		s.dropped++
@@ -62,6 +71,36 @@ func (s *JSONLSink) Event(e Event) {
 	b = append(b, e.Kind.String()...)
 	b = append(b, `","cycle":`...)
 	b = strconv.AppendInt(b, e.Cycle, 10)
+	switch e.Kind {
+	case EvInject, EvHop, EvEject:
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
+		if e.Kind == EvHop {
+			b = append(b, `,"stage":`...)
+			b = strconv.AppendInt(b, int64(e.In), 10)
+		} else {
+			b = append(b, `,"term":`...)
+			b = strconv.AppendInt(b, int64(e.In), 10)
+		}
+		if e.Kind == EvInject {
+			b = append(b, `,"dst":`...)
+			b = strconv.AppendInt(b, int64(e.Out), 10)
+		}
+		b = append(b, `,"node":`...)
+		b = strconv.AppendInt(b, int64(e.Addr), 10)
+		if e.Kind == EvHop {
+			b = append(b, `,"depth":`...)
+			b = strconv.AppendInt(b, int64(e.Out), 10)
+		}
+		if e.Kind != EvInject {
+			b = append(b, `,"latency":`...)
+			b = strconv.AppendInt(b, e.V, 10)
+		}
+		b = append(b, '}', '\n')
+		s.buf = b
+		s.write(b)
+		return
+	}
 	if e.In >= 0 {
 		b = append(b, `,"in":`...)
 		b = strconv.AppendInt(b, int64(e.In), 10)
@@ -89,6 +128,10 @@ func (s *JSONLSink) Event(e Event) {
 			b = append(b, `,"v":`...)
 			b = strconv.AppendInt(b, e.V, 10)
 		}
+	}
+	if e.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
 	}
 	b = append(b, '}', '\n')
 	s.buf = b

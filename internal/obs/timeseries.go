@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// TimeSeries is a bounded ring of fixed-cadence telemetry samples: a
+// frozen set of named int64 series, one row per sample cycle. The row
+// layout and capacity are fixed at construction, so sampling is
+// allocation-free — Sample hands the caller a zeroed row to fill in
+// place, and once the ring wraps the oldest rows are overwritten. One
+// writer (the simulation thread) drives Sample; readers consume a
+// finished ring via Rows/WriteJSONL.
+type TimeSeries struct {
+	names  []string
+	cycles []int64
+	vals   []int64 // ringCap rows × len(names) columns, row-major
+	pos    int
+	filled bool
+}
+
+// NewTimeSeries builds a ring of ringCap samples (≤ 0 means 4096) over
+// the given series names.
+func NewTimeSeries(ringCap int, names ...string) *TimeSeries {
+	if ringCap <= 0 {
+		ringCap = 4096
+	}
+	if len(names) == 0 {
+		panic("obs: time series needs at least one named series")
+	}
+	return &TimeSeries{
+		names:  append([]string(nil), names...),
+		cycles: make([]int64, ringCap),
+		vals:   make([]int64, ringCap*len(names)),
+	}
+}
+
+// Names returns the series names, in row order.
+func (ts *TimeSeries) Names() []string { return ts.names }
+
+// Cap returns the ring capacity in samples.
+func (ts *TimeSeries) Cap() int { return len(ts.cycles) }
+
+// Len returns the number of retained samples (≤ Cap).
+func (ts *TimeSeries) Len() int {
+	if ts == nil {
+		return 0
+	}
+	if ts.filled {
+		return len(ts.cycles)
+	}
+	return ts.pos
+}
+
+// Sample claims the next row for the given cycle and returns it zeroed,
+// one slot per series name in Names order, for the caller to fill in
+// place. The oldest sample is overwritten once the ring is full. Safe on
+// a nil receiver (returns nil, which the caller's writes then no-op
+// through a length check).
+func (ts *TimeSeries) Sample(cycle int64) []int64 {
+	if ts == nil {
+		return nil
+	}
+	n := len(ts.names)
+	row := ts.vals[ts.pos*n : ts.pos*n+n]
+	for i := range row {
+		row[i] = 0
+	}
+	ts.cycles[ts.pos] = cycle
+	ts.pos++
+	if ts.pos == len(ts.cycles) {
+		ts.pos = 0
+		ts.filled = true
+	}
+	return row
+}
+
+// Row returns the i-th retained sample, oldest first: its cycle stamp and
+// a live view of its values (do not hold across further Sample calls).
+func (ts *TimeSeries) Row(i int) (cycle int64, vals []int64) {
+	if i < 0 || i >= ts.Len() {
+		panic(fmt.Sprintf("obs: time-series row %d of %d", i, ts.Len()))
+	}
+	idx := i
+	if ts.filled {
+		idx = (ts.pos + i) % len(ts.cycles)
+	}
+	n := len(ts.names)
+	return ts.cycles[idx], ts.vals[idx*n : idx*n+n]
+}
+
+// WriteJSONL writes the retained samples oldest-first as one JSON object
+// per line: {"cycle":C,"<name>":v,...}. The key order is the Names order,
+// so output is byte-stable for identical rings.
+func (ts *TimeSeries) WriteJSONL(w io.Writer) error {
+	if ts == nil {
+		return nil
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf []byte
+	for i, n := 0, ts.Len(); i < n; i++ {
+		cycle, vals := ts.Row(i)
+		buf = buf[:0]
+		buf = append(buf, `{"cycle":`...)
+		buf = strconv.AppendInt(buf, cycle, 10)
+		for j, name := range ts.names {
+			buf = append(buf, ',', '"')
+			buf = append(buf, name...)
+			buf = append(buf, '"', ':')
+			buf = strconv.AppendInt(buf, vals[j], 10)
+		}
+		buf = append(buf, '}', '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeSeriesFillAndWrap(t *testing.T) {
+	ts := NewTimeSeries(4, "depth", "occ")
+	if got := ts.Len(); got != 0 {
+		t.Fatalf("empty Len = %d, want 0", got)
+	}
+	for c := int64(0); c < 6; c++ {
+		row := ts.Sample(c * 10)
+		row[0] = c
+		row[1] = c * 100
+	}
+	if got := ts.Len(); got != 4 {
+		t.Fatalf("Len after wrap = %d, want 4", got)
+	}
+	// Oldest retained sample is cycle 20 (samples 0 and 1 were evicted).
+	for i := 0; i < ts.Len(); i++ {
+		cyc, vals := ts.Row(i)
+		want := int64(i + 2)
+		if cyc != want*10 || vals[0] != want || vals[1] != want*100 {
+			t.Fatalf("row %d = (%d, %v), want (%d, [%d %d])", i, cyc, vals, want*10, want, want*100)
+		}
+	}
+}
+
+func TestTimeSeriesSampleRowIsZeroed(t *testing.T) {
+	ts := NewTimeSeries(2, "a")
+	ts.Sample(1)[0] = 7
+	ts.Sample(2)[0] = 8
+	row := ts.Sample(3) // overwrites the cycle-1 slot
+	if row[0] != 0 {
+		t.Fatalf("reused row not zeroed: %d", row[0])
+	}
+}
+
+func TestTimeSeriesWriteJSONL(t *testing.T) {
+	ts := NewTimeSeries(8, "depth", "credits")
+	r := ts.Sample(100)
+	r[0], r[1] = 3, 12
+	r = ts.Sample(200)
+	r[0], r[1] = 5, 9
+	var sb strings.Builder
+	if err := ts.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"cycle":100,"depth":3,"credits":12}
+{"cycle":200,"depth":5,"credits":9}
+`
+	if sb.String() != want {
+		t.Fatalf("JSONL mismatch:\ngot:  %q\nwant: %q", sb.String(), want)
+	}
+}
+
+func TestTimeSeriesNilSafe(t *testing.T) {
+	var ts *TimeSeries
+	if row := ts.Sample(5); row != nil {
+		t.Fatalf("nil Sample returned %v", row)
+	}
+	if ts.Len() != 0 {
+		t.Fatal("nil Len != 0")
+	}
+	if err := ts.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeriesSampleNoAlloc(t *testing.T) {
+	ts := NewTimeSeries(16, "a", "b", "c")
+	allocs := testing.AllocsPerRun(1000, func() {
+		row := ts.Sample(1)
+		row[0]++
+	})
+	if allocs != 0 {
+		t.Fatalf("Sample allocates %.1f per call, want 0", allocs)
+	}
+}

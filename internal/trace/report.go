@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// LatStats summarizes a latency population.
+type LatStats struct {
+	Count int64
+	Mean  float64
+	P50   int64
+	P99   int64
+	Max   int64
+}
+
+func statsOf(v []int64) LatStats {
+	if len(v) == 0 {
+		return LatStats{}
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	var sum int64
+	for _, x := range v {
+		sum += x
+	}
+	q := func(p float64) int64 {
+		i := int(p * float64(len(v)-1))
+		return v[i]
+	}
+	return LatStats{
+		Count: int64(len(v)),
+		Mean:  float64(sum) / float64(len(v)),
+		P50:   q(0.50),
+		P99:   q(0.99),
+		Max:   v[len(v)-1],
+	}
+}
+
+// Mismatch is one flight whose hop latencies do not reconcile with its
+// end-to-end latency.
+type Mismatch struct {
+	Seq    uint64
+	HopSum int64 // Σ hops + (stages−1)
+	E2E    int64 // the eject record's latency
+}
+
+// Report is the reduced view of a span trace.
+type Report struct {
+	Flights    int // traced injects
+	Ejected    int
+	Dropped    int
+	InFlight   int // neither ejected nor dropped (run ended mid-path)
+	Incomplete int // ejected but missing hop records (truncated stream)
+	Stages     int
+
+	E2E        LatStats   // over completed flights
+	StageStats []LatStats // hop latency per stage
+	DepthMean  []float64  // mean queue depth at admission per stage
+
+	// Mismatches lists flights violating e2e = Σhops + (stages−1); a
+	// healthy trace has none.
+	Mismatches []Mismatch
+
+	// Worst holds the top-K completed flights by end-to-end latency,
+	// slowest first.
+	Worst []*Flight
+}
+
+// Analyze reduces a parsed set. topK bounds the worst-path report.
+func Analyze(s *Set, topK int) *Report {
+	r := &Report{Stages: s.Stages}
+	r.StageStats = make([]LatStats, s.Stages)
+	r.DepthMean = make([]float64, s.Stages)
+	stageLat := make([][]int64, s.Stages)
+	depthSum := make([]int64, s.Stages)
+	depthN := make([]int64, s.Stages)
+	var e2e []int64
+	var complete []*Flight
+	for _, f := range s.Flights {
+		r.Flights++
+		switch {
+		case f.Dropped:
+			r.Dropped++
+		case !f.Ejected:
+			r.InFlight++
+		case !f.Complete(s.Stages):
+			r.Incomplete++
+		default:
+			r.Ejected++
+			e2e = append(e2e, f.EjectLatency)
+			complete = append(complete, f)
+			for _, h := range f.Hops {
+				stageLat[h.Stage] = append(stageLat[h.Stage], h.Latency)
+				depthSum[h.Stage] += int64(h.Depth)
+				depthN[h.Stage]++
+			}
+			if want := f.HopSum() + int64(s.Stages-1); want != f.EjectLatency {
+				r.Mismatches = append(r.Mismatches, Mismatch{
+					Seq: f.Seq, HopSum: want, E2E: f.EjectLatency,
+				})
+			}
+		}
+	}
+	// Ejected-but-incomplete flights still ejected; count them as such
+	// for the top-line tally while keeping the reconciliation population
+	// clean.
+	r.Ejected += r.Incomplete
+	r.E2E = statsOf(e2e)
+	for st := 0; st < s.Stages; st++ {
+		r.StageStats[st] = statsOf(stageLat[st])
+		if depthN[st] > 0 {
+			r.DepthMean[st] = float64(depthSum[st]) / float64(depthN[st])
+		}
+	}
+	sort.SliceStable(complete, func(i, j int) bool {
+		return complete[i].EjectLatency > complete[j].EjectLatency
+	})
+	if topK > len(complete) {
+		topK = len(complete)
+	}
+	if topK > 0 {
+		r.Worst = complete[:topK]
+	}
+	return r
+}
+
+// WriteText renders the report for terminals.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "flights=%d ejected=%d dropped=%d in-flight=%d incomplete=%d stages=%d\n",
+		r.Flights, r.Ejected, r.Dropped, r.InFlight, r.Incomplete, r.Stages); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "e2e   n=%-7d mean=%-8.2f p50=%-6d p99=%-6d max=%d\n",
+		r.E2E.Count, r.E2E.Mean, r.E2E.P50, r.E2E.P99, r.E2E.Max)
+	for st, ss := range r.StageStats {
+		fmt.Fprintf(w, "hop%d  n=%-7d mean=%-8.2f p50=%-6d p99=%-6d max=%-6d depth=%.2f\n",
+			st, ss.Count, ss.Mean, ss.P50, ss.P99, ss.Max, r.DepthMean[st])
+	}
+	if len(r.Worst) > 0 {
+		fmt.Fprintf(w, "worst paths:\n")
+		for _, f := range r.Worst {
+			fmt.Fprintf(w, "  seq=%d term=%d->%d e2e=%d path:", f.Seq, f.Term, f.Dst, f.EjectLatency)
+			for _, h := range f.Hops {
+				fmt.Fprintf(w, " s%d@n%d lat=%d depth=%d", h.Stage, h.Node, h.Latency, h.Depth)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(r.Mismatches) > 0 {
+		fmt.Fprintf(w, "RECONCILIATION FAILED: %d flights where Σhops+(stages-1) != e2e\n", len(r.Mismatches))
+		max := len(r.Mismatches)
+		if max > 10 {
+			max = 10
+		}
+		for _, m := range r.Mismatches[:max] {
+			fmt.Fprintf(w, "  seq=%d hopsum=%d e2e=%d\n", m.Seq, m.HopSum, m.E2E)
+		}
+	} else if r.E2E.Count > 0 {
+		fmt.Fprintf(w, "reconciliation: all %d completed flights satisfy e2e = Σhops + %d\n",
+			r.E2E.Count, r.Stages-1)
+	}
+	return nil
+}
