@@ -10,7 +10,7 @@ ifneq ($(AMD64LEVEL),)
 BENCH_ENV := GOAMD64=$(AMD64LEVEL)
 endif
 
-.PHONY: build vet staticcheck test race fuzz check vulncheck bench bench-check profile obs-overhead audit-overhead trace-overhead fabric-perf ckpt-soak
+.PHONY: build vet staticcheck test race fuzz check vulncheck bench bench-check profile obs-overhead audit-overhead trace-overhead fabric-perf ckpt-soak serve-smoke
 
 build:
 	$(GO) build ./...
@@ -103,6 +103,17 @@ fabric-perf:
 ckpt-soak:
 	PIPEMEM_CKPT_SOAK=1 $(GO) test -race ./internal/cmdtest -run TestCheckpointKillRestoreSoak -v -timeout 20m
 	$(GO) test ./internal/ckpt -run FuzzCheckpointCycle -fuzz FuzzCheckpointCycle -fuzztime 30s
+
+# Session-server smoke: exec the real pmserve binary (built with -race),
+# drive a session over HTTP (create, step, free-run, pause), SIGTERM the
+# server so the drain writes its checkpoint, restart, restore, and require
+# the finished RunResult to match an uninterrupted served run byte for
+# byte. Also re-runs the in-process determinism and race coverage for the
+# serving layer.
+serve-smoke:
+	PIPEMEM_SERVE_SMOKE=1 $(GO) test -race ./internal/cmdtest -run TestServeSmoke -v -timeout 10m
+	$(GO) test -race ./internal/srv ./internal/obs -timeout 10m
+	PIPEMEM_SERVE_LOAD=1 $(BENCH_ENV) $(GO) test ./internal/bench -run TestServeLoadBudget -v
 
 # Benchmark-regression gate: re-measure the standard pmbench points and
 # compare against the committed BENCH_1.json — allocations are gated

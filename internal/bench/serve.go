@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pipemem/internal/ckpt"
+	"pipemem/internal/core"
+	"pipemem/internal/obs"
+)
+
+// MeasureServed drives a Point through the serving path — a ckpt.Session
+// advanced in StepN batches with an observer, telemetry sampling on a
+// fixed cadence, and a checkpoint written in-memory every ckptEvery
+// batches — and reports the sustained rate. This is the X8 sustained-load
+// harness: the same simulation the session server runs per session, so
+// its cells/sec against the raw Tick rate (Measure) is the serving
+// overhead. batch is the per-hold advance (the server's FreeRunBatch);
+// tsEvery the telemetry cadence; ckptEvery ≤ 0 disables checkpointing.
+//
+// Unlike Measure it drives the run from cycle zero including the warmup
+// inside the session (a session cannot be warmed up outside its own
+// clock), so rates include cold-start ramp; use the same cycles when
+// comparing runs. It is not part of the default regression point list —
+// wall-clock rates through the full session stack are noisier than the
+// steady-state Tick gate tolerates.
+func MeasureServed(p Point, batch, tsEvery, ckptEvery int64) (Record, error) {
+	if p.Dual || p.Batched {
+		return Record{}, fmt.Errorf("%s: served measurement drives the pipelined session path", p.Label)
+	}
+	if batch <= 0 {
+		batch = 8192
+	}
+	if tsEvery <= 0 {
+		tsEvery = 256
+	}
+	reg := obs.NewRegistry()
+	spec := ckpt.Spec{Switch: p.Config, Traffic: p.Traffic, Cycles: p.Cycles, Policy: p.Policy}
+	sim, err := ckpt.New(spec, ckpt.Options{Observer: core.NewObserver(reg, p.Config.Ports)})
+	if err != nil {
+		return Record{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	ts := obs.NewTimeSeries(4096, "buffered", "resident")
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var cycles, batches int64
+	for {
+		// Mirror the server's stepLocked: chunk each batch on the telemetry
+		// cadence grid and sample the ring at each grid point.
+		var adv int64
+		var done bool
+		for adv < batch {
+			chunk := tsEvery - sim.Switch().Cycle()%tsEvery
+			if chunk > batch-adv {
+				chunk = batch - adv
+			}
+			var a int64
+			a, done, err = sim.StepN(chunk)
+			adv += a
+			if a > 0 && sim.Switch().Cycle()%tsEvery == 0 {
+				row := ts.Sample(sim.Switch().Cycle())
+				if len(row) == 2 {
+					row[0] = int64(sim.Switch().Buffered())
+					row[1] = int64(sim.Switch().Resident())
+				}
+			}
+			if done || err != nil {
+				break
+			}
+		}
+		cycles += adv
+		batches++
+		if err != nil {
+			return Record{}, fmt.Errorf("%s: %w", p.Label, err)
+		}
+		if ckptEvery > 0 && batches%ckptEvery == 0 && !done {
+			if _, cerr := sim.Checkpoint(); cerr != nil {
+				return Record{}, fmt.Errorf("%s: checkpoint: %w", p.Label, cerr)
+			}
+		}
+		if done {
+			break
+		}
+	}
+	res, err := sim.Finish()
+	if err != nil {
+		return Record{}, fmt.Errorf("%s: %w", p.Label, err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	cy := float64(cycles)
+	return Record{
+		Name:          p.Label,
+		CellsPerSec:   float64(res.Delivered) / elapsed.Seconds(),
+		NsPerCycle:    float64(elapsed.Nanoseconds()) / cy,
+		AllocsPerTick: float64(m1.Mallocs-m0.Mallocs) / cy,
+		BytesPerTick:  float64(m1.TotalAlloc-m0.TotalAlloc) / cy,
+		Cycles:        cycles,
+		Delivered:     res.Delivered,
+		Utilization:   res.Utilization,
+	}, nil
+}

@@ -201,6 +201,58 @@ func (s *Session) install() {
 // Switch exposes the switch under simulation (tests and tooling).
 func (s *Session) Switch() *core.Switch { return s.sw }
 
+// Spec returns the spec the session runs (a restored session reports the
+// spec rebuilt from its checkpoint). The session server uses it to fork
+// what-if copies and to report session configuration.
+func (s *Session) Spec() Spec { return s.spec }
+
+// Done reports whether the run has completed (driven window plus drain).
+func (s *Session) Done() bool { return s.runner.Done() }
+
+// StepN advances the run by up to n cycles through Step — so the audit,
+// watchdog and auto-checkpoint cadences all apply — stopping early when
+// the run completes or aborts. It returns the number of cycles actually
+// advanced and whether the run is over (completed or aborted); after
+// done with a nil error, Finish returns the outcome. This is the serving
+// layer's batch-advance primitive: a session stepped in any mix of batch
+// sizes is bit-identical to the same spec run in one piece.
+func (s *Session) StepN(n int64) (advanced int64, done bool, err error) {
+	for advanced < n {
+		ok, err := s.Step()
+		if err != nil {
+			return advanced, true, err
+		}
+		if !ok {
+			return advanced, true, nil
+		}
+		advanced++
+	}
+	return advanced, s.runner.Done(), nil
+}
+
+// Finish completes the run (driving any remaining cycles) and returns the
+// final RunResult with the usual conservation and integrity checks. Call
+// it once, after StepN reports done or instead of further stepping.
+func (s *Session) Finish() (core.RunResult, error) { return s.runner.Result() }
+
+// Partial returns the tallies accumulated so far without completing the
+// run — the live readout surface for a session still in flight, and the
+// degraded result after an abort.
+func (s *Session) Partial() core.RunResult { return s.runner.Partial() }
+
+// ExtendSchedule streams externally injected cells into a Trace-traffic
+// session: each row is one appended cell time (row[i] the destination
+// arriving at input i, or traffic.NoArrival). The spec's schedule is kept
+// in sync so a checkpoint taken after an extension restores the extended
+// stream bit for bit. Non-trace sessions refuse.
+func (s *Session) ExtendSchedule(rows [][]int) error {
+	if err := s.cs.Extend(rows); err != nil {
+		return err
+	}
+	s.spec.Traffic.Schedule = s.cs.Schedule()
+	return nil
+}
+
 // Runner exposes the step-wise run driver.
 func (s *Session) Runner() *core.Runner { return s.runner }
 

@@ -1,24 +1,30 @@
-// Package cmdtest exercises the six command-line tools as real
+// Package cmdtest exercises the seven command-line tools as real
 // subprocesses: every malformed -faultplan/-bufpolicy/flag combination
 // must exit non-zero with a one-line actionable message on stderr, and the
 // checkpoint surface must round-trip bit-identically through the actual
-// binaries.
+// binaries — including the pmserve session daemon, whose drain/restore
+// cycle is covered by the opt-in TestServeSmoke.
 package cmdtest
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
 
 var binDir string
 
-// TestMain builds the six tools once into a temp dir; every test then
+// TestMain builds the seven tools once into a temp dir; every test then
 // execs the real binaries.
 func TestMain(m *testing.M) {
 	if _, err := exec.LookPath("go"); err != nil {
@@ -31,10 +37,10 @@ func TestMain(m *testing.M) {
 		os.Exit(1)
 	}
 	binDir = dir
-	// The kill/restore soak wants the tools themselves race-instrumented,
-	// not just the test harness.
+	// The kill/restore soak and the serve smoke want the tools themselves
+	// race-instrumented, not just the test harness.
 	buildArgs := []string{"build", "-o", dir}
-	if os.Getenv("PIPEMEM_CKPT_SOAK") == "1" {
+	if os.Getenv("PIPEMEM_CKPT_SOAK") == "1" || os.Getenv("PIPEMEM_SERVE_SMOKE") == "1" {
 		buildArgs = append(buildArgs, "-race")
 	}
 	build := exec.Command("go", append(buildArgs, "./cmd/...")...)
@@ -144,6 +150,12 @@ func TestBadConfigExitsNonZero(t *testing.T) {
 
 		// pmarea: nonsensical geometry.
 		{"pmarea/nonpositive-n", "pmarea", "", []string{"-n", "0"}, "positive"},
+
+		// pmserve: flag validation must fail fast, before binding a port.
+		{"pmserve/bad-listen", "pmserve", "", []string{"-listen", "bad::addr::x"}, "listen"},
+		{"pmserve/nonpositive-max-sessions", "pmserve", "", []string{"-max-sessions", "0"}, "positive"},
+		{"pmserve/nonpositive-step-max", "pmserve", "", []string{"-step-max", "-5"}, "positive"},
+		{"pmserve/nonpositive-telemetry", "pmserve", "", []string{"-telemetry-cap", "0"}, "positive"},
 	}
 
 	for _, c := range cases {
@@ -232,6 +244,148 @@ func TestPmsimWatchdogQuiet(t *testing.T) {
 // It runs real multi-second simulations, so it is opt-in via
 // PIPEMEM_CKPT_SOAK=1 (make ckpt-soak, which also builds the tools with
 // -race).
+// startServe launches the real pmserve binary on an ephemeral port with
+// the given checkpoint dir, scrapes the base URL from its listening line,
+// and returns the command, the URL, and a wait-for-stderr-tail function
+// (call it only after cmd.Wait has returned).
+func startServe(t *testing.T, ckptDir string) (*exec.Cmd, string, func() string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "pmserve"),
+		"-listen", "127.0.0.1:0", "-ckpt-dir", ckptDir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "pmserve: listening on "); ok {
+			base = rest
+			break
+		}
+	}
+	if base == "" {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		t.Fatal("pmserve never printed its listening line")
+	}
+	var tail bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sc.Scan() {
+			tail.WriteString(sc.Text() + "\n")
+		}
+	}()
+	return cmd, base, func() string { <-done; return tail.String() }
+}
+
+// api issues one request against a running pmserve and returns the body,
+// failing unless the status code matches.
+func api(t *testing.T, method, url, body string, want int) []byte {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != want {
+		t.Fatalf("%s %s: status %d, want %d\nbody: %s", method, url, resp.StatusCode, want, raw)
+	}
+	return raw
+}
+
+// finalResult decodes GET /sessions/{id}/result and asserts the run is
+// finished, returning the raw RunResult JSON for byte comparison.
+func finalResult(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var res struct {
+		State   string          `json:"state"`
+		Partial bool            `json:"partial"`
+		Result  json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("result body: %v\n%s", err, raw)
+	}
+	if res.State != "done" || res.Partial {
+		t.Fatalf("run not finished: state=%q partial=%v", res.State, res.Partial)
+	}
+	return res.Result
+}
+
+// TestServeSmoke drives the serve→drain→restore cycle through the real
+// binary: a session is stepped, free-run, and paused over HTTP; SIGTERM
+// drains it to a checkpoint; a fresh pmserve restores the file and the
+// finished RunResult must match an uninterrupted served run byte for
+// byte. Opt-in via PIPEMEM_SERVE_SMOKE=1 (make serve-smoke), which also
+// builds the tools with -race.
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("PIPEMEM_SERVE_SMOKE") != "1" {
+		t.Skip("serve smoke is opt-in: set PIPEMEM_SERVE_SMOKE=1 (make serve-smoke)")
+	}
+	dir := t.TempDir()
+	cfg := `{"name":%q,"ports":4,"buf":32,"cycles":300000,"load":0.85,"seed":7,"policy":"dt:alpha=2"}`
+
+	cmd, base, tail := startServe(t, dir)
+
+	// Reference: the same spec run to completion without interruption. The
+	// step overshoots the 300000-cycle injection window because the run
+	// only finishes after its drain phase empties the buffer.
+	api(t, "POST", base+"/sessions", fmt.Sprintf(cfg, "ref"), 201)
+	api(t, "POST", base+"/sessions/ref/step?cycles=400000", "", 200)
+	want := finalResult(t, api(t, "GET", base+"/sessions/ref/result", "", 200))
+
+	// The session under test: advance an odd prefix, exercise the free-run
+	// goroutine, pause at a batch boundary, then SIGTERM the server.
+	api(t, "POST", base+"/sessions", fmt.Sprintf(cfg, "smoke"), 201)
+	api(t, "POST", base+"/sessions/smoke/step?cycles=1234", "", 200)
+	api(t, "POST", base+"/sessions/smoke/run", "", 200)
+	api(t, "POST", base+"/sessions/smoke/pause", "", 200)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("pmserve did not drain cleanly: %v\nstderr: %s", err, tail())
+	}
+	if out := tail(); !strings.Contains(out, "drained") || !strings.Contains(out, "smoke.ckpt") {
+		t.Fatalf("drain did not report the checkpoint:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "smoke.ckpt")); err != nil {
+		t.Fatalf("drained checkpoint missing: %v", err)
+	}
+
+	// Restore into a fresh server and finish; the done run must reproduce
+	// the reference RunResult exactly.
+	cmd2, base2, tail2 := startServe(t, dir)
+	api(t, "POST", base2+"/sessions", `{"name":"smoke","restore":"smoke.ckpt"}`, 201)
+	api(t, "POST", base2+"/sessions/smoke/step?cycles=400000", "", 200)
+	got := finalResult(t, api(t, "GET", base2+"/sessions/smoke/result", "", 200))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restored run diverged from uninterrupted run:\n got  %s\nwant %s", got, want)
+	}
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("second pmserve did not stop cleanly: %v\nstderr: %s", err, tail2())
+	}
+}
+
 func TestCheckpointKillRestoreSoak(t *testing.T) {
 	if os.Getenv("PIPEMEM_CKPT_SOAK") != "1" {
 		t.Skip("kill/restore soak is opt-in: set PIPEMEM_CKPT_SOAK=1 (make ckpt-soak)")

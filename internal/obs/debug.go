@@ -80,26 +80,47 @@ func (g *RuntimeGauges) Start(interval time.Duration) (stop func()) {
 	}
 }
 
+// NewDebugMux returns a mux with the net/http/pprof handlers mounted at
+// /debug/pprof/. The pprof mount lives here and only here: mounting the
+// same pattern twice on one ServeMux panics, so a server exposing several
+// registries (the session server serves one per session plus its own)
+// builds one debug mux and attaches each registry with MountMetrics.
+func NewDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MountMetrics mounts reg's exporters on mux: pattern serves the
+// Prometheus text exposition and pattern+".json" the JSON snapshot. Both
+// read the registry atomically, so scraping is safe while the simulation
+// thread updates (and SyncMetrics-style flushes republish) the metrics.
+func MountMetrics(mux *http.ServeMux, pattern string, reg *Registry) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc(pattern+".json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+}
+
+// PrometheusContentType is the Content-Type of the text exposition.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // Handler returns an http.Handler exposing the registry:
 //
 //	/metrics       — Prometheus text exposition
 //	/metrics.json  — JSON snapshot
 //	/debug/pprof/  — net/http/pprof profiles
 func Handler(reg *Registry) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = reg.WriteJSON(w)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux := NewDebugMux()
+	MountMetrics(mux, "/metrics", reg)
 	return mux
 }
 

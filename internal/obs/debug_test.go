@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusSetSingleHeader: serving several registries through
+// one exposition must emit each metric's # HELP / # TYPE preamble exactly
+// once (strict parsers reject repeated TYPE lines) and distinguish the
+// samples with the shared label.
+func TestWritePrometheusSetSingleHeader(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("pipemem_test_cells", "Cells.").Add(3)
+	a.Gauge("pipemem_test_depth", "Depth.").Set(7)
+	b := NewRegistry()
+	b.Counter("pipemem_test_cells", "Cells.").Add(11)
+	// b carries a metric a does not: the union must still be emitted.
+	b.GaugeVec("pipemem_test_q", "Queues.", "q", 2).At(1).Set(5)
+
+	var sb strings.Builder
+	if err := WritePrometheusSet(&sb, "session", []NamedRegistry{
+		{Name: "server", Reg: a}, {Name: "s1", Reg: b}, {Name: "nil", Reg: nil},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, name := range []string{"pipemem_test_cells", "pipemem_test_depth", "pipemem_test_q"} {
+		if got := strings.Count(out, "# TYPE "+name+" "); got != 1 {
+			t.Fatalf("%d TYPE lines for %s, want 1:\n%s", got, name, out)
+		}
+	}
+	for _, line := range []string{
+		`pipemem_test_cells{session="server"} 3`,
+		`pipemem_test_cells{session="s1"} 11`,
+		`pipemem_test_depth{session="server"} 7`,
+		`pipemem_test_q{session="s1",q="1"} 5`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing sample %q in:\n%s", line, out)
+		}
+	}
+	// Metric blocks are name-sorted across the union, so the exposition is
+	// stable (cells < depth < q).
+	if !(strings.Index(out, "pipemem_test_cells") < strings.Index(out, "pipemem_test_depth") &&
+		strings.Index(out, "pipemem_test_depth") < strings.Index(out, "pipemem_test_q")) {
+		t.Fatalf("metric blocks not name-sorted:\n%s", out)
+	}
+}
+
+// TestWritePrometheusSetMatchesSingle: the one-registry set with a label
+// must carry exactly the same values as the registry's own exposition —
+// the refactored sample writers share one code path.
+func TestWritePrometheusSetMatchesSingle(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipemem_test_n", "N.").Add(42)
+	h := r.Histogram("pipemem_test_lat", "Latency.", []int64{1, 10})
+	h.Observe(5)
+
+	var single, set strings.Builder
+	if err := r.WritePrometheus(&single); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheusSet(&set, "session", []NamedRegistry{{Name: "x", Reg: r}}); err != nil {
+		t.Fatal(err)
+	}
+	// Stripping the injected label pair must recover the single-registry
+	// exposition byte for byte.
+	stripped := strings.ReplaceAll(set.String(), `session="x",`, "")
+	stripped = strings.ReplaceAll(stripped, `{session="x"}`, "")
+	if stripped != single.String() {
+		t.Fatalf("labeled set diverges from single exposition:\n--- set (stripped)\n%s--- single\n%s", stripped, single.String())
+	}
+}
+
+// TestDebugMuxMultipleRegistries: the promotion seam — one debug mux,
+// pprof mounted once, any number of registries attached at distinct
+// patterns. With the old Handler-per-registry shape this panicked on the
+// second pprof registration.
+func TestDebugMuxMultipleRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("pipemem_test_a", "A.").Add(1)
+	b.Counter("pipemem_test_b", "B.").Add(2)
+
+	mux := NewDebugMux()
+	MountMetrics(mux, "/metrics", a)
+	MountMetrics(mux, "/sessions/s1/metrics", b)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		return sb.String()
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "pipemem_test_a 1") {
+		t.Fatalf("/metrics missing registry a:\n%s", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, `"pipemem_test_a": 1`) {
+		t.Fatalf("/metrics.json missing registry a:\n%s", out)
+	}
+	if out := get("/sessions/s1/metrics"); !strings.Contains(out, "pipemem_test_b 2") {
+		t.Fatalf("second registry mount missing:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Fatal("pprof mount empty")
+	}
+}
+
+// TestConcurrentScrapeDuringUpdates: scraping every exporter while the
+// simulation thread hammers the metrics must be race-free (the regression
+// the -race run guards: exporters read atomics, never locked maps).
+func TestConcurrentScrapeDuringUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pipemem_test_ops", "Ops.")
+	g := r.Gauge("pipemem_test_depth", "Depth.")
+	v := r.GaugeVec("pipemem_test_q", "Queues.", "q", 4)
+	h := r.Histogram("pipemem_test_lat", "Latency.", []int64{1, 8, 64})
+	other := NewRegistry()
+	oc := other.Counter("pipemem_test_ops", "Ops.")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			oc.Add(2)
+			g.Set(i)
+			v.At(int(i % 4)).Set(i)
+			h.Observe(i % 100)
+		}
+	}()
+
+	regs := []NamedRegistry{{Name: "server", Reg: r}, {Name: "s1", Reg: other}}
+	for i := 0; i < 200; i++ {
+		var sb strings.Builder
+		if err := WritePrometheusSet(&sb, "session", regs); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		_ = r.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+}

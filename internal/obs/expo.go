@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -25,51 +26,145 @@ func escapeLabel(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
+// typeName renders a metric kind for the # TYPE line.
+func (k kind) typeName() string {
+	if k == kindCounter {
+		return "counter"
+	}
+	if k == kindHistogram {
+		return "histogram"
+	}
+	return "gauge"
+}
+
+// writeHeader emits a metric's # HELP / # TYPE preamble.
+func writeHeader(w io.Writer, m *metric) error {
+	if m.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind.typeName())
+	return err
+}
+
+// writeSamples emits a metric's sample lines. extra is a pre-rendered
+// label pair (e.g. `session="a"`) merged into every sample's label set —
+// the seam the multi-registry exposition uses to distinguish sessions —
+// or "" for the single-registry form, which stays byte-identical to the
+// historical output.
+func writeSamples(w io.Writer, m *metric, extra string) error {
+	var err error
+	switch m.kind {
+	case kindCounter:
+		err = writeSample(w, m.name, extra, "", m.counter.Value())
+	case kindGauge:
+		err = writeSample(w, m.name, extra, "", m.gauge.Value())
+	case kindGaugeVec:
+		for i := range m.vec.slots {
+			lab := fmt.Sprintf("%s=\"%d\"", escapeLabel(m.vec.label), i)
+			if err = writeSample(w, m.name, extra, lab, m.vec.slots[i].Value()); err != nil {
+				return err
+			}
+		}
+	case kindHistogram:
+		s := m.hist.Snapshot()
+		for _, b := range s.Buckets {
+			le := "+Inf"
+			if !b.Inf {
+				le = fmt.Sprintf("%d", b.Le)
+			}
+			if err = writeSample(w, m.name+"_bucket", extra, fmt.Sprintf("le=%q", le), b.N); err != nil {
+				return err
+			}
+		}
+		if err = writeSample(w, m.name+"_sum", extra, "", s.Sum); err != nil {
+			return err
+		}
+		err = writeSample(w, m.name+"_count", extra, "", s.Count)
+	}
+	return err
+}
+
+// writeSample emits one sample line, joining the optional extra and
+// per-sample labels into a single {..} set (omitted when both are empty).
+func writeSample(w io.Writer, name, extra, lab string, v int64) error {
+	switch {
+	case extra == "" && lab == "":
+		_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+		return err
+	case extra == "":
+		_, err := fmt.Fprintf(w, "%s{%s} %d\n", name, lab, v)
+		return err
+	case lab == "":
+		_, err := fmt.Fprintf(w, "%s{%s} %d\n", name, extra, v)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s{%s,%s} %d\n", name, extra, lab, v)
+		return err
+	}
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4): counters and gauges as single
 // samples, gauge vectors as one sample per indexed label, histograms as
 // cumulative _bucket/_sum/_count series.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, m := range r.sorted() {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
-				return err
-			}
-		}
-		var err error
-		switch m.kind {
-		case kindCounter:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
-		case kindGauge:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value())
-		case kindGaugeVec:
-			if _, err = fmt.Fprintf(w, "# TYPE %s gauge\n", m.name); err != nil {
-				return err
-			}
-			for i := range m.vec.slots {
-				if _, err = fmt.Fprintf(w, "%s{%s=\"%d\"} %d\n",
-					m.name, escapeLabel(m.vec.label), i, m.vec.slots[i].Value()); err != nil {
-					return err
-				}
-			}
-		case kindHistogram:
-			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
-				return err
-			}
-			s := m.hist.Snapshot()
-			for _, b := range s.Buckets {
-				le := "+Inf"
-				if !b.Inf {
-					le = fmt.Sprintf("%d", b.Le)
-				}
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", m.name, le, b.N); err != nil {
-					return err
-				}
-			}
-			_, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", m.name, s.Sum, m.name, s.Count)
-		}
-		if err != nil {
+		if err := writeHeader(w, m); err != nil {
 			return err
+		}
+		if err := writeSamples(w, m, ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NamedRegistry pairs a registry with the label value that identifies it
+// in a shared exposition (the session server labels each session's
+// registry with its session id).
+type NamedRegistry struct {
+	Name string
+	Reg  *Registry
+}
+
+// WritePrometheusSet renders several registries into one valid exposition:
+// the union of metric names in sorted order, each name's # HELP / # TYPE
+// preamble emitted exactly once (from the first registry carrying it), and
+// one sample (set) per registry, distinguished by a <label>="<name>" pair
+// merged into every sample's label set. This is what lets one /metrics
+// endpoint serve every live session without repeating TYPE headers —
+// repeated headers are rejected by strict exposition parsers.
+func WritePrometheusSet(w io.Writer, label string, regs []NamedRegistry) error {
+	type inst struct {
+		extra string
+		m     *metric
+	}
+	byName := map[string][]inst{}
+	var names []string
+	for _, nr := range regs {
+		if nr.Reg == nil {
+			continue
+		}
+		extra := fmt.Sprintf("%s=%q", label, escapeLabel(nr.Name))
+		for _, m := range nr.Reg.sorted() {
+			if _, seen := byName[m.name]; !seen {
+				names = append(names, m.name)
+			}
+			byName[m.name] = append(byName[m.name], inst{extra, m})
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		insts := byName[name]
+		if err := writeHeader(w, insts[0].m); err != nil {
+			return err
+		}
+		for _, in := range insts {
+			if err := writeSamples(w, in.m, in.extra); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

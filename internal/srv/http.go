@@ -1,0 +1,269 @@
+package srv
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"pipemem/internal/bufmgr"
+	"pipemem/internal/ckpt"
+	"pipemem/internal/core"
+	"pipemem/internal/obs"
+)
+
+// HTTPStatus maps a serving-layer error to its status code. The two
+// simulation sentinels get distinct codes: ErrBadConfig-shaped errors
+// (bad spec, bad policy, bad flag value) are the client's fault — 400 —
+// while ckpt.ErrStalled is a wedged simulation the client must resolve
+// (restore, fork, delete) — 409, like the other wrong-lifecycle-state
+// conflicts.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrTooManySessions):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrFinished), errors.Is(err, ckpt.ErrStalled):
+		return http.StatusConflict
+	case errors.Is(err, ErrBadSpec), errors.Is(err, ErrNoCheckpointDir),
+		errors.Is(err, core.ErrBadConfig), errors.Is(err, bufmgr.ErrBadConfig):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON emits a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr emits the mapped status with {"error": "..."}.
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, HTTPStatus(err), map[string]string{"error": err.Error()})
+}
+
+// stepResponse is the body of POST /sessions/{id}/step: cycles actually
+// advanced plus the post-step status readout.
+type stepResponse struct {
+	Advanced int64 `json:"advanced"`
+	Status
+}
+
+// resultResponse is the body of GET /sessions/{id}/result: the RunResult
+// snapshot (final for done/failed sessions, live partial otherwise).
+type resultResponse struct {
+	ID      string         `json:"id"`
+	State   string         `json:"state"`
+	Partial bool           `json:"partial"`
+	Result  core.RunResult `json:"result"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// Handler builds the server's HTTP surface on one shared mux: the
+// session API under /sessions, and the debug surface promoted from
+// obs.ServeDebug — /debug/pprof/ mounted exactly once (obs.NewDebugMux),
+// /metrics serving the server registry plus every session registry in a
+// single exposition with session="<id>" labels, and per-session scrapes
+// at /sessions/{id}/metrics.
+func (m *Manager) Handler() http.Handler {
+	mux := obs.NewDebugMux()
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		_ = obs.WritePrometheusSet(w, "session", m.namedRegistries())
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		snaps := map[string]obs.Snapshot{"server": m.reg.Snapshot()}
+		for _, s := range m.List() {
+			snaps[s.id] = s.reg.Snapshot()
+		}
+		writeJSON(w, http.StatusOK, snaps)
+	})
+
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, _ *http.Request) {
+		list := []Status{} // render [] rather than null when empty
+		for _, s := range m.List() {
+			list = append(list, s.Status())
+		}
+		writeJSON(w, http.StatusOK, list)
+	})
+
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		var cfg SessionConfig
+		if err := decodeBody(r, &cfg); err != nil {
+			writeErr(w, err)
+			return
+		}
+		s, err := m.Create(cfg)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.Status())
+	})
+
+	mux.HandleFunc("GET /sessions/{id}", m.withSession(func(w http.ResponseWriter, _ *http.Request, s *Session) {
+		writeJSON(w, http.StatusOK, s.Status())
+	}))
+
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Delete(r.PathValue("id")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+	})
+
+	mux.HandleFunc("POST /sessions/{id}/step", m.withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		n, err := cyclesParam(r)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		adv, err := s.Step(n)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, stepResponse{Advanced: adv, Status: s.Status()})
+	}))
+
+	mux.HandleFunc("POST /sessions/{id}/run", m.withSession(func(w http.ResponseWriter, _ *http.Request, s *Session) {
+		if err := s.Start(); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Status())
+	}))
+
+	mux.HandleFunc("POST /sessions/{id}/pause", m.withSession(func(w http.ResponseWriter, _ *http.Request, s *Session) {
+		s.Pause()
+		writeJSON(w, http.StatusOK, s.Status())
+	}))
+
+	mux.HandleFunc("GET /sessions/{id}/result", m.withSession(func(w http.ResponseWriter, _ *http.Request, s *Session) {
+		res, partial, err := s.Result()
+		resp := resultResponse{ID: s.id, State: s.State().String(), Partial: partial, Result: res}
+		if err != nil {
+			resp.Error = err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+
+	mux.HandleFunc("GET /sessions/{id}/series", m.withSession(func(w http.ResponseWriter, _ *http.Request, s *Session) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = s.Series().WriteJSONL(w)
+	}))
+
+	mux.HandleFunc("GET /sessions/{id}/metrics", m.withSession(func(w http.ResponseWriter, _ *http.Request, s *Session) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		_ = s.reg.WritePrometheus(w)
+	}))
+
+	mux.HandleFunc("POST /sessions/{id}/checkpoint", m.withSession(func(w http.ResponseWriter, _ *http.Request, s *Session) {
+		name, err := m.Checkpoint(s.id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"id": s.id, "checkpoint": name})
+	}))
+
+	mux.HandleFunc("POST /sessions/{id}/fork", m.withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var body struct {
+			Name string `json:"name"`
+		}
+		if err := decodeBody(r, &body); err != nil {
+			writeErr(w, err)
+			return
+		}
+		fk, err := m.Fork(s.id, body.Name)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, fk.Status())
+	}))
+
+	mux.HandleFunc("POST /sessions/{id}/inject", m.withSession(func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var body struct {
+			Slots [][]int `json:"slots"`
+		}
+		if err := decodeBody(r, &body); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if err := s.Extend(body.Slots); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": s.id, "slots": len(body.Slots)})
+	}))
+
+	return mux
+}
+
+// withSession resolves {id} before the handler runs.
+func (m *Manager) withSession(h func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		h(w, r, s)
+	}
+}
+
+// namedRegistries is the /metrics exposition set: the server registry
+// first, then every session's, labeled by id.
+func (m *Manager) namedRegistries() []obs.NamedRegistry {
+	regs := []obs.NamedRegistry{{Name: "server", Reg: m.reg}}
+	for _, s := range m.List() {
+		regs = append(regs, obs.NamedRegistry{Name: s.id, Reg: s.reg})
+	}
+	return regs
+}
+
+// decodeBody parses an optional JSON request body (empty body = zero
+// value), rejecting trailing garbage and unparseable JSON as 400s.
+func decodeBody(r *http.Request, v any) error {
+	if r.Body == nil {
+		return nil
+	}
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		if err.Error() == "EOF" { // empty body: all defaults
+			return nil
+		}
+		return badSpecf("request body: %v", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err == nil {
+		return badSpecf("request body has trailing data")
+	}
+	return nil
+}
+
+// cyclesParam parses the ?cycles=N step size.
+func cyclesParam(r *http.Request) (int64, error) {
+	q := r.URL.Query().Get("cycles")
+	if q == "" {
+		return 0, badSpecf("step needs ?cycles=N")
+	}
+	n, err := strconv.ParseInt(q, 10, 64)
+	if err != nil {
+		return 0, badSpecf("cycles %q is not an integer", q)
+	}
+	return n, nil
+}

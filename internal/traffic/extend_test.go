@@ -1,0 +1,116 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+// collectHeads drives the stream for cycles and returns the flattened
+// head sequence (NoArrival included), one entry per input per cycle.
+func collectHeads(t *testing.T, cs *CellStream, n, cycles int) []int {
+	t.Helper()
+	dst := make([]int, n)
+	var out []int
+	for c := 0; c < cycles; c++ {
+		cs.Heads(dst)
+		out = append(out, dst...)
+	}
+	return out
+}
+
+// TestExtendMidStreamMatchesFullSchedule: a trace stream extended before
+// its schedule runs out must replay exactly like a stream built with the
+// full schedule up front — Extend is an append, not a re-seed.
+func TestExtendMidStreamMatchesFullSchedule(t *testing.T) {
+	const n, cellLen = 3, 4
+	head := [][]int{
+		{1, NoArrival, 0},
+		{NoArrival, 2, NoArrival},
+	}
+	tail := [][]int{
+		{2, 0, 1},
+		{NoArrival, NoArrival, 0},
+	}
+	full := append(append([][]int{}, head...), tail...)
+
+	a, err := NewCellStream(Config{Kind: Trace, N: n, Schedule: full}, cellLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCellStream(Config{Kind: Trace, N: n, Schedule: head}, cellLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume one slot of b, then append the tail while the head rows are
+	// still in flight.
+	cycles := (len(full) + 2) * cellLen
+	gotB := collectHeads(t, b, n, cellLen)
+	if err := b.Extend(tail); err != nil {
+		t.Fatal(err)
+	}
+	gotB = append(gotB, collectHeads(t, b, n, cycles-cellLen)...)
+	gotA := collectHeads(t, a, n, cycles)
+	if len(gotA) != len(gotB) {
+		t.Fatalf("length mismatch: %d vs %d", len(gotA), len(gotB))
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("entry %d: full-schedule stream %d, extended stream %d", i, gotA[i], gotB[i])
+		}
+	}
+	if len(b.Schedule()) != len(full) {
+		t.Fatalf("Schedule() has %d rows, want %d", len(b.Schedule()), len(full))
+	}
+}
+
+// TestExtendResumesIdleStream: a trace stream that ran past its schedule
+// goes idle; appended rows must then be consumed from each input's slot
+// cursor, not dropped.
+func TestExtendResumesIdleStream(t *testing.T) {
+	const n, cellLen = 2, 3
+	cs, err := NewCellStream(Config{Kind: Trace, N: n, Schedule: [][]int{{1, 0}}}, cellLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, n)
+	// Play the one scheduled row and run well past it.
+	if got := cs.Heads(dst); got != 2 {
+		t.Fatalf("first cycle produced %d heads, want 2", got)
+	}
+	for c := 0; c < 5*cellLen; c++ {
+		if got := cs.Heads(dst); got != 0 {
+			t.Fatalf("idle cycle produced %d heads", got)
+		}
+	}
+	if err := cs.Extend([][]int{{0, NoArrival}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Heads(dst); got != 1 || dst[0] != 0 {
+		t.Fatalf("after extend: heads=%d dst=%v, want the appended row", got, dst)
+	}
+}
+
+// TestExtendValidation: malformed rows are rejected atomically and
+// non-trace streams refuse.
+func TestExtendValidation(t *testing.T) {
+	cs, err := NewCellStream(Config{Kind: Trace, N: 2, Schedule: [][]int{{0, 1}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Extend([][]int{{0}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := cs.Extend([][]int{{0, 1}, {0, 7}}); err == nil || !strings.Contains(err.Error(), "slot 2") {
+		t.Fatalf("out-of-range destination: err=%v, want a slot-2 complaint", err)
+	}
+	if got := len(cs.Schedule()); got != 1 {
+		t.Fatalf("failed Extend appended rows: %d, want 1 (atomic rejection)", got)
+	}
+	bern, err := NewCellStream(Config{Kind: Bernoulli, N: 2, Load: 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bern.Extend([][]int{{0, 1}}); err == nil {
+		t.Fatal("Extend on a Bernoulli stream accepted")
+	}
+}

@@ -337,6 +337,38 @@ func NewCellStream(cfg Config, cellLen int) (*CellStream, error) {
 	return s, nil
 }
 
+// Extend appends schedule slots to a Trace stream: rows[s][i] is the
+// destination arriving at input i in the s-th appended cell time, or
+// NoArrival. The session server streams externally injected cells in
+// through this seam — a Trace stream that has run past the end of its
+// schedule simply goes idle, and appended rows are consumed from the
+// point each input's slot cursor has reached. Rows are validated like
+// Config.Validate validates the initial schedule; on error nothing is
+// appended.
+func (s *CellStream) Extend(rows [][]int) error {
+	if s.cfg.Kind != Trace {
+		return fmt.Errorf("traffic: Extend needs a trace stream, not %v", s.cfg.Kind)
+	}
+	base := len(s.cfg.Schedule)
+	for r, row := range rows {
+		if len(row) != s.cfg.N {
+			return fmt.Errorf("traffic: trace slot %d has %d entries, want %d", base+r, len(row), s.cfg.N)
+		}
+		for i, d := range row {
+			if d != NoArrival && (d < 0 || d >= s.cfg.N) {
+				return fmt.Errorf("traffic: trace slot %d input %d: destination %d out of range", base+r, i, d)
+			}
+		}
+	}
+	s.cfg.Schedule = append(s.cfg.Schedule, rows...)
+	return nil
+}
+
+// Schedule returns the stream's current schedule (Trace only; nil
+// otherwise). The checkpoint layer snapshots it so mid-run Extend calls
+// survive restore.
+func (s *CellStream) Schedule() [][]int { return s.cfg.Schedule }
+
 // rotAdv advances input i's cached permutation destination by one,
 // mirroring sent[i]++ in (i + sent[i]) mod N.
 func (s *CellStream) rotAdv(i int) {
